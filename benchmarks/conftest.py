@@ -1,0 +1,77 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section (see DESIGN.md, per-experiment index).  By default the benchmarks
+run at a reduced scale so the whole suite finishes in minutes; setting
+``REPRO_FULL_SCALE=1`` switches to the paper's setup (10,000 uniform
+objects, 5,848 clustered objects, more trials) at the cost of a much longer
+run time.
+
+Each benchmark prints the rows of its figure (one curve per index) so the
+shape -- who wins, by roughly what factor, where the crossovers are -- can
+be compared against the paper; EXPERIMENTS.md records that comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.spatial import real_surrogate_dataset, uniform_dataset
+
+FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "0") not in ("", "0", "false")
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Scale knobs shared by all benchmarks."""
+
+    n_uniform: int
+    n_real: int
+    n_queries: int
+    n_queries_errors: int
+    capacities: tuple
+    capacities_small: tuple
+
+
+REDUCED = BenchScale(
+    n_uniform=1_200,
+    n_real=1_000,
+    n_queries=20,
+    n_queries_errors=10,
+    capacities=(64, 128, 256, 512),
+    capacities_small=(64, 256),
+)
+
+FULL = BenchScale(
+    n_uniform=10_000,
+    n_real=5_848,
+    n_queries=100,
+    n_queries_errors=40,
+    capacities=(64, 128, 256, 512),
+    capacities_small=(64, 128, 256, 512),
+)
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return FULL if FULL_SCALE else REDUCED
+
+
+@pytest.fixture(scope="session")
+def uniform(scale):
+    """The paper's UNIFORM dataset (reduced by default)."""
+    return uniform_dataset(scale.n_uniform, seed=7)
+
+
+@pytest.fixture(scope="session")
+def real(scale):
+    """Surrogate of the paper's REAL dataset (clustered points)."""
+    return real_surrogate_dataset(scale.n_real, seed=11)
+
+
+def emit(title: str, text: str) -> None:
+    """Print a figure report (pytest shows it with -s / on benchmark runs)."""
+    print(f"\n{'=' * 78}\n{title}\n{'=' * 78}\n{text}\n")

@@ -1,0 +1,112 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+A1 -- DSI sizing rule (paper's one-packet rule vs the balanced rule) and
+      index base r.
+A2 -- number of interleaved broadcast segments m.
+A3 -- link-error scope (navigation buckets only vs all buckets).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast import LinkErrorModel, SystemConfig
+from repro.core import DsiParameters
+from repro.queries import knn_workload, window_workload
+from repro.sim import IndexSpec, build_index, format_table, run_workload
+
+from conftest import emit
+
+
+def _run(dataset, config, params, workload, error_model=None):
+    index = build_index(IndexSpec(kind="dsi", dsi_params=params), dataset, config)
+    return run_workload(index, dataset, config, workload, error_model=error_model, verify=False)
+
+
+def test_ablation_dsi_sizing_and_base(benchmark, uniform, scale):
+    config = SystemConfig(packet_capacity=64)
+    workload = window_workload(scale.n_queries, 0.1, seed=5)
+
+    def sweep():
+        rows = []
+        for label, params in [
+            ("balanced r=2", DsiParameters(sizing="balanced", index_base=2)),
+            ("balanced r=4", DsiParameters(sizing="balanced", index_base=4)),
+            ("paper rule", DsiParameters(sizing="paper")),
+            ("object_factor=1", DsiParameters(object_factor=1)),
+        ]:
+            res = _run(uniform, config, params, workload)
+            rows.append(
+                {
+                    "variant": label,
+                    "latency_bytes": res.mean_latency_bytes,
+                    "tuning_bytes": res.mean_tuning_bytes,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Ablation A1: DSI sizing rule and index base (window queries, 64 B)",
+         format_table(rows, title="A1"))
+    by_label = {r["variant"]: r for r in rows}
+    # The paper's literal one-packet sizing produces huge frames; the
+    # balanced rule should never be worse on tuning time.
+    assert by_label["balanced r=2"]["tuning_bytes"] <= by_label["paper rule"]["tuning_bytes"] * 1.05
+
+
+def test_ablation_reorganization_segments(benchmark, uniform, scale):
+    config = SystemConfig(packet_capacity=64)
+    workload = knn_workload(scale.n_queries, k=10, seed=6)
+
+    def sweep():
+        rows = []
+        for m in (1, 2, 4):
+            res = _run(uniform, config, DsiParameters(n_segments=m), workload)
+            rows.append(
+                {
+                    "segments": m,
+                    "latency_bytes": res.mean_latency_bytes,
+                    "tuning_bytes": res.mean_tuning_bytes,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Ablation A2: broadcast segments m (10NN queries, 64 B)",
+         format_table(rows, title="A2"))
+    assert len(rows) == 3
+
+
+def test_ablation_error_scope(benchmark, uniform, scale):
+    config = SystemConfig(packet_capacity=64)
+    workload = window_workload(scale.n_queries_errors, 0.1, seed=8)
+    params = DsiParameters(n_segments=2)
+
+    def sweep():
+        rows = []
+        baseline = _run(uniform, config, params, workload)
+        for scope in ("index", "all"):
+            degraded = _run(
+                uniform, config, params, workload,
+                error_model=LinkErrorModel(theta=0.3, scope=scope, seed=3),
+            )
+            rows.append(
+                {
+                    "scope": scope,
+                    "latency_pct": 100.0
+                    * (degraded.mean_latency_bytes - baseline.mean_latency_bytes)
+                    / baseline.mean_latency_bytes,
+                    "tuning_pct": 100.0
+                    * (degraded.mean_tuning_bytes - baseline.mean_tuning_bytes)
+                    / baseline.mean_tuning_bytes,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Ablation A3: link-error scope, theta = 0.3 (window queries, 64 B)",
+         format_table(rows, title="A3"))
+    by_scope = {r["scope"]: r for r in rows}
+    # Losing data buckets as well can only hurt more than losing index
+    # buckets alone.
+    assert by_scope["all"]["latency_pct"] >= by_scope["index"]["latency_pct"] - 5.0

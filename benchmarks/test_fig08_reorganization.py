@@ -1,0 +1,47 @@
+"""Figure 8: broadcast reorganization (window and 10NN queries vs capacity).
+
+Paper claim: the reorganized broadcast improves window-query latency (by
+roughly a quarter) and slightly improves tuning; for kNN it combines the
+low latency of the conservative strategy with tuning no worse than the
+aggressive strategy.
+"""
+
+from __future__ import annotations
+
+from repro.sim import figure_report, reorganization_sweep
+
+from conftest import emit
+
+
+def test_fig08_reorganization_uniform(benchmark, uniform, scale):
+    rows = benchmark.pedantic(
+        reorganization_sweep,
+        kwargs=dict(
+            dataset=uniform,
+            capacities=scale.capacities_small,
+            n_queries=scale.n_queries,
+            k=10,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    window_rows = [r for r in rows if r["figure"] == "8ab"]
+    knn_rows = [r for r in rows if r["figure"] == "8cd"]
+    emit(
+        "Figure 8(a)(b): window queries, original vs reorganized (UNIFORM)",
+        figure_report(window_rows, x_key="capacity", title="Fig 8ab"),
+    )
+    emit(
+        "Figure 8(c)(d): 10NN queries, conservative vs aggressive vs reorganized (UNIFORM)",
+        figure_report(knn_rows, x_key="capacity", title="Fig 8cd"),
+    )
+
+    # Shape checks (qualitative claims of Section 4.1).
+    by_key = {(r["index"], r["capacity"]): r for r in knn_rows}
+    for capacity in scale.capacities_small:
+        conservative = by_key[("Conservative", capacity)]
+        aggressive = by_key[("Aggressive", capacity)]
+        # The conservative approach is good for access latency while the
+        # aggressive approach saves tuning time (paper, Section 4.1).
+        assert conservative["latency_bytes"] <= aggressive["latency_bytes"]
+        assert aggressive["tuning_bytes"] <= conservative["tuning_bytes"] * 1.05

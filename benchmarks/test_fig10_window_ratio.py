@@ -1,0 +1,38 @@
+"""Figure 10: window queries vs WinSideRatio at 64-byte packets.
+
+Paper claim: cost grows with the window size for every index; DSI generally
+wins, except that the R-tree's tuning time can be better for very small
+windows (high spatial locality of its leaves).
+"""
+
+from __future__ import annotations
+
+from repro.sim import figure_report, pivot_metric, window_ratio_sweep
+
+from conftest import emit
+
+RATIOS = (0.02, 0.05, 0.1, 0.2)
+
+
+def test_fig10_window_vs_ratio_uniform(benchmark, uniform, scale):
+    rows = benchmark.pedantic(
+        window_ratio_sweep,
+        kwargs=dict(
+            dataset=uniform,
+            ratios=RATIOS,
+            capacity=64,
+            n_queries=scale.n_queries,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 10: window queries vs WinSideRatio (UNIFORM, 64-byte packets)",
+        figure_report(rows, x_key="win_side_ratio", title="Fig 10"),
+    )
+
+    # Shape check: every index costs more tuning for bigger windows.
+    tuning = pivot_metric(rows, "win_side_ratio", "tuning_bytes")
+    for series in ("DSI", "R-tree", "HCI"):
+        values = [row[series] for row in tuning if row.get(series) is not None]
+        assert values[0] < values[-1]

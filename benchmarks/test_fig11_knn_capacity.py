@@ -1,0 +1,39 @@
+"""Figure 11: NN and 10NN queries vs packet capacity (DSI vs R-tree vs HCI).
+
+Paper claim: DSI beats both tree indexes, with particularly large margins in
+access latency (HCI needs multiple phases, the R-tree needs the root and its
+broadcast-ordered descent); DSI stays stable as capacity grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import figure_report, knn_capacity_sweep, pivot_metric
+
+from conftest import emit
+
+
+@pytest.mark.parametrize("k", [1, 10])
+def test_fig11_knn_vs_capacity_uniform(benchmark, uniform, scale, k):
+    rows = benchmark.pedantic(
+        knn_capacity_sweep,
+        kwargs=dict(
+            dataset=uniform,
+            capacities=scale.capacities_small,
+            k=k,
+            n_queries=scale.n_queries,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        f"Figure 11: {k}NN queries vs packet capacity (UNIFORM)",
+        figure_report(rows, x_key="capacity", title=f"Fig 11 (k={k})"),
+    )
+
+    # Shape check: DSI's access latency is the best at every capacity.
+    for point in pivot_metric(rows, "capacity", "latency_bytes"):
+        if point.get("R-tree") is not None:
+            assert point["DSI"] <= point["R-tree"]
+        assert point["DSI"] <= point["HCI"]

@@ -1,0 +1,42 @@
+"""Figure 12: kNN queries vs k at 64-byte packets (DSI vs R-tree vs HCI).
+
+Paper claim: DSI performs best for every k; access latency barely moves with
+k (it is bounded by the broadcast cycle) while tuning time grows slowly for
+DSI and faster for the tree indexes.
+"""
+
+from __future__ import annotations
+
+from repro.sim import figure_report, knn_k_sweep, pivot_metric
+
+from conftest import emit
+
+KS = (1, 3, 5, 10, 20, 30)
+
+
+def test_fig12_knn_vs_k_uniform(benchmark, uniform, scale):
+    ks = KS if scale.n_uniform >= 5000 else (1, 3, 10, 20)
+    rows = benchmark.pedantic(
+        knn_k_sweep,
+        kwargs=dict(
+            dataset=uniform,
+            ks=ks,
+            capacity=64,
+            n_queries=scale.n_queries,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 12: kNN queries vs k (UNIFORM, 64-byte packets)",
+        figure_report(rows, x_key="k", title="Fig 12"),
+    )
+
+    # Shape checks: DSI has the lowest latency for every k, and its latency
+    # stays roughly flat (bounded by the cycle) as k grows.
+    latency = pivot_metric(rows, "k", "latency_bytes")
+    for point in latency:
+        assert point["DSI"] <= point["R-tree"]
+        assert point["DSI"] <= point["HCI"]
+    dsi_values = [p["DSI"] for p in latency]
+    assert max(dsi_values) <= 2.0 * min(dsi_values)

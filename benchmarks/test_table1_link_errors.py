@@ -1,0 +1,50 @@
+"""Table 1: performance deterioration in error-prone environments.
+
+Paper claim: every index degrades as the link-error ratio theta grows, but
+DSI degrades the least (fully distributed structure -> instant recovery),
+while the R-tree degrades the most (a lost node blocks its whole subtree
+until the next copy).
+"""
+
+from __future__ import annotations
+
+from repro.sim import format_table, link_error_table
+
+from conftest import emit
+
+THETAS = (0.2, 0.5, 0.7)
+
+
+def test_table1_deterioration_uniform(benchmark, uniform, scale):
+    rows = benchmark.pedantic(
+        link_error_table,
+        kwargs=dict(
+            dataset=uniform,
+            thetas=THETAS,
+            capacity=64,
+            n_queries=scale.n_queries_errors,
+            k=10,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Table 1: deterioration (%) under link errors (UNIFORM, 64-byte packets)",
+        format_table(
+            rows,
+            columns=[
+                "index",
+                "theta",
+                "window_latency_pct",
+                "window_tuning_pct",
+                "knn_latency_pct",
+                "knn_tuning_pct",
+            ],
+            title="Table 1",
+        ),
+    )
+
+    # Shape check: at the highest error ratio DSI's window-query latency
+    # deteriorates no more than the R-tree's (the paper's headline claim).
+    worst = {r["index"]: r for r in rows if r["theta"] == max(THETAS)}
+    assert worst["DSI"]["window_latency_pct"] <= worst["R-tree"]["window_latency_pct"] + 5.0

@@ -1,0 +1,42 @@
+"""Query processing over an error-prone wireless channel (paper Section 5).
+
+Wireless links lose packets; a tree-based air index can only reach a node
+through its single parent, so a lost node stalls the search until the next
+copy of that node is broadcast.  DSI's fully distributed tables let a client
+simply continue with the next frame.  This example measures how much each
+index's window-query latency deteriorates as the link-error ratio theta
+grows -- the reproduction of the paper's Table 1.
+
+Run with ``python examples/lossy_channel.py``.
+"""
+
+from __future__ import annotations
+
+from repro import SystemConfig, uniform_dataset
+from repro.sim import format_table, link_error_table
+
+
+def main() -> None:
+    dataset = uniform_dataset(1_200, seed=3)
+    rows = link_error_table(
+        dataset,
+        thetas=(0.2, 0.5, 0.7),
+        capacity=64,
+        n_queries=12,
+        k=10,
+    )
+    print(format_table(
+        rows,
+        columns=[
+            "index", "theta",
+            "window_latency_pct", "window_tuning_pct",
+            "knn_latency_pct", "knn_tuning_pct",
+        ],
+        title="Deterioration (%) versus a lossless channel",
+    ))
+    print("\nReading: smaller numbers mean a more resilient index; the paper's")
+    print("Table 1 reports the same ordering, with DSI degrading the least.")
+
+
+if __name__ == "__main__":
+    main()

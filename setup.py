@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in pyproject.toml; this file exists
+so the package can be installed in environments without the ``wheel``
+package (legacy editable installs: ``pip install -e . --no-use-pep517``).
+"""
+from setuptools import setup
+
+setup()

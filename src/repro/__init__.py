@@ -1,0 +1,80 @@
+"""Reproduction of *DSI: A Fully Distributed Spatial Index for Wireless Data
+Broadcast* (Lee & Zheng, 2005).
+
+The package is organised as:
+
+* :mod:`repro.spatial` -- geometry, Hilbert curve and datasets;
+* :mod:`repro.broadcast` -- the wireless broadcast system model (packets,
+  programs, clients, link errors, tree-on-air layout);
+* :mod:`repro.core` -- the paper's contribution: the DSI index, energy
+  efficient forwarding, window and kNN query processing and broadcast
+  reorganization;
+* :mod:`repro.rtree`, :mod:`repro.hci` -- the two baselines evaluated in the
+  paper (STR-packed R-tree and Hilbert Curve Index);
+* :mod:`repro.queries` -- query types, workloads and ground truth;
+* :mod:`repro.sim` -- the experiment runner and the sweeps behind every
+  figure and table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (SystemConfig, uniform_dataset, DsiIndex, DsiParameters,
+                       ClientSession)
+    from repro.spatial import Point, Rect
+
+    dataset = uniform_dataset(2_000)
+    config = SystemConfig(packet_capacity=64)
+    index = DsiIndex(dataset, config, DsiParameters(n_segments=2))
+    session = ClientSession(index.program, config, start_packet=0)
+    result = index.knn_query(Point(0.4, 0.6), k=5, session=session)
+    print(result.object_ids, result.metrics.tuning_bytes)
+"""
+
+from .broadcast import (
+    ClientSession,
+    LinkErrorModel,
+    PAPER_PACKET_CAPACITIES,
+    SystemConfig,
+)
+from .core import DsiIndex, DsiParameters
+from .hci import HciAirIndex
+from .queries import KnnQuery, WindowQuery, knn_workload, window_workload
+from .rtree import RTreeAirIndex
+from .sim import IndexSpec, build_index, compare_indexes, run_workload
+from .spatial import (
+    HilbertCurve,
+    Point,
+    Rect,
+    SpatialDataset,
+    grid_dataset,
+    real_surrogate_dataset,
+    uniform_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "ClientSession",
+    "LinkErrorModel",
+    "PAPER_PACKET_CAPACITIES",
+    "DsiIndex",
+    "DsiParameters",
+    "RTreeAirIndex",
+    "HciAirIndex",
+    "Point",
+    "Rect",
+    "HilbertCurve",
+    "SpatialDataset",
+    "uniform_dataset",
+    "real_surrogate_dataset",
+    "grid_dataset",
+    "WindowQuery",
+    "KnnQuery",
+    "window_workload",
+    "knn_workload",
+    "IndexSpec",
+    "build_index",
+    "run_workload",
+    "compare_indexes",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Broadcast substrate: system model, programs, clients and link errors."""
+
+from .config import (
+    DEFAULT_CONFIG,
+    PAPER_PACKET_CAPACITIES,
+    RTREE_PACKET_CAPACITIES,
+    SystemConfig,
+)
+from .program import BroadcastProgram, Bucket, BucketKind
+from .errors import NO_ERRORS, LinkErrorModel
+from .client import AccessMetrics, ClientSession, ReadResult
+
+__all__ = [
+    "SystemConfig",
+    "DEFAULT_CONFIG",
+    "PAPER_PACKET_CAPACITIES",
+    "RTREE_PACKET_CAPACITIES",
+    "BroadcastProgram",
+    "Bucket",
+    "BucketKind",
+    "LinkErrorModel",
+    "NO_ERRORS",
+    "ClientSession",
+    "ReadResult",
+    "AccessMetrics",
+]

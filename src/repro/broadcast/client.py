@@ -1,0 +1,171 @@
+"""The mobile client model: selective tuning over a broadcast program.
+
+A :class:`ClientSession` represents one query execution by one mobile
+client.  It keeps an *unwrapped* packet clock that only moves forward (time
+on the broadcast channel), charges **tuning time** for every packet actually
+received, and derives **access latency** from how far the clock advanced
+since the client tuned in.  Both can be read in packets or bytes.
+
+The session knows nothing about any particular index structure; DSI, the
+R-tree and HCI all drive it through the same three primitives:
+
+* :meth:`initial_probe` -- tune in and read the current packet (its header
+  is assumed to carry the offset to the next bucket boundary, as in the
+  classical air-indexing model);
+* :meth:`read_bucket` -- doze until the next occurrence of a given bucket
+  and receive it (possibly corrupted, see :mod:`repro.broadcast.errors`);
+* :meth:`read_next_bucket` -- receive whatever bucket comes next on the
+  channel (used when scanning sequentially).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .config import SystemConfig
+from .errors import LinkErrorModel, NO_ERRORS
+from .program import BroadcastProgram, Bucket, BucketKind
+
+
+@dataclass
+class ReadResult:
+    """Outcome of one bucket reception."""
+
+    bucket_index: int
+    bucket: Bucket
+    start: int           # unwrapped packet position where the bucket started
+    end: int             # unwrapped packet position just after the bucket
+    ok: bool             # False when the bucket was corrupted by link errors
+
+    @property
+    def payload(self) -> Any:
+        """The bucket payload, or ``None`` when the reception failed."""
+        return self.bucket.payload if self.ok else None
+
+
+class ClientSession:
+    """One client executing one query against a broadcast program."""
+
+    def __init__(
+        self,
+        program: BroadcastProgram,
+        config: SystemConfig,
+        start_packet: int = 0,
+        error_model: Optional[LinkErrorModel] = None,
+    ) -> None:
+        if start_packet < 0:
+            raise ValueError("start_packet must be non-negative")
+        self.program = program
+        self.config = config
+        self.error_model = error_model if error_model is not None else NO_ERRORS
+        self.start_clock = start_packet
+        self.clock = start_packet
+        self.tuning_packets = 0
+        self.reads_by_kind: Dict[BucketKind, int] = {}
+        self.lost_reads = 0
+        self._probed = False
+
+    # -- channel primitives ----------------------------------------------------
+
+    def initial_probe(self) -> Tuple[int, int]:
+        """Tune in: read the current packet and learn the next bucket boundary.
+
+        Returns ``(bucket_index, unwrapped_start)`` of the first bucket that
+        starts at or after the probe.  The probe itself costs one packet of
+        tuning time (the standard "initial probe" of air indexing).
+        """
+        if not self._probed:
+            self.tuning_packets += 1
+            self.clock += 1
+            self._probed = True
+        return self.program.next_bucket_after(self.clock)
+
+    def peek_next(self) -> Tuple[int, int]:
+        """Next bucket boundary at or after the current clock (no cost)."""
+        return self.program.next_bucket_after(self.clock)
+
+    def read_bucket(self, bucket_index: int, not_before: Optional[int] = None) -> ReadResult:
+        """Doze until the next occurrence of ``bucket_index`` and receive it."""
+        earliest = self.clock if not_before is None else max(self.clock, not_before)
+        start = self.program.next_occurrence(bucket_index, earliest)
+        return self._receive(bucket_index, start)
+
+    def read_next_bucket(
+        self, predicate: Optional[Callable[[Bucket], bool]] = None
+    ) -> ReadResult:
+        """Receive the next bucket on the channel (optionally the next one
+        matching ``predicate``; non-matching buckets are skipped in doze
+        mode at no tuning cost because their boundaries are known from the
+        most recent index information)."""
+        for idx, start in self.program.iter_from(self.clock):
+            bucket = self.program.buckets[idx]
+            if predicate is None or predicate(bucket):
+                return self._receive(idx, start)
+        raise RuntimeError("unreachable: broadcast iteration is infinite")
+
+    def doze_until(self, position: int) -> None:
+        """Advance the clock without receiving anything."""
+        if position > self.clock:
+            self.clock = position
+
+    def _receive(self, bucket_index: int, start: int) -> ReadResult:
+        if start < self.clock:
+            raise RuntimeError(
+                "attempted to read a bucket occurrence that already passed "
+                f"(start={start} < clock={self.clock})"
+            )
+        bucket = self.program.buckets[bucket_index]
+        self.clock = start + bucket.n_packets
+        self.tuning_packets += bucket.n_packets
+        self.reads_by_kind[bucket.kind] = self.reads_by_kind.get(bucket.kind, 0) + 1
+        lost = self.error_model.is_lost(bucket)
+        if lost:
+            self.lost_reads += 1
+        return ReadResult(
+            bucket_index=bucket_index,
+            bucket=bucket,
+            start=start,
+            end=self.clock,
+            ok=not lost,
+        )
+
+    # -- metrics ----------------------------------------------------------------
+
+    @property
+    def latency_packets(self) -> int:
+        """Packets elapsed on the channel since the client tuned in."""
+        return self.clock - self.start_clock
+
+    @property
+    def latency_bytes(self) -> int:
+        return self.latency_packets * self.config.packet_capacity
+
+    @property
+    def tuning_bytes(self) -> int:
+        return self.tuning_packets * self.config.packet_capacity
+
+    def metrics(self) -> "AccessMetrics":
+        return AccessMetrics(
+            latency_bytes=self.latency_bytes,
+            tuning_bytes=self.tuning_bytes,
+            latency_packets=self.latency_packets,
+            tuning_packets=self.tuning_packets,
+            lost_reads=self.lost_reads,
+        )
+
+
+@dataclass(frozen=True)
+class AccessMetrics:
+    """The two paper metrics (plus bookkeeping) for one query execution."""
+
+    latency_bytes: int
+    tuning_bytes: int
+    latency_packets: int
+    tuning_packets: int
+    lost_reads: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tuning_packets > self.latency_packets + 1:
+            # The +1 allows the initial probe packet to straddle a boundary.
+            raise ValueError("tuning time cannot exceed access latency")

@@ -1,0 +1,83 @@
+"""System-wide broadcast parameters (paper Section 4).
+
+The evaluation fixes the following sizes:
+
+* data object: 1024 bytes;
+* two-dimensional coordinate: two 8-byte floats (16 bytes);
+* HC value: 16 bytes (same total size as a coordinate);
+* pointer inside an index table / index node: 2 bytes;
+* packet capacity: varied from 32 to 512 bytes, default 64.
+
+Both access latency and tuning time are reported in *bytes*, obtained by
+multiplying packet counts by the packet capacity, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Immutable bundle of the broadcast system parameters."""
+
+    packet_capacity: int = 64
+    object_size: int = 1024
+    coord_size: int = 16
+    hc_value_size: int = 16
+    pointer_size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.packet_capacity < 8:
+            raise ValueError("packet_capacity must be at least 8 bytes")
+        if self.object_size < 1:
+            raise ValueError("object_size must be positive")
+        for name in ("coord_size", "hc_value_size", "pointer_size"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
+
+    # -- derived sizes -------------------------------------------------------
+
+    @property
+    def dsi_entry_size(self) -> int:
+        """Size of one DSI index-table entry ``<HC', P>``."""
+        return self.hc_value_size + self.pointer_size
+
+    @property
+    def bptree_entry_size(self) -> int:
+        """Size of one B+-tree entry (HC key + pointer), used by HCI."""
+        return self.hc_value_size + self.pointer_size
+
+    @property
+    def rtree_entry_size(self) -> int:
+        """Size of one R-tree entry (an MBR of two coordinates + pointer)."""
+        return 2 * self.coord_size + self.pointer_size
+
+    @property
+    def object_packets(self) -> int:
+        """Packets needed to broadcast one data object."""
+        return self.packets_for(self.object_size)
+
+    def packets_for(self, n_bytes: int) -> int:
+        """Number of packets needed for ``n_bytes`` (at least one)."""
+        if n_bytes <= 0:
+            return 1
+        return math.ceil(n_bytes / self.packet_capacity)
+
+    def bytes_for_packets(self, n_packets: int) -> int:
+        return n_packets * self.packet_capacity
+
+    def with_capacity(self, packet_capacity: int) -> "SystemConfig":
+        """A copy of this configuration with a different packet capacity."""
+        return replace(self, packet_capacity=packet_capacity)
+
+
+#: Packet capacities evaluated in the paper's figures.
+PAPER_PACKET_CAPACITIES = (32, 64, 128, 256, 512)
+
+#: Capacities for which the R-tree can be built (the paper notes the R-tree
+#: cannot fit an MBR entry in a 32-byte packet, so its curves start at 64).
+RTREE_PACKET_CAPACITIES = (64, 128, 256, 512)
+
+DEFAULT_CONFIG = SystemConfig()

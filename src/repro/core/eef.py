@@ -1,0 +1,165 @@
+"""Energy-efficient forwarding (EEF, paper Section 3.2).
+
+EEF is the primitive both query algorithms build on: starting from whatever
+index table the client has most recently read, hop -- through the
+exponentially spaced pointers of the tables encountered along the way --
+until the frame whose HC extent covers a target HC value is reached.  Each
+hop reads exactly one index table; with index base ``r`` the number of hops
+is ``O(log_r nF)``, so EEF behaves like a binary search over the broadcast
+(for ``r = 2``).
+
+The implementation works for both the original (ascending HC) and the
+reorganized broadcast because all comparisons happen in HC-rank space (see
+:mod:`repro.core.knowledge`).
+
+Error resilience: when a table is corrupted the client simply reads the next
+frame's table and carries on -- this is the behaviour the paper credits for
+DSI's resilience, and it is what :func:`read_table` implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+from ..broadcast.client import ClientSession
+from .knowledge import ClientKnowledge
+from .structure import DsiAirView, DsiDirectory, DsiTable
+
+
+@dataclass
+class EefResult:
+    """Outcome of one EEF navigation."""
+
+    frame_pos: int
+    table: DsiTable
+    hops: int
+
+
+def read_table(
+    session: ClientSession,
+    view: DsiAirView,
+    knowledge: ClientKnowledge,
+    frame_pos: int,
+    not_before: Optional[int] = None,
+) -> Tuple[int, DsiTable]:
+    """Read the index table of a frame, recovering from link errors.
+
+    If the requested table is corrupted, the client keeps listening and reads
+    the table of the next frame in broadcast order (paper Section 5: "the
+    client can easily resume the query processing in the next frame").
+    Returns ``(frame_pos_actually_read, table)`` and updates ``knowledge``.
+    """
+    pos = frame_pos % view.n_frames
+    attempts = 0
+    earliest = not_before
+    while True:
+        result = session.read_bucket(view.table_bucket(pos), not_before=earliest)
+        attempts += 1
+        if result.ok:
+            table: DsiTable = result.payload
+            knowledge.learn_table(table)
+            return pos, table
+        if attempts > view.n_frames:
+            raise RuntimeError("unable to read any DSI table: channel fully corrupted")
+        pos = (pos + 1) % view.n_frames
+        earliest = None
+
+
+def read_directory(
+    session: ClientSession,
+    view: DsiAirView,
+    frame_pos: int,
+    knowledge: Optional[ClientKnowledge] = None,
+) -> Optional[DsiDirectory]:
+    """Read a frame's intra-frame directory (None when absent or corrupted).
+
+    A corrupted directory is not retried: the caller falls back to checking
+    the frame's data buckets directly (see :mod:`repro.core.visit`).
+    """
+    bucket = view.directory_bucket(frame_pos)
+    if bucket is None:
+        return None
+    result = session.read_bucket(bucket)
+    if not result.ok:
+        return None
+    directory: DsiDirectory = result.payload
+    if knowledge is not None:
+        knowledge.learn_directory(directory)
+    return directory
+
+
+def energy_efficient_forwarding(
+    session: ClientSession,
+    view: DsiAirView,
+    knowledge: ClientKnowledge,
+    target_hc: int,
+    current_table: DsiTable,
+    max_hops: Optional[int] = None,
+) -> EefResult:
+    """Navigate to the frame whose HC extent covers ``target_hc``.
+
+    ``current_table`` is the most recently read table (EEF never starts
+    cold: the caller performed the initial probe).  The returned table is
+    the covering frame's table, already paid for.
+
+    Values below the global minimum HC are, by convention, covered by the
+    frame of rank 0 (the caller typically clamps its targets, see the
+    window-query implementation).
+    """
+    if max_hops is None:
+        max_hops = 4 * view.n_frames.bit_length() + 2 * view.n_segments + 16
+
+    table = current_table
+    hops = 0
+    visited: Set[int] = {table.frame_pos}
+    while True:
+        rank = knowledge.rank_of_pos(table.frame_pos)
+        covers = table.own_min_hc <= target_hc < table.next_hc_min or (
+            rank == 0 and target_hc < table.own_min_hc
+        )
+        if covers:
+            return EefResult(frame_pos=table.frame_pos, table=table, hops=hops)
+
+        next_pos = _choose_hop(view, knowledge, table, rank, target_hc, visited, hops, max_hops)
+        actual_pos, table = read_table(session, view, knowledge, next_pos)
+        visited.add(actual_pos)
+        hops += 1
+
+
+def _choose_hop(
+    view: DsiAirView,
+    knowledge: ClientKnowledge,
+    table: DsiTable,
+    rank: int,
+    target_hc: int,
+    visited: Set[int],
+    hops: int,
+    max_hops: int,
+) -> int:
+    """Pick the next frame position to read while forwarding to ``target_hc``."""
+    n_frames = view.n_frames
+    if hops < max_hops:
+        # The paper's rule: follow the pointer of the highest-order entry that
+        # does not overshoot the target HC value.  Entries are real frames, so
+        # "does not overshoot" is simply "its minimum HC value <= target".
+        candidates = [
+            e
+            for e in table.entries
+            if e.hc <= target_hc and e.frame_pos not in visited
+        ]
+        if candidates:
+            return max(candidates, key=lambda e: e.hc).frame_pos
+    # Fallback: use accumulated knowledge.  The covering rank is at least the
+    # largest known rank whose minimum is <= target, so stepping there (or one
+    # rank forward when we are already at it) is always safe and makes
+    # progress, guaranteeing termination.
+    lower = knowledge.covering_rank_lower_bound(target_hc)
+    if lower <= rank and table.own_min_hc <= target_hc:
+        next_rank = min(rank + 1, n_frames - 1)
+    else:
+        next_rank = lower
+    next_pos = knowledge.pos_of_rank(next_rank)
+    if next_pos in visited or next_pos == table.frame_pos:
+        next_pos = knowledge.pos_of_rank(min(next_rank + 1, n_frames - 1))
+    return next_pos

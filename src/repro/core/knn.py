@@ -1,0 +1,264 @@
+"""k nearest neighbour queries over DSI (paper Section 3.4 and 3.5).
+
+The search keeps a *search space*: a circle around the query point whose
+radius is the distance to the k-th best candidate known so far.  Candidates
+come from three sources of decreasing uncertainty:
+
+* HC values seen in index tables (``HC'_i`` is the smallest HC value of a
+  real object in the pointed frame), located at the centre of their Hilbert
+  cell;
+* HC values seen in intra-frame directories (every object of a visited
+  frame), also located at cell centres;
+* objects actually downloaded (exact coordinates).
+
+Cell-centre estimates can be off by at most half a cell diagonal, so all
+pruning decisions use ``radius + cell_diagonal`` as a safety margin -- this
+keeps the result provably exact (tested against brute force) while letting
+the search space shrink as aggressively as the paper describes.
+
+Two frame-selection strategies reproduce the paper's variants:
+
+* ``conservative`` -- always go to the *soonest broadcast* frame that may
+  still contain an answer (low latency, more tuning);
+* ``aggressive`` -- always go to the frame *closest to the query point*
+  among those that may still contain an answer (fast convergence of the
+  search space, but skipped frames may cost an extra cycle of latency).
+
+The paper's third variant ("Reorganized") is the conservative strategy run
+over a broadcast built with ``DsiParameters(n_segments=2)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..broadcast.client import AccessMetrics, ClientSession
+from ..spatial.datasets import DataObject
+from ..spatial.geometry import Point
+from ..spatial.hilbert import HCRange
+from .eef import read_directory, read_table
+from .knowledge import ClientKnowledge
+from .structure import DsiAirView, DsiTable
+from .visit import fetch_object
+from .window import read_first_table
+
+KNN_STRATEGIES = ("conservative", "aggressive")
+
+
+@dataclass
+class KnnQueryResult:
+    """Result of one kNN query execution."""
+
+    objects: List[DataObject]          # the k nearest objects, sorted by distance
+    metrics: AccessMetrics
+    frames_visited: int = 0
+    tables_read: int = 0
+    objects_downloaded: int = 0
+    lost_objects: int = 0
+
+    @property
+    def object_ids(self) -> List[int]:
+        return [o.oid for o in self.objects]
+
+
+class _SearchSpace:
+    """Candidate bookkeeping: retrieved objects plus HC-value estimates."""
+
+    def __init__(self, view: DsiAirView, q: Point, k: int) -> None:
+        self.view = view
+        self.q = q
+        self.k = k
+        self.slack = view.curve.cell_diagonal()
+        self.estimates: Dict[int, float] = {}      # hc -> estimated distance
+        self.retrieved: Dict[int, DataObject] = {}  # oid -> object
+        self.exact: Dict[int, float] = {}           # oid -> exact distance
+        self.retrieved_hcs: Set[int] = set()
+        self.lost_objects = 0
+
+    def estimate_distance(self, hc: int) -> float:
+        return self.q.distance_to(self.view.curve.representative_point(hc))
+
+    def add_estimate(self, hc: int) -> None:
+        if hc in self.estimates or hc in self.retrieved_hcs:
+            return
+        self.estimates[hc] = self.estimate_distance(hc)
+
+    def add_object(self, obj: DataObject) -> None:
+        if obj.oid in self.retrieved:
+            return
+        self.retrieved[obj.oid] = obj
+        self.exact[obj.oid] = obj.distance_to(self.q)
+        self.retrieved_hcs.add(obj.hc)
+        # An estimate for the same object (same HC value) would otherwise be
+        # double-counted and shrink the radius below the true k-th distance.
+        self.estimates.pop(obj.hc, None)
+
+    def learn_table(self, table: DsiTable) -> None:
+        self.add_estimate(table.own_min_hc)
+        for entry in table.entries:
+            self.add_estimate(entry.hc)
+
+    def radius(self) -> float:
+        """Distance to the k-th best candidate (inf while fewer than k known)."""
+        dists = sorted(list(self.exact.values()) + list(self.estimates.values()))
+        if len(dists) < self.k:
+            return math.inf
+        return dists[self.k - 1]
+
+    def prune_radius(self) -> float:
+        r = self.radius()
+        return r if math.isinf(r) else r + self.slack
+
+    def best_objects(self) -> List[DataObject]:
+        ranked = sorted(self.retrieved.values(), key=lambda o: (self.exact[o.oid], o.oid))
+        return ranked[: self.k]
+
+
+def knn_query(
+    view: DsiAirView,
+    session: ClientSession,
+    q: Point,
+    k: int,
+    strategy: str = "conservative",
+    max_ranges: int = 64,
+) -> KnnQueryResult:
+    """Execute a kNN query through ``session`` and return the result."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if strategy not in KNN_STRATEGIES:
+        raise ValueError(f"strategy must be one of {KNN_STRATEGIES}")
+
+    curve = view.curve
+    knowledge = ClientKnowledge(view.n_frames, view.n_segments, curve.max_value)
+    space = _SearchSpace(view, q, k)
+    frames_visited = 0
+
+    table = read_first_table(session, view, knowledge)
+    space.learn_table(table)
+    if strategy == "conservative":
+        # The paper's conservative client also examines the frame it tuned
+        # into (its data packets are about to be broadcast anyway).
+        _visit_frame(view, session, knowledge, space, table.frame_pos, table)
+        frames_visited += 1
+
+    safety = 4 * view.n_frames + 256
+    iterations = 0
+    while iterations < safety:
+        iterations += 1
+        needed = _needed_ranks(view, knowledge, space, q, max_ranges)
+        if not needed:
+            break
+        rank = _choose_rank(view, session, knowledge, space, needed, strategy)
+        pos = knowledge.pos_of_rank(rank)
+        actual_pos, table = read_table(session, view, knowledge, pos)
+        space.learn_table(table)
+        _visit_frame(view, session, knowledge, space, actual_pos, table)
+        frames_visited += 1
+
+    return KnnQueryResult(
+        objects=space.best_objects(),
+        metrics=session.metrics(),
+        frames_visited=frames_visited,
+        tables_read=knowledge.tables_read,
+        objects_downloaded=len(space.retrieved),
+        lost_objects=space.lost_objects,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+
+
+def _needed_ranks(
+    view: DsiAirView,
+    knowledge: ClientKnowledge,
+    space: _SearchSpace,
+    q: Point,
+    max_ranges: int,
+) -> List[int]:
+    """Ranks of frames that may still contain a query answer."""
+    r = space.prune_radius()
+    if math.isinf(r):
+        ranges: List[HCRange] = [(0, view.curve.max_value - 1)]
+    else:
+        ranges = view.curve.ranges_for_circle(q, r, max_ranges=max_ranges)
+    return knowledge.candidate_ranks(ranges, skip_examined=True)
+
+
+def _choose_rank(
+    view: DsiAirView,
+    session: ClientSession,
+    knowledge: ClientKnowledge,
+    space: _SearchSpace,
+    needed: List[int],
+    strategy: str,
+) -> int:
+    """Pick the next frame to visit according to the search strategy."""
+
+    def arrival(rank: int) -> int:
+        bucket = view.table_bucket(knowledge.pos_of_rank(rank))
+        return view.program.next_occurrence(bucket, session.clock)
+
+    if strategy == "aggressive" and len(space.retrieved) < space.k:
+        # While the search space is still wide open, jump straight towards the
+        # frame closest to the query point (the paper's aggressive rule); the
+        # skipped frames are revisited later if the converged circle still
+        # needs them, which is where the aggressive approach pays its extra
+        # access latency.  Once k objects are in hand the circle is tight and
+        # the remaining needed frames are simply taken in arrival order.
+        known = [rank for rank in needed if knowledge.known_min_of(rank) is not None]
+        if known:
+            return min(
+                known,
+                key=lambda rank: (
+                    space.estimate_distance(knowledge.known_min_of(rank)),
+                    arrival(rank),
+                ),
+            )
+    return min(needed, key=arrival)
+
+
+def _visit_frame(
+    view: DsiAirView,
+    session: ClientSession,
+    knowledge: ClientKnowledge,
+    space: _SearchSpace,
+    frame_pos: int,
+    table: DsiTable,
+) -> None:
+    """Examine one frame: estimate from its directory, download what qualifies."""
+    directory = read_directory(session, view, frame_pos, knowledge)
+    slots = view.frame_object_buckets(frame_pos)
+
+    if directory is not None:
+        for record in directory.records:
+            space.add_estimate(record.hc)
+        for record in directory.records:
+            if record.oid in space.retrieved:
+                continue
+            if space.estimate_distance(record.hc) <= space.prune_radius():
+                obj = fetch_object(session, view, frame_pos, record.slot)
+                if obj is None:
+                    space.lost_objects += 1
+                else:
+                    space.add_object(obj)
+    elif len(slots) == 1:
+        if space.estimate_distance(table.own_min_hc) <= space.prune_radius():
+            obj = fetch_object(session, view, frame_pos, 0)
+            if obj is None:
+                space.lost_objects += 1
+            else:
+                space.add_object(obj)
+    else:
+        # Directory corrupted: fall back to scanning the frame's data buckets.
+        for slot in range(len(slots)):
+            obj = fetch_object(session, view, frame_pos, slot)
+            if obj is None:
+                space.lost_objects += 1
+            else:
+                space.add_object(obj)
+
+    knowledge.mark_examined(knowledge.rank_of_pos(frame_pos))

@@ -1,0 +1,165 @@
+"""Client-side knowledge accumulated from DSI index tables.
+
+The defining property of DSI is that *every* index table a client happens to
+read contributes usable knowledge about the global object distribution
+(paper Section 3: "multiple search paths are naturally mixed together by
+sharing links").  :class:`ClientKnowledge` is that accumulated state: a
+partial, monotone map from HC rank (the position of a frame in ascending-HC
+order) to the frame's minimum HC value, plus the broadcast-segment
+boundaries.
+
+All reasoning happens in **rank space**.  Because the reorganized broadcast
+interleaves ``m`` equal segments round-robin, the mapping between a frame's
+broadcast position and its HC rank is pure arithmetic (a system constant the
+client knows), so the same code serves the original (``m = 1``) and the
+reorganized broadcast.
+
+Because frame minima are non-decreasing in rank, partial knowledge admits
+exact interval reasoning: for an HC interval ``[lo, hi]`` the frames that
+*may* contain an object of that interval form a contiguous rank interval
+``[A, B]`` where ``A`` is the largest known rank whose minimum is <= ``lo``
+and ``B`` is one less than the smallest known rank whose minimum is > ``hi``
+(see :meth:`ClientKnowledge.rank_interval_for`).  That interval arithmetic
+is what keeps the window and kNN algorithms cheap even for thousands of
+frames.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..spatial.hilbert import HCRange
+from .structure import DsiDirectory, DsiTable
+
+
+class ClientKnowledge:
+    """Partial knowledge of the frame/HC-value distribution."""
+
+    def __init__(self, n_frames: int, n_segments: int, hc_space: int) -> None:
+        if n_frames < 1:
+            raise ValueError("n_frames must be >= 1")
+        if n_segments < 1 or n_frames % n_segments != 0:
+            raise ValueError("n_frames must be a positive multiple of n_segments")
+        self.n_frames = n_frames
+        self.n_segments = n_segments
+        self.hc_space = hc_space          # exclusive upper bound of HC values
+        self.seg_size = n_frames // n_segments
+        # Known (rank, min HC) samples kept sorted by rank; values are
+        # automatically sorted too because frame minima increase with rank.
+        self._ranks: List[int] = []
+        self._values: List[int] = []
+        #: ranks whose objects have been fully examined by the current query
+        self.examined: Set[int] = set()
+        self.tables_read = 0
+
+    # -- position <-> rank arithmetic -------------------------------------------
+
+    def rank_of_pos(self, pos: int) -> int:
+        return (pos % self.n_segments) * self.seg_size + pos // self.n_segments
+
+    def pos_of_rank(self, rank: int) -> int:
+        return (rank % self.seg_size) * self.n_segments + rank // self.seg_size
+
+    # -- learning ----------------------------------------------------------------
+
+    def learn_min(self, rank: int, min_hc: int) -> None:
+        if not (0 <= rank < self.n_frames):
+            return
+        i = bisect.bisect_left(self._ranks, rank)
+        if i < len(self._ranks) and self._ranks[i] == rank:
+            return
+        self._ranks.insert(i, rank)
+        self._values.insert(i, min_hc)
+
+    def learn_table(self, table: DsiTable) -> None:
+        """Absorb everything a DSI index table reveals."""
+        self.tables_read += 1
+        own_rank = self.rank_of_pos(table.frame_pos)
+        self.learn_min(own_rank, table.own_min_hc)
+        if own_rank + 1 < self.n_frames and table.next_hc_min < self.hc_space:
+            self.learn_min(own_rank + 1, table.next_hc_min)
+        for entry in table.entries:
+            self.learn_min(self.rank_of_pos(entry.frame_pos), entry.hc)
+        for seg, boundary in enumerate(table.segment_boundaries):
+            self.learn_min(seg * self.seg_size, boundary)
+
+    def learn_directory(self, directory: DsiDirectory) -> None:
+        rank = self.rank_of_pos(directory.frame_pos)
+        if directory.records:
+            self.learn_min(rank, directory.records[0].hc)
+
+    def mark_examined(self, rank: int) -> None:
+        if 0 <= rank < self.n_frames:
+            self.examined.add(rank)
+
+    # -- queries over knowledge ---------------------------------------------------
+
+    @property
+    def known_count(self) -> int:
+        return len(self._ranks)
+
+    @property
+    def global_min_hc(self) -> Optional[int]:
+        if self._ranks and self._ranks[0] == 0:
+            return self._values[0]
+        return None
+
+    def known_min_of(self, rank: int) -> Optional[int]:
+        i = bisect.bisect_left(self._ranks, rank)
+        if i < len(self._ranks) and self._ranks[i] == rank:
+            return self._values[i]
+        return None
+
+    def covering_rank_lower_bound(self, hc: int) -> int:
+        """Largest rank whose *known* minimum is <= ``hc`` (0 if none).
+
+        Because frame minima increase with rank, the true covering rank of
+        ``hc`` is always >= this bound.
+        """
+        i = bisect.bisect_right(self._values, hc)
+        if i == 0:
+            return 0
+        return self._ranks[i - 1]
+
+    def rank_interval_for(self, lo: int, hi: int) -> Tuple[int, int]:
+        """Inclusive interval ``[A, B]`` of ranks that may intersect ``[lo, hi]``.
+
+        ``A`` is the largest known rank with minimum <= ``lo``;
+        ``B`` is one less than the smallest known rank with minimum > ``hi``.
+        The interval is exact given current knowledge (monotonicity of frame
+        minima): every rank outside it provably cannot hold an object with an
+        HC value inside ``[lo, hi]`` and every rank inside it might.
+        An empty interval is signalled by ``A > B``.
+        """
+        a = self.covering_rank_lower_bound(lo)
+        j = bisect.bisect_right(self._values, hi)
+        b = self._ranks[j] - 1 if j < len(self._ranks) else self.n_frames - 1
+        return a, b
+
+    def may_intersect(self, rank: int, lo: int, hi: int) -> bool:
+        """Whether the frame at ``rank`` may hold an object with HC in [lo, hi]."""
+        a, b = self.rank_interval_for(lo, hi)
+        return a <= rank <= b
+
+    def candidate_ranks(
+        self, ranges: Sequence[HCRange], skip_examined: bool = True
+    ) -> List[int]:
+        """Ranks that may hold objects in any of the HC ``ranges``."""
+        seen: Set[int] = set()
+        out: List[int] = []
+        for lo, hi in ranges:
+            a, b = self.rank_interval_for(lo, hi)
+            for rank in range(a, b + 1):
+                if rank in seen:
+                    continue
+                seen.add(rank)
+                if skip_examined and rank in self.examined:
+                    continue
+                out.append(rank)
+        out.sort()
+        return out
+
+    def known_fraction(self) -> float:
+        """Fraction of frames whose minimum is known (diagnostics/tests)."""
+        return len(self._ranks) / self.n_frames

@@ -1,0 +1,117 @@
+"""Retrieving data objects out of a DSI frame.
+
+Once navigation (EEF) has brought the client to a frame of interest, the
+remaining work is to download the *qualified* objects of that frame while
+dozing through the rest.  With an intra-frame directory the client knows the
+HC value of every object in the frame and can wake up for exactly the right
+data buckets; without one (single-object frames, or a corrupted directory)
+it scans the frame's HC-sorted data buckets in order and stops as soon as
+the values pass the range of interest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..broadcast.client import ClientSession
+from ..spatial.datasets import DataObject
+from ..spatial.hilbert import HCRange, ranges_contain
+from .eef import read_directory
+from .knowledge import ClientKnowledge
+from .structure import DsiAirView, DsiDirectory, DsiTable
+
+
+@dataclass
+class FrameVisit:
+    """Everything retrieved while visiting one frame."""
+
+    frame_pos: int
+    retrieved: List[DataObject] = field(default_factory=list)
+    directory: Optional[DsiDirectory] = None
+    lost_objects: int = 0
+
+
+def fetch_object(
+    session: ClientSession,
+    view: DsiAirView,
+    frame_pos: int,
+    slot: int,
+    retry_on_loss: bool = True,
+) -> Optional[DataObject]:
+    """Download one data object bucket, retrying once on a link error."""
+    bucket = view.object_bucket_in_frame(frame_pos, slot)
+    result = session.read_bucket(bucket)
+    if result.ok:
+        return result.payload
+    if retry_on_loss:
+        result = session.read_bucket(bucket)  # next broadcast cycle
+        if result.ok:
+            return result.payload
+    return None
+
+
+def visit_frame_for_ranges(
+    session: ClientSession,
+    view: DsiAirView,
+    knowledge: ClientKnowledge,
+    frame_pos: int,
+    table: DsiTable,
+    ranges: Sequence[HCRange],
+) -> FrameVisit:
+    """Retrieve from ``frame_pos`` every object whose HC value lies in ``ranges``.
+
+    The frame's objects are fully examined afterwards (the caller may mark
+    the frame's whole extent as processed).
+    """
+    visit = FrameVisit(frame_pos=frame_pos)
+    if not ranges:
+        knowledge.mark_examined(knowledge.rank_of_pos(frame_pos))
+        return visit
+
+    directory = read_directory(session, view, frame_pos, knowledge)
+    visit.directory = directory
+    if directory is not None:
+        for record in directory.records:
+            if not ranges_contain(ranges, record.hc):
+                continue
+            obj = fetch_object(session, view, frame_pos, record.slot)
+            if obj is None:
+                visit.lost_objects += 1
+            else:
+                visit.retrieved.append(obj)
+    else:
+        _scan_frame(session, view, frame_pos, table, ranges, visit)
+
+    knowledge.mark_examined(knowledge.rank_of_pos(frame_pos))
+    return visit
+
+
+def _scan_frame(
+    session: ClientSession,
+    view: DsiAirView,
+    frame_pos: int,
+    table: DsiTable,
+    ranges: Sequence[HCRange],
+    visit: FrameVisit,
+) -> None:
+    """Directory-less fallback: scan the frame's HC-sorted data buckets.
+
+    The first object's HC value is known from the index table, so it is only
+    downloaded when it qualifies; subsequent objects must be received to
+    learn their HC value, and the scan stops once values pass the largest
+    needed HC.
+    """
+    hi_needed = max(hi for _, hi in ranges)
+    slots = view.frame_object_buckets(frame_pos)
+    for slot in range(len(slots)):
+        if slot == 0 and len(slots) > 1 and not ranges_contain(ranges, table.own_min_hc):
+            continue
+        obj = fetch_object(session, view, frame_pos, slot)
+        if obj is None:
+            visit.lost_objects += 1
+            continue
+        if ranges_contain(ranges, obj.hc):
+            visit.retrieved.append(obj)
+        if obj.hc > hi_needed:
+            break

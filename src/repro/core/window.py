@@ -1,0 +1,157 @@
+"""Window queries over DSI (paper Section 3.3, Algorithm 1).
+
+A window query returns every data object inside a rectangular query window.
+The client
+
+1. computes the *target segment set* ``H``: a conservative cover of the
+   window by contiguous HC ranges;
+2. reads the first index table it encounters after tuning in;
+3. repeatedly moves to the next frame that may still hold objects of ``H``
+   (using the accumulated knowledge from every index table read so far to
+   doze through frames that provably cannot), downloads the qualified
+   objects of that frame and removes the frame's HC extent from ``H``;
+4. terminates when ``H`` is empty.
+
+Step 3 is the arrival-ordered equivalent of the paper's "follow the first
+pointer whose HC range overlaps a target segment, then invoke EEF": the
+client always wakes up for the earliest index table that can still matter,
+and the exponentially spaced entries of each table it reads prune the frames
+in between exactly like energy-efficient forwarding does.  Formulating it in
+arrival order makes the very same code correct for the reorganized broadcast
+(``m > 1``), where HC order and broadcast order differ.
+
+Retrieved objects are finally filtered against the exact window, so the
+conservativeness of the HC cover never affects correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..broadcast.client import AccessMetrics, ClientSession
+from ..broadcast.program import BucketKind
+from ..spatial.datasets import DataObject
+from ..spatial.geometry import Rect
+from ..spatial.hilbert import HCRange, subtract_range
+from .eef import read_table
+from .knowledge import ClientKnowledge
+from .structure import DsiAirView, DsiTable
+from .visit import visit_frame_for_ranges
+
+
+@dataclass
+class WindowQueryResult:
+    """Result of one window query execution."""
+
+    objects: List[DataObject]
+    metrics: AccessMetrics
+    frames_visited: int = 0
+    tables_read: int = 0
+    lost_objects: int = 0
+
+    @property
+    def object_ids(self) -> List[int]:
+        return sorted(o.oid for o in self.objects)
+
+
+def read_first_table(
+    session: ClientSession, view: DsiAirView, knowledge: ClientKnowledge
+) -> DsiTable:
+    """Initial probe: read the first index table broadcast after tune-in."""
+    session.initial_probe()
+    attempts = 0
+    while True:
+        result = session.read_next_bucket(lambda b: b.kind is BucketKind.DSI_TABLE)
+        attempts += 1
+        if result.ok:
+            table: DsiTable = result.payload
+            knowledge.learn_table(table)
+            return table
+        if attempts > view.n_frames + 1:
+            raise RuntimeError("unable to read any DSI table: channel fully corrupted")
+
+
+def window_query(
+    view: DsiAirView,
+    session: ClientSession,
+    window: Rect,
+    max_ranges: int = 96,
+    max_depth: Optional[int] = None,
+) -> WindowQueryResult:
+    """Execute a window query through ``session`` and return the result."""
+    curve = view.curve
+    if max_depth is None:
+        max_depth = min(curve.order, 10)
+    cover: List[HCRange] = curve.ranges_for_rect(window, max_ranges=max_ranges, max_depth=max_depth)
+
+    knowledge = ClientKnowledge(view.n_frames, view.n_segments, curve.max_value)
+    retrieved: List[DataObject] = []
+    frames_visited = 0
+    lost_objects = 0
+
+    table = read_first_table(session, view, knowledge)
+
+    # HC values below the global minimum belong to no frame; clamp the cover
+    # so that the extent-clearing logic below can terminate.
+    global_min = table.segment_boundaries[0]
+    pending: List[HCRange] = [
+        (max(lo, global_min), hi) for lo, hi in cover if hi >= global_min
+    ]
+
+    def frame_extent(frame_table: DsiTable) -> Tuple[int, int]:
+        rank = knowledge.rank_of_pos(frame_table.frame_pos)
+        lo = 0 if rank == 0 else frame_table.own_min_hc
+        return lo, frame_table.next_hc_min - 1
+
+    def overlaps_pending(frame_table: DsiTable) -> bool:
+        lo, hi = frame_extent(frame_table)
+        return any(not (r_hi < lo or r_lo > hi) for r_lo, r_hi in pending)
+
+    def process(frame_table: DsiTable) -> None:
+        nonlocal pending, frames_visited, lost_objects
+        visit = visit_frame_for_ranges(
+            session, view, knowledge, frame_table.frame_pos, frame_table, pending
+        )
+        frames_visited += 1
+        retrieved.extend(visit.retrieved)
+        lost_objects += visit.lost_objects
+        lo, hi = frame_extent(frame_table)
+        pending = subtract_range(pending, lo, hi)
+
+    # Opportunistically process the frame we tuned into when it is relevant.
+    if pending and overlaps_pending(table):
+        process(table)
+
+    safety = 8 * view.n_frames + 64
+    iterations = 0
+    while pending and iterations < safety:
+        iterations += 1
+        candidates = knowledge.candidate_ranks(pending, skip_examined=True)
+        if not candidates:
+            break
+        rank = min(candidates, key=lambda r: _table_arrival(view, session, knowledge, r))
+        _pos, table = read_table(session, view, knowledge, knowledge.pos_of_rank(rank))
+        if overlaps_pending(table):
+            process(table)
+        else:
+            # The table alone proved the frame irrelevant -- knowledge gained,
+            # no directory or data packets received.
+            knowledge.mark_examined(knowledge.rank_of_pos(table.frame_pos))
+
+    objects = [o for o in retrieved if window.contains_point(o.point)]
+    return WindowQueryResult(
+        objects=objects,
+        metrics=session.metrics(),
+        frames_visited=frames_visited,
+        tables_read=knowledge.tables_read,
+        lost_objects=lost_objects,
+    )
+
+
+def _table_arrival(
+    view: DsiAirView, session: ClientSession, knowledge: ClientKnowledge, rank: int
+) -> int:
+    """Unwrapped arrival time of the index table of the frame at ``rank``."""
+    bucket = view.table_bucket(knowledge.pos_of_rank(rank))
+    return view.program.next_occurrence(bucket, session.clock)

@@ -1,0 +1,6 @@
+"""The Hilbert Curve Index baseline (B+-tree over HC values, on air)."""
+
+from .bptree import bptree_fanout, build_bptree, node_interval
+from .air import HciAirIndex
+
+__all__ = ["bptree_fanout", "build_bptree", "node_interval", "HciAirIndex"]

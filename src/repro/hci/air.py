@@ -1,0 +1,245 @@
+"""The Hilbert Curve Index (HCI) baseline on air.
+
+HCI broadcasts objects in ascending HC order and indexes them with a
+B+-tree over HC values (paper Section 2.2, [18]), organised on the channel
+with the distributed indexing scheme.  Queries are mapped to HC intervals:
+
+* a **window query** becomes the conservative HC-range cover of the window
+  (the same target segments DSI uses) followed by B+-tree range lookups;
+* a **kNN query** runs in two phases, following the HCI design: first the
+  objects nearest to the query point *along the curve* are located through
+  the tree, which yields a provably sufficient search radius; then a window
+  query over the bounding box of that circle retrieves the candidates and
+  the k nearest by exact distance are returned.
+
+Both phases must follow the broadcast order of the tree nodes, so a kNN
+query typically spans more than one broadcast cycle -- the effect the
+paper's Figure 11 shows as HCI's large access latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..broadcast.client import ClientSession
+from ..broadcast.config import SystemConfig
+from ..broadcast.program import BucketKind
+from ..broadcast.treeair import AirTreeNode, TreeOnAir
+from ..rtree.air import TreeQueryResult
+from ..spatial.datasets import DataObject, SpatialDataset
+from ..spatial.geometry import Point, Rect, circle_bounding_rect
+from ..spatial.hilbert import HCRange, ranges_contain
+from .bptree import bptree_fanout, build_bptree
+
+HCInterval = Tuple[int, int]
+
+
+def _intersects_any(interval: HCInterval, ranges: Sequence[HCRange]) -> bool:
+    lo, hi = interval
+    return any(not (hi < rlo or lo > rhi) for rlo, rhi in ranges)
+
+
+class HciAirIndex:
+    """Hilbert Curve Index over the broadcast channel (the paper's "HCI")."""
+
+    name = "HCI"
+
+    def __init__(
+        self,
+        dataset: SpatialDataset,
+        config: SystemConfig,
+        replication_levels: int = 1,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.curve = dataset.curve
+        fanout = bptree_fanout(config.packet_capacity, config.bptree_entry_size)
+        nodes, root_id, hc_order = build_bptree(dataset, fanout)
+        self.fanout = fanout
+        self.air = TreeOnAir(
+            nodes,
+            root_id,
+            hc_order,
+            config,
+            entry_size=config.bptree_entry_size,
+            replication_levels=replication_levels,
+            name=f"hci-{dataset.name}",
+        )
+
+    @property
+    def program(self):
+        return self.air.program
+
+    def describe(self) -> Dict[str, object]:
+        info = self.air.describe()
+        info.update({"index": self.name, "fanout": self.fanout, "n_objects": len(self.dataset)})
+        return info
+
+    # -- window query -----------------------------------------------------------
+
+    def window_query(self, window: Rect, session: ClientSession) -> TreeQueryResult:
+        cover = self.curve.ranges_for_rect(window, max_ranges=96, max_depth=min(self.curve.order, 10))
+        session.initial_probe()
+        retrieved, nodes_read, objects_read = self._range_sweep(
+            session, cover, collect_data=True
+        )
+        objects = [o for o in retrieved if window.contains_point(o.point)]
+        return TreeQueryResult(
+            objects=objects,
+            metrics=session.metrics(),
+            nodes_read=nodes_read,
+            objects_read=objects_read,
+        )
+
+    # -- kNN query ----------------------------------------------------------------
+
+    def knn_query(self, q: Point, k: int, session: ClientSession) -> TreeQueryResult:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        session.initial_probe()
+        nodes_read_total = 0
+        objects_read_total = 0
+
+        # Phase 1: locate the objects nearest to q along the curve and derive
+        # a provably sufficient search radius from their (cell-centre)
+        # positions.  The HC window is widened until it holds >= k objects.
+        hc_q = self.curve.value_of(q)
+        expected_gap = max(1, self.curve.max_value // max(1, len(self.dataset)))
+        width = max(1, 2 * k * expected_gap)
+        candidate_hcs: List[int] = []
+        for _attempt in range(8):
+            lo = max(0, hc_q - width)
+            hi = min(self.curve.max_value - 1, hc_q + width)
+            entries, nodes_read = self._leaf_entry_sweep(session, [(lo, hi)])
+            nodes_read_total += nodes_read
+            candidate_hcs = entries
+            if len(candidate_hcs) >= k or (lo == 0 and hi == self.curve.max_value - 1):
+                break
+            width *= 4
+
+        slack = self.curve.cell_diagonal()
+        if candidate_hcs:
+            dists = sorted(
+                q.distance_to(self.curve.representative_point(hc)) for hc in candidate_hcs
+            )
+            kth = dists[min(k, len(dists)) - 1]
+            radius = kth + slack
+            if len(candidate_hcs) < k:
+                radius = max(radius, 1.5)  # degenerate tiny datasets: search everything
+        else:
+            radius = 1.5  # the whole unit space
+
+        # Phase 2: a window query over the search circle's bounding box.
+        box = circle_bounding_rect(q, radius)
+        cover = self.curve.ranges_for_rect(box, max_ranges=96, max_depth=min(self.curve.order, 10))
+        retrieved, nodes_read, objects_read = self._range_sweep(session, cover, collect_data=True)
+        nodes_read_total += nodes_read
+        objects_read_total += objects_read
+
+        ranked = sorted(retrieved, key=lambda o: (o.distance_to(q), o.oid))[:k]
+        return TreeQueryResult(
+            objects=ranked,
+            metrics=session.metrics(),
+            nodes_read=nodes_read_total,
+            objects_read=objects_read_total,
+        )
+
+    # -- shared sweeps -------------------------------------------------------------
+
+    def _range_sweep(
+        self, session: ClientSession, ranges: Sequence[HCRange], collect_data: bool
+    ) -> Tuple[List[DataObject], int, int]:
+        """Traverse the tree for every HC range, retrieving matching objects."""
+        if not ranges:
+            return [], 0, 0
+        root = self.air.read_node(session, self.air.root_id)
+        nodes_read = 1
+        objects_read = 0
+        retrieved: List[DataObject] = []
+        pending_nodes: Set[int] = set()
+        pending_objects: Set[int] = set()
+        self._expand(root, ranges, pending_nodes, pending_objects)
+
+        guard = 64 * len(self.program) + 256
+        steps = 0
+        for idx, _start in self.program.iter_from(session.clock):
+            if not pending_nodes and not (collect_data and pending_objects):
+                break
+            steps += 1
+            if steps > guard:
+                break
+            bucket = self.program.buckets[idx]
+            if bucket.kind in (BucketKind.TREE_NODE, BucketKind.CONTROL):
+                node_id = bucket.meta["node_id"]
+                if node_id not in pending_nodes:
+                    continue
+                result = session.read_bucket(idx)
+                if not result.ok:
+                    continue
+                pending_nodes.discard(node_id)
+                nodes_read += 1
+                self._expand(result.payload, ranges, pending_nodes, pending_objects)
+            elif collect_data and bucket.kind is BucketKind.DATA:
+                oid = bucket.meta["oid"]
+                if oid not in pending_objects:
+                    continue
+                result = session.read_bucket(idx)
+                if not result.ok:
+                    continue
+                pending_objects.discard(oid)
+                objects_read += 1
+                retrieved.append(result.payload)
+        return retrieved, nodes_read, objects_read
+
+    def _leaf_entry_sweep(
+        self, session: ClientSession, ranges: Sequence[HCRange]
+    ) -> Tuple[List[int], int]:
+        """Traverse the tree for the ranges but collect only leaf-entry HC values."""
+        root = self.air.read_node(session, self.air.root_id)
+        nodes_read = 1
+        found: List[int] = []
+        pending_nodes: Set[int] = set()
+        sink: Set[int] = set()
+        self._expand(root, ranges, pending_nodes, sink, found)
+
+        guard = 64 * len(self.program) + 256
+        steps = 0
+        for idx, _start in self.program.iter_from(session.clock):
+            if not pending_nodes:
+                break
+            steps += 1
+            if steps > guard:
+                break
+            bucket = self.program.buckets[idx]
+            if bucket.kind not in (BucketKind.TREE_NODE, BucketKind.CONTROL):
+                continue
+            node_id = bucket.meta["node_id"]
+            if node_id not in pending_nodes:
+                continue
+            result = session.read_bucket(idx)
+            if not result.ok:
+                continue
+            pending_nodes.discard(node_id)
+            nodes_read += 1
+            self._expand(result.payload, ranges, pending_nodes, sink, found)
+        return found, nodes_read
+
+    def _expand(
+        self,
+        node: AirTreeNode,
+        ranges: Sequence[HCRange],
+        pending_nodes: Set[int],
+        pending_objects: Set[int],
+        found_hcs: Optional[List[int]] = None,
+    ) -> None:
+        for entry in node.entries:
+            if not _intersects_any(entry.key, ranges):
+                continue
+            if entry.is_leaf_entry:
+                if found_hcs is not None:
+                    found_hcs.append(entry.key[0])
+                else:
+                    pending_objects.add(entry.oid)
+            else:
+                pending_nodes.add(entry.child)

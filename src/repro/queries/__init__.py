@@ -1,0 +1,18 @@
+"""Query types, workload generators and brute-force ground truth."""
+
+from .types import KnnQuery, Query, WindowQuery
+from .workload import Trial, Workload, knn_workload, mixed_workload, window_workload
+from .ground_truth import answer, matches
+
+__all__ = [
+    "WindowQuery",
+    "KnnQuery",
+    "Query",
+    "Trial",
+    "Workload",
+    "window_workload",
+    "knn_workload",
+    "mixed_workload",
+    "answer",
+    "matches",
+]

@@ -1,0 +1,35 @@
+"""Brute-force reference answers used by tests and result verification."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..spatial.datasets import DataObject, SpatialDataset
+from .types import KnnQuery, Query, WindowQuery
+
+
+def answer(dataset: SpatialDataset, query: Query) -> List[DataObject]:
+    """Exact answer of a query computed by exhaustive scan."""
+    if isinstance(query, WindowQuery):
+        return dataset.objects_in_window(query.window)
+    if isinstance(query, KnnQuery):
+        return dataset.k_nearest(query.point, query.k)
+    raise TypeError(f"unsupported query type: {type(query)!r}")
+
+
+def matches(dataset: SpatialDataset, query: Query, result: Sequence[DataObject]) -> bool:
+    """Whether an index's result is correct.
+
+    Window queries must return exactly the objects in the window.  kNN
+    queries must return ``k`` objects whose distances match the true k
+    nearest distances (ties between equidistant objects are accepted in
+    either direction).
+    """
+    truth = answer(dataset, query)
+    if isinstance(query, WindowQuery):
+        return sorted(o.oid for o in result) == sorted(o.oid for o in truth)
+    truth_dists = sorted(o.distance_to(query.point) for o in truth)
+    result_dists = sorted(o.distance_to(query.point) for o in result)
+    if len(truth_dists) != len(result_dists):
+        return False
+    return all(abs(a - b) < 1e-9 for a, b in zip(truth_dists, result_dists))

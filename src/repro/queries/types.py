@@ -1,0 +1,46 @@
+"""Query objects shared by the workload generator, the runner and the tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..spatial.geometry import Point, Rect
+
+
+@dataclass(frozen=True)
+class WindowQuery:
+    """A window query: all objects inside ``window``.
+
+    ``win_side_ratio`` (the paper's ``WinSideRatio``) is kept for reporting:
+    it is the query window's side length divided by the side length of the
+    whole search space.
+    """
+
+    window: Rect
+    win_side_ratio: Optional[float] = None
+
+    @classmethod
+    def centered(cls, center: Point, win_side_ratio: float) -> "WindowQuery":
+        if win_side_ratio <= 0:
+            raise ValueError("win_side_ratio must be positive")
+        half = win_side_ratio / 2.0
+        return cls(
+            window=Rect.from_center(center, half).clipped_to_unit(),
+            win_side_ratio=win_side_ratio,
+        )
+
+
+@dataclass(frozen=True)
+class KnnQuery:
+    """A k-nearest-neighbour query around ``point``."""
+
+    point: Point
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+
+
+Query = Union[WindowQuery, KnnQuery]

@@ -1,0 +1,102 @@
+"""Random query workloads matching the paper's evaluation setup.
+
+The paper issues queries from clients at random positions; window queries
+use a ``WinSideRatio`` (default 0.1) and kNN queries vary ``k`` between 1
+and 30.  A workload also fixes each query's *tune-in position* on the
+broadcast channel so that the same physical situation can be replayed
+against every index being compared (paired trials).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..spatial.geometry import Point
+from .types import KnnQuery, Query, WindowQuery
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One query plus the (relative) channel position where the client tunes in."""
+
+    query: Query
+    tune_in_fraction: float  # position within the cycle, in [0, 1)
+
+
+@dataclass
+class Workload:
+    """A reproducible list of trials."""
+
+    name: str
+    trials: List[Trial] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def __iter__(self):
+        return iter(self.trials)
+
+
+def window_workload(
+    n_queries: int = 100,
+    win_side_ratio: float = 0.1,
+    seed: int = 42,
+    name: str = "window",
+) -> Workload:
+    """Window queries with random centres (paper default ratio 0.1)."""
+    if n_queries < 1:
+        raise ValueError("n_queries must be >= 1")
+    rng = np.random.default_rng(seed)
+    trials = []
+    for _ in range(n_queries):
+        cx, cy = rng.random(2)
+        trials.append(
+            Trial(
+                query=WindowQuery.centered(Point(float(cx), float(cy)), win_side_ratio),
+                tune_in_fraction=float(rng.random()),
+            )
+        )
+    return Workload(name=f"{name}-r{win_side_ratio}", trials=trials)
+
+
+def knn_workload(
+    n_queries: int = 100,
+    k: int = 10,
+    seed: int = 42,
+    name: str = "knn",
+) -> Workload:
+    """kNN queries at random query points."""
+    if n_queries < 1:
+        raise ValueError("n_queries must be >= 1")
+    rng = np.random.default_rng(seed)
+    trials = []
+    for _ in range(n_queries):
+        qx, qy = rng.random(2)
+        trials.append(
+            Trial(
+                query=KnnQuery(point=Point(float(qx), float(qy)), k=k),
+                tune_in_fraction=float(rng.random()),
+            )
+        )
+    return Workload(name=f"{name}-k{k}", trials=trials)
+
+
+def mixed_workload(
+    n_queries: int = 100,
+    win_side_ratio: float = 0.1,
+    k: int = 10,
+    seed: int = 42,
+) -> Workload:
+    """Alternating window and kNN queries (used by examples and tests)."""
+    win = window_workload(n_queries=(n_queries + 1) // 2, win_side_ratio=win_side_ratio, seed=seed)
+    knn = knn_workload(n_queries=n_queries // 2, k=k, seed=seed + 1)
+    trials: List[Trial] = []
+    for i in range(max(len(win), len(knn))):
+        if i < len(win.trials):
+            trials.append(win.trials[i])
+        if i < len(knn.trials):
+            trials.append(knn.trials[i])
+    return Workload(name=f"mixed-r{win_side_ratio}-k{k}", trials=trials[:n_queries])

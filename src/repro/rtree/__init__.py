@@ -1,0 +1,12 @@
+"""The R-tree baseline (STR bulk-loaded, broadcast with distributed indexing)."""
+
+from .str_pack import build_str_rtree, node_mbr, rtree_fanout
+from .air import RTreeAirIndex, TreeQueryResult
+
+__all__ = [
+    "build_str_rtree",
+    "node_mbr",
+    "rtree_fanout",
+    "RTreeAirIndex",
+    "TreeQueryResult",
+]

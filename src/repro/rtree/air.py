@@ -1,0 +1,273 @@
+"""The R-tree baseline: STR-packed R-tree broadcast on air.
+
+The search algorithms must follow the broadcast order of the index nodes
+(paper Section 2.1, Figure 1): a node that has already passed is only
+available again in the next cycle.  Both queries therefore run as a *sweep*
+over the channel: the client keeps a pending set of node/object buckets it
+still needs, dozes through everything else, and reads pending buckets as
+they arrive -- exactly the "navigation order must follow broadcast order"
+discipline the paper describes, with the resulting extra latency whenever a
+needed subtree has already gone by.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..broadcast.client import AccessMetrics, ClientSession
+from ..broadcast.config import SystemConfig
+from ..broadcast.program import BucketKind
+from ..broadcast.treeair import AirTreeNode, TreeOnAir
+from ..spatial.datasets import DataObject, SpatialDataset
+from ..spatial.geometry import Point, Rect
+from .str_pack import build_str_rtree, rtree_fanout
+
+
+@dataclass
+class TreeQueryResult:
+    """Result of a window/kNN query over a tree-based air index."""
+
+    objects: List[DataObject]
+    metrics: AccessMetrics
+    nodes_read: int = 0
+    objects_read: int = 0
+
+    @property
+    def object_ids(self) -> List[int]:
+        return sorted(o.oid for o in self.objects)
+
+    @property
+    def ranked_ids(self) -> List[int]:
+        return [o.oid for o in self.objects]
+
+
+class RTreeAirIndex:
+    """STR R-tree over the broadcast channel (the paper's "R-tree" curves)."""
+
+    name = "R-tree"
+
+    def __init__(
+        self,
+        dataset: SpatialDataset,
+        config: SystemConfig,
+        replication_levels: int = 1,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config
+        fanout = rtree_fanout(config.packet_capacity, config.rtree_entry_size)
+        nodes, root_id, leaf_order = build_str_rtree(dataset, fanout)
+        self.fanout = fanout
+        self.air = TreeOnAir(
+            nodes,
+            root_id,
+            leaf_order,
+            config,
+            entry_size=config.rtree_entry_size,
+            replication_levels=replication_levels,
+            name=f"rtree-{dataset.name}",
+        )
+
+    @property
+    def program(self):
+        return self.air.program
+
+    def describe(self) -> Dict[str, object]:
+        info = self.air.describe()
+        info.update({"index": self.name, "fanout": self.fanout, "n_objects": len(self.dataset)})
+        return info
+
+    # -- window query -----------------------------------------------------------
+
+    def window_query(self, window: Rect, session: ClientSession) -> TreeQueryResult:
+        session.initial_probe()
+        root = self.air.read_node(session, self.air.root_id)
+        nodes_read = 1
+        objects_read = 0
+        retrieved: List[DataObject] = []
+
+        pending_nodes: Set[int] = set()
+        pending_objects: Set[int] = set()
+        self._expand_window(root, window, pending_nodes, pending_objects)
+
+        guard = 64 * len(self.program) + 256
+        steps = 0
+        for idx, _start in self.program.iter_from(session.clock):
+            if not pending_nodes and not pending_objects:
+                break
+            steps += 1
+            if steps > guard:
+                break
+            bucket = self.program.buckets[idx]
+            if bucket.kind in (BucketKind.TREE_NODE, BucketKind.CONTROL):
+                node_id = bucket.meta["node_id"]
+                if node_id not in pending_nodes:
+                    continue
+                result = session.read_bucket(idx)
+                if not result.ok:
+                    continue  # wait for the node's next copy (tree recovery rule)
+                pending_nodes.discard(node_id)
+                nodes_read += 1
+                self._expand_window(result.payload, window, pending_nodes, pending_objects)
+            elif bucket.kind is BucketKind.DATA:
+                oid = bucket.meta["oid"]
+                if oid not in pending_objects:
+                    continue
+                result = session.read_bucket(idx)
+                if not result.ok:
+                    continue
+                pending_objects.discard(oid)
+                objects_read += 1
+                retrieved.append(result.payload)
+
+        objects = [o for o in retrieved if window.contains_point(o.point)]
+        return TreeQueryResult(
+            objects=objects,
+            metrics=session.metrics(),
+            nodes_read=nodes_read,
+            objects_read=objects_read,
+        )
+
+    @staticmethod
+    def _expand_window(
+        node: AirTreeNode, window: Rect, pending_nodes: Set[int], pending_objects: Set[int]
+    ) -> None:
+        for entry in node.entries:
+            if not entry.key.intersects(window):
+                continue
+            if entry.is_leaf_entry:
+                pending_objects.add(entry.oid)
+            else:
+                pending_nodes.add(entry.child)
+
+    # -- kNN query ----------------------------------------------------------------
+
+    def knn_query(self, q: Point, k: int, session: ClientSession) -> TreeQueryResult:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        session.initial_probe()
+        root = self.air.read_node(session, self.air.root_id)
+        state = _KnnSweepState(q=q, k=k)
+        state.expand(root)
+        nodes_read = 1
+
+        guard = 64 * len(self.program) + 256
+        steps = 0
+        for idx, _start in self.program.iter_from(session.clock):
+            if state.finished():
+                break
+            steps += 1
+            if steps > guard:
+                break
+            bucket = self.program.buckets[idx]
+            if bucket.kind in (BucketKind.TREE_NODE, BucketKind.CONTROL):
+                node_id = bucket.meta["node_id"]
+                mindist = state.pending_nodes.get(node_id)
+                if mindist is None:
+                    continue
+                if mindist > state.bound():
+                    del state.pending_nodes[node_id]
+                    continue
+                result = session.read_bucket(idx)
+                if not result.ok:
+                    continue
+                del state.pending_nodes[node_id]
+                nodes_read += 1
+                state.expand(result.payload)
+            elif bucket.kind is BucketKind.DATA:
+                oid = bucket.meta["oid"]
+                dist = state.pending_data.get(oid)
+                if dist is None:
+                    continue
+                if dist > state.bound():
+                    del state.pending_data[oid]
+                    continue
+                result = session.read_bucket(idx)
+                if not result.ok:
+                    continue
+                del state.pending_data[oid]
+                state.downloaded[oid] = result.payload
+
+        # Any of the final k answers not downloaded yet must still be fetched
+        # (possibly waiting for the next cycle): the query is not satisfied
+        # until the data objects themselves have been received.
+        for dist, oid in state.best_k():
+            if oid not in state.downloaded:
+                obj = self.air.read_object(session, oid)
+                if obj is not None:
+                    state.downloaded[oid] = obj
+
+        ranked = [state.downloaded[oid] for _d, oid in state.best_k() if oid in state.downloaded]
+        return TreeQueryResult(
+            objects=ranked,
+            metrics=session.metrics(),
+            nodes_read=nodes_read,
+            objects_read=len(state.downloaded),
+        )
+
+
+@dataclass
+class _KnnSweepState:
+    """Bookkeeping of the on-air branch-and-bound kNN sweep."""
+
+    q: Point
+    k: int
+    pending_nodes: Dict[int, float] = field(default_factory=dict)   # node id -> mindist
+    pending_data: Dict[int, float] = field(default_factory=dict)    # oid -> exact distance
+    downloaded: Dict[int, DataObject] = field(default_factory=dict)
+    # Sorted list of (guaranteed distance, tag) upper bounds: a leaf entry
+    # guarantees an object at its exact distance, an index entry guarantees
+    # at least one object within MAXDIST of its MBR.  Each bound must stand
+    # for a *distinct* object, so the bound contributed by an index entry is
+    # retired as soon as the node it points to is expanded (its descendants
+    # then contribute their own bounds).
+    _upper: List[Tuple[float, int]] = field(default_factory=list)
+    _upper_by_tag: Dict[int, float] = field(default_factory=dict)
+    # Sorted list of exact candidate distances (dist, oid) from leaf entries.
+    _candidates: List[Tuple[float, int]] = field(default_factory=list)
+
+    def bound(self) -> float:
+        """Upper bound of the k-th nearest neighbour distance."""
+        if len(self._upper) < self.k:
+            return float("inf")
+        return self._upper[self.k - 1][0]
+
+    def _add_bound(self, value: float, tag: int) -> None:
+        self._upper_by_tag[tag] = value
+        bisect.insort(self._upper, (value, tag))
+
+    def _retire_bound(self, tag: int) -> None:
+        value = self._upper_by_tag.pop(tag, None)
+        if value is not None:
+            i = bisect.bisect_left(self._upper, (value, tag))
+            if i < len(self._upper) and self._upper[i] == (value, tag):
+                del self._upper[i]
+
+    def expand(self, node: AirTreeNode) -> None:
+        # The bound that stood for "some object below this node" is replaced
+        # by the bounds of the node's own entries.
+        self._retire_bound(-1 - node.node_id)
+        for entry in node.entries:
+            if entry.is_leaf_entry:
+                dist = entry.key.mindist(self.q)  # point MBR: exact distance
+                self._add_bound(dist, entry.oid)
+                bisect.insort(self._candidates, (dist, entry.oid))
+                if dist <= self.bound():
+                    self.pending_data[entry.oid] = dist
+            else:
+                mindist = entry.key.mindist(self.q)
+                maxdist = entry.key.maxdist(self.q)
+                self._add_bound(maxdist, -1 - entry.child)
+                if mindist <= self.bound():
+                    self.pending_nodes[entry.child] = mindist
+
+    def best_k(self) -> List[Tuple[float, int]]:
+        return self._candidates[: self.k]
+
+    def finished(self) -> bool:
+        bound = self.bound()
+        if any(d <= bound for d in self.pending_nodes.values()):
+            return False
+        best = self._candidates[: self.k]
+        return all(oid in self.downloaded for _d, oid in best)

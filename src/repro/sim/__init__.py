@@ -1,0 +1,41 @@
+"""Simulation harness: experiment runner, sweeps and reporting."""
+
+from .metrics import ExperimentResult, MetricSummary, deterioration
+from .runner import (
+    INDEX_NAMES,
+    IndexSpec,
+    build_index,
+    compare_indexes,
+    default_specs,
+    run_workload,
+)
+from .sweep import (
+    knn_capacity_sweep,
+    knn_k_sweep,
+    link_error_table,
+    reorganization_sweep,
+    window_capacity_sweep,
+    window_ratio_sweep,
+)
+from .report import figure_report, format_table, pivot_metric
+
+__all__ = [
+    "ExperimentResult",
+    "MetricSummary",
+    "deterioration",
+    "IndexSpec",
+    "INDEX_NAMES",
+    "build_index",
+    "run_workload",
+    "compare_indexes",
+    "default_specs",
+    "reorganization_sweep",
+    "window_capacity_sweep",
+    "window_ratio_sweep",
+    "knn_capacity_sweep",
+    "knn_k_sweep",
+    "link_error_table",
+    "figure_report",
+    "format_table",
+    "pivot_metric",
+]

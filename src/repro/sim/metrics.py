@@ -1,0 +1,117 @@
+"""Aggregation of per-trial access metrics into experiment statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..broadcast.client import AccessMetrics
+
+
+@dataclass
+class MetricSummary:
+    """Mean/percentile summary of one metric across trials (in bytes)."""
+
+    values: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else math.nan
+
+    def percentile(self, q: float) -> float:
+        if not self.values:
+            return math.nan
+        if not (0.0 <= q <= 100.0):
+            raise ValueError("q must be within [0, 100]")
+        ordered = sorted(self.values)
+        pos = (len(ordered) - 1) * q / 100.0
+        lower = int(math.floor(pos))
+        upper = int(math.ceil(pos))
+        if lower == upper:
+            return ordered[lower]
+        frac = pos - lower
+        return ordered[lower] * (1 - frac) + ordered[upper] * frac
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated outcome of running one workload against one index."""
+
+    index_name: str
+    workload_name: str
+    latency: MetricSummary = field(default_factory=MetricSummary)
+    tuning: MetricSummary = field(default_factory=MetricSummary)
+    correct_trials: int = 0
+    incorrect_trials: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def record(self, metrics: AccessMetrics, correct: Optional[bool] = None) -> None:
+        self.latency.add(metrics.latency_bytes)
+        self.tuning.add(metrics.tuning_bytes)
+        if correct is None:
+            return
+        if correct:
+            self.correct_trials += 1
+        else:
+            self.incorrect_trials += 1
+
+    @property
+    def trials(self) -> int:
+        return self.latency.count
+
+    @property
+    def mean_latency_bytes(self) -> float:
+        return self.latency.mean
+
+    @property
+    def mean_tuning_bytes(self) -> float:
+        return self.tuning.mean
+
+    @property
+    def accuracy(self) -> float:
+        checked = self.correct_trials + self.incorrect_trials
+        return self.correct_trials / checked if checked else math.nan
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "index": self.index_name,
+            "workload": self.workload_name,
+            "trials": self.trials,
+            "latency_bytes": self.mean_latency_bytes,
+            "tuning_bytes": self.mean_tuning_bytes,
+            "accuracy": self.accuracy,
+            **self.extra,
+        }
+
+
+def deterioration(baseline: ExperimentResult, degraded: ExperimentResult) -> Dict[str, float]:
+    """Percentage deterioration of a degraded run versus an error-free baseline.
+
+    This is the quantity the paper's Table 1 reports for each link-error
+    ratio theta.
+    """
+    def pct(base: float, new: float) -> float:
+        if base == 0 or math.isnan(base) or math.isnan(new):
+            return math.nan
+        return 100.0 * (new - base) / base
+
+    return {
+        "latency_pct": pct(baseline.mean_latency_bytes, degraded.mean_latency_bytes),
+        "tuning_pct": pct(baseline.mean_tuning_bytes, degraded.mean_tuning_bytes),
+    }

@@ -1,0 +1,85 @@
+"""Plain-text reporting of sweep results (the rows behind each paper figure)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_format: str = "{:.3g}",
+) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    header = [str(c) for c in columns]
+    body = [[fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) for i in range(len(columns))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def pivot_metric(
+    rows: Sequence[Dict[str, object]],
+    x_key: str,
+    metric: str,
+    series_key: str = "index",
+) -> List[Dict[str, object]]:
+    """Reshape sweep rows into one row per x value with one column per series.
+
+    This matches how the paper's figures are read: x axis = ``x_key`` (packet
+    capacity, k, WinSideRatio...), one curve per index.
+    """
+    xs: List[object] = []
+    series: List[str] = []
+    values: Dict[object, Dict[str, object]] = {}
+    for row in rows:
+        x = row[x_key]
+        s = str(row[series_key])
+        if x not in values:
+            values[x] = {}
+            xs.append(x)
+        if s not in series:
+            series.append(s)
+        values[x][s] = row.get(metric)
+    out = []
+    for x in xs:
+        entry: Dict[str, object] = {x_key: x}
+        for s in series:
+            entry[s] = values[x].get(s)
+        out.append(entry)
+    return out
+
+
+def figure_report(
+    rows: Sequence[Dict[str, object]],
+    x_key: str,
+    title: str,
+    series_key: str = "index",
+    metrics: Sequence[str] = ("latency_bytes", "tuning_bytes"),
+) -> str:
+    """Render the latency and tuning panels of one figure as text tables."""
+    parts: List[str] = []
+    for metric in metrics:
+        pivot = pivot_metric(rows, x_key=x_key, metric=metric, series_key=series_key)
+        parts.append(format_table(pivot, title=f"{title} -- {metric}"))
+    return "\n\n".join(parts)

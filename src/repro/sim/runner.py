@@ -1,0 +1,143 @@
+"""Experiment runner: build an index, replay a workload, collect metrics.
+
+This is the layer the benchmark harness (and the examples) drive.  It knows
+how to
+
+* build any of the three evaluated indexes from a dataset and a
+  :class:`~repro.broadcast.config.SystemConfig` (``build_index``);
+* replay a :class:`~repro.queries.workload.Workload` against an index with a
+  given link-error model, verifying every answer against brute force when
+  asked (``run_workload``);
+* run the paired comparison the paper's figures are made of
+  (``compare_indexes``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..broadcast.client import ClientSession
+from ..broadcast.config import SystemConfig
+from ..broadcast.errors import LinkErrorModel
+from ..core.structure import DsiIndex, DsiParameters
+from ..hci.air import HciAirIndex
+from ..queries.ground_truth import matches
+from ..queries.types import KnnQuery, WindowQuery
+from ..queries.workload import Workload
+from ..rtree.air import RTreeAirIndex
+from ..spatial.datasets import SpatialDataset
+from .metrics import ExperimentResult
+
+#: The index names understood by :func:`build_index`.  ``dsi`` is the
+#: reorganized broadcast the paper uses for its comparisons; the two
+#: suffixed variants expose the original broadcast and the kNN strategies.
+INDEX_NAMES = ("dsi", "dsi-original", "rtree", "hci")
+
+AnyIndex = Union[DsiIndex, RTreeAirIndex, HciAirIndex]
+
+
+@dataclass
+class IndexSpec:
+    """A named recipe for building an index to compare."""
+
+    kind: str
+    label: Optional[str] = None
+    dsi_params: Optional[DsiParameters] = None
+    knn_strategy: str = "conservative"
+
+    @property
+    def display_name(self) -> str:
+        return self.label if self.label is not None else self.kind
+
+
+def default_specs(include_rtree: bool = True) -> List[IndexSpec]:
+    """The paper's three contenders: DSI (reorganized), R-tree and HCI."""
+    specs = [IndexSpec(kind="dsi", label="DSI")]
+    if include_rtree:
+        specs.append(IndexSpec(kind="rtree", label="R-tree"))
+    specs.append(IndexSpec(kind="hci", label="HCI"))
+    return specs
+
+
+def build_index(
+    spec: Union[str, IndexSpec], dataset: SpatialDataset, config: SystemConfig
+) -> AnyIndex:
+    """Build the index described by ``spec`` over ``dataset``."""
+    if isinstance(spec, str):
+        spec = IndexSpec(kind=spec)
+    kind = spec.kind.lower()
+    if kind == "dsi":
+        params = spec.dsi_params if spec.dsi_params is not None else DsiParameters(n_segments=2)
+        return DsiIndex(dataset, config, params)
+    if kind == "dsi-original":
+        params = spec.dsi_params if spec.dsi_params is not None else DsiParameters(n_segments=1)
+        return DsiIndex(dataset, config, params)
+    if kind == "rtree":
+        return RTreeAirIndex(dataset, config)
+    if kind == "hci":
+        return HciAirIndex(dataset, config)
+    raise ValueError(f"unknown index kind {spec.kind!r}; expected one of {INDEX_NAMES}")
+
+
+def run_workload(
+    index: AnyIndex,
+    dataset: SpatialDataset,
+    config: SystemConfig,
+    workload: Workload,
+    error_model: Optional[LinkErrorModel] = None,
+    verify: bool = True,
+    knn_strategy: str = "conservative",
+    label: Optional[str] = None,
+) -> ExperimentResult:
+    """Replay every trial of ``workload`` against ``index``."""
+    result = ExperimentResult(
+        index_name=label or getattr(index, "name", type(index).__name__),
+        workload_name=workload.name,
+    )
+    cycle = index.program.cycle_packets
+    for trial in workload:
+        start = int(trial.tune_in_fraction * cycle) % cycle
+        session = ClientSession(
+            index.program, config, start_packet=start, error_model=error_model
+        )
+        query = trial.query
+        if isinstance(query, WindowQuery):
+            outcome = index.window_query(query.window, session)
+        elif isinstance(query, KnnQuery):
+            if isinstance(index, DsiIndex):
+                outcome = index.knn_query(query.point, query.k, session, strategy=knn_strategy)
+            else:
+                outcome = index.knn_query(query.point, query.k, session)
+        else:
+            raise TypeError(f"unsupported query type {type(query)!r}")
+        correct = matches(dataset, query, outcome.objects) if verify else None
+        result.record(outcome.metrics, correct)
+    return result
+
+
+def compare_indexes(
+    dataset: SpatialDataset,
+    config: SystemConfig,
+    workload: Workload,
+    specs: Optional[Sequence[IndexSpec]] = None,
+    error_model: Optional[LinkErrorModel] = None,
+    verify: bool = True,
+) -> Dict[str, ExperimentResult]:
+    """Run the same workload against several indexes (paired trials)."""
+    if specs is None:
+        specs = default_specs()
+    results: Dict[str, ExperimentResult] = {}
+    for spec in specs:
+        index = build_index(spec, dataset, config)
+        results[spec.display_name] = run_workload(
+            index,
+            dataset,
+            config,
+            workload,
+            error_model=error_model,
+            verify=verify,
+            knn_strategy=spec.knn_strategy,
+            label=spec.display_name,
+        )
+    return results

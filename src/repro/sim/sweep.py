@@ -1,0 +1,210 @@
+"""Parameter sweeps that regenerate the paper's figures.
+
+Every function returns a list of plain dictionaries (one per curve point),
+so the benchmark harness can print them as the rows of the corresponding
+figure and EXPERIMENTS.md can archive them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..broadcast.config import SystemConfig
+from ..broadcast.errors import LinkErrorModel
+from ..core.structure import DsiParameters
+from ..queries.workload import Workload, knn_workload, window_workload
+from ..spatial.datasets import SpatialDataset
+from .metrics import ExperimentResult, deterioration
+from .runner import IndexSpec, build_index, compare_indexes, default_specs, run_workload
+
+
+def _rows(results: Dict[str, ExperimentResult], **extra) -> List[Dict[str, float]]:
+    rows = []
+    for name, res in results.items():
+        row = {"index": name, **extra}
+        row["latency_bytes"] = res.mean_latency_bytes
+        row["tuning_bytes"] = res.mean_tuning_bytes
+        row["accuracy"] = res.accuracy
+        rows.append(row)
+    return rows
+
+
+def reorganization_sweep(
+    dataset: SpatialDataset,
+    capacities: Sequence[int],
+    n_queries: int = 50,
+    k: int = 10,
+    win_side_ratio: float = 0.1,
+    seed: int = 42,
+    verify: bool = False,
+) -> List[Dict[str, float]]:
+    """Figure 8: original vs reorganized broadcast, window and 10NN queries.
+
+    Curves: ``Original``/``Reorganized`` for window queries, and
+    ``Conservative``/``Aggressive``/``Reorganized`` for kNN queries.
+    """
+    rows: List[Dict[str, float]] = []
+    win = window_workload(n_queries, win_side_ratio, seed=seed)
+    knn = knn_workload(n_queries, k=k, seed=seed)
+    variants = [
+        ("Original", DsiParameters(n_segments=1), "conservative"),
+        ("Reorganized", DsiParameters(n_segments=2), "conservative"),
+        ("Aggressive", DsiParameters(n_segments=1), "aggressive"),
+    ]
+    for capacity in capacities:
+        config = SystemConfig(packet_capacity=capacity)
+        for label, params, strategy in variants:
+            index = build_index(IndexSpec(kind="dsi", dsi_params=params), dataset, config)
+            if label != "Aggressive":
+                res_w = run_workload(
+                    index, dataset, config, win, verify=verify, label=label
+                )
+                rows.append(
+                    {
+                        "figure": "8ab",
+                        "query": "window",
+                        "capacity": capacity,
+                        "index": label,
+                        "latency_bytes": res_w.mean_latency_bytes,
+                        "tuning_bytes": res_w.mean_tuning_bytes,
+                    }
+                )
+            knn_label = "Conservative" if label == "Original" else label
+            res_k = run_workload(
+                index, dataset, config, knn, verify=verify, knn_strategy=strategy, label=knn_label
+            )
+            rows.append(
+                {
+                    "figure": "8cd",
+                    "query": f"{k}NN",
+                    "capacity": capacity,
+                    "index": knn_label,
+                    "latency_bytes": res_k.mean_latency_bytes,
+                    "tuning_bytes": res_k.mean_tuning_bytes,
+                }
+            )
+    return rows
+
+
+def window_capacity_sweep(
+    dataset: SpatialDataset,
+    capacities: Sequence[int],
+    n_queries: int = 50,
+    win_side_ratio: float = 0.1,
+    seed: int = 42,
+    verify: bool = False,
+) -> List[Dict[str, float]]:
+    """Figure 9: window queries, DSI vs R-tree vs HCI, varying packet capacity."""
+    rows: List[Dict[str, float]] = []
+    workload = window_workload(n_queries, win_side_ratio, seed=seed)
+    for capacity in capacities:
+        config = SystemConfig(packet_capacity=capacity)
+        specs = default_specs(include_rtree=capacity >= 2 * config.coord_size + config.pointer_size)
+        results = compare_indexes(dataset, config, workload, specs=specs, verify=verify)
+        rows.extend(_rows(results, figure="9", query="window", capacity=capacity))
+    return rows
+
+
+def window_ratio_sweep(
+    dataset: SpatialDataset,
+    ratios: Sequence[float],
+    capacity: int = 64,
+    n_queries: int = 50,
+    seed: int = 42,
+    verify: bool = False,
+) -> List[Dict[str, float]]:
+    """Figure 10: window queries, varying WinSideRatio at a fixed capacity."""
+    rows: List[Dict[str, float]] = []
+    config = SystemConfig(packet_capacity=capacity)
+    for ratio in ratios:
+        workload = window_workload(n_queries, ratio, seed=seed)
+        results = compare_indexes(dataset, config, workload, verify=verify)
+        rows.extend(_rows(results, figure="10", query="window", win_side_ratio=ratio))
+    return rows
+
+
+def knn_capacity_sweep(
+    dataset: SpatialDataset,
+    capacities: Sequence[int],
+    k: int,
+    n_queries: int = 50,
+    seed: int = 42,
+    verify: bool = False,
+) -> List[Dict[str, float]]:
+    """Figure 11: kNN queries (k = 1 and k = 10 in the paper), varying capacity."""
+    rows: List[Dict[str, float]] = []
+    workload = knn_workload(n_queries, k=k, seed=seed)
+    for capacity in capacities:
+        config = SystemConfig(packet_capacity=capacity)
+        specs = default_specs(include_rtree=capacity >= 2 * config.coord_size + config.pointer_size)
+        results = compare_indexes(dataset, config, workload, specs=specs, verify=verify)
+        rows.extend(_rows(results, figure="11", query=f"{k}NN", capacity=capacity, k=k))
+    return rows
+
+
+def knn_k_sweep(
+    dataset: SpatialDataset,
+    ks: Sequence[int],
+    capacity: int = 64,
+    n_queries: int = 50,
+    seed: int = 42,
+    verify: bool = False,
+) -> List[Dict[str, float]]:
+    """Figure 12: kNN queries, varying k at a fixed capacity."""
+    rows: List[Dict[str, float]] = []
+    config = SystemConfig(packet_capacity=capacity)
+    for k in ks:
+        workload = knn_workload(n_queries, k=k, seed=seed)
+        results = compare_indexes(dataset, config, workload, verify=verify)
+        rows.extend(_rows(results, figure="12", query="knn", k=k))
+    return rows
+
+
+def link_error_table(
+    dataset: SpatialDataset,
+    thetas: Sequence[float],
+    capacity: int = 64,
+    n_queries: int = 50,
+    k: int = 10,
+    win_side_ratio: float = 0.1,
+    seed: int = 42,
+    error_scope: str = "index",
+) -> List[Dict[str, float]]:
+    """Table 1: percentage deterioration under link errors.
+
+    For every index and every theta the deterioration is reported relative
+    to the same index running over a lossless channel (theta = 0).
+    """
+    config = SystemConfig(packet_capacity=capacity)
+    win = window_workload(n_queries, win_side_ratio, seed=seed)
+    knn = knn_workload(n_queries, k=k, seed=seed)
+    rows: List[Dict[str, float]] = []
+    for spec in default_specs():
+        index = build_index(spec, dataset, config)
+        baselines = {
+            "window": run_workload(index, dataset, config, win, verify=False, label=spec.display_name),
+            "knn": run_workload(index, dataset, config, knn, verify=False, label=spec.display_name),
+        }
+        for theta in thetas:
+            error = LinkErrorModel(theta=theta, scope=error_scope, seed=seed)
+            degraded_w = run_workload(
+                index, dataset, config, win, error_model=error, verify=False, label=spec.display_name
+            )
+            error = LinkErrorModel(theta=theta, scope=error_scope, seed=seed + 1)
+            degraded_k = run_workload(
+                index, dataset, config, knn, error_model=error, verify=False, label=spec.display_name
+            )
+            det_w = deterioration(baselines["window"], degraded_w)
+            det_k = deterioration(baselines["knn"], degraded_k)
+            rows.append(
+                {
+                    "table": "1",
+                    "index": spec.display_name,
+                    "theta": theta,
+                    "window_latency_pct": det_w["latency_pct"],
+                    "window_tuning_pct": det_w["tuning_pct"],
+                    "knn_latency_pct": det_k["latency_pct"],
+                    "knn_tuning_pct": det_k["tuning_pct"],
+                }
+            )
+    return rows

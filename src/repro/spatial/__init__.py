@@ -1,0 +1,43 @@
+"""Spatial substrate: geometry, Hilbert curve and datasets."""
+
+from .geometry import Point, Rect, circle_bounding_rect
+from .hilbert import (
+    HCRange,
+    HilbertCurve,
+    coalesce_to_limit,
+    merge_ranges,
+    order_for_points,
+    ranges_contain,
+    subtract_range,
+    total_length,
+)
+from .datasets import (
+    DataObject,
+    SpatialDataset,
+    dataset_from_points,
+    grid_dataset,
+    real_surrogate_dataset,
+    running_example_dataset,
+    uniform_dataset,
+)
+
+__all__ = [
+    "Point",
+    "Rect",
+    "circle_bounding_rect",
+    "HCRange",
+    "HilbertCurve",
+    "merge_ranges",
+    "coalesce_to_limit",
+    "subtract_range",
+    "ranges_contain",
+    "total_length",
+    "order_for_points",
+    "DataObject",
+    "SpatialDataset",
+    "uniform_dataset",
+    "real_surrogate_dataset",
+    "grid_dataset",
+    "running_example_dataset",
+    "dataset_from_points",
+]

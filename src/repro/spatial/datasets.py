@@ -1,0 +1,207 @@
+"""Datasets used by the paper's evaluation.
+
+Two datasets are evaluated in the paper (Section 4):
+
+* ``UNIFORM``: 10,000 points uniformly distributed in a square space.
+* ``REAL``: 5,848 cities and villages of Greece (rtreeportal.org).  That
+  file is not redistributable/offline here, so :func:`real_surrogate_dataset`
+  generates a *clustered* surrogate with the same cardinality: a seeded
+  Gaussian-mixture with dense clusters (cities) over a sparse background
+  (villages).  The experiments depend only on the skew of the distribution,
+  which the surrogate preserves (see DESIGN.md, substitution table).
+
+A :class:`SpatialDataset` owns its points, the Hilbert curve sized for them
+and the per-object HC values; every index implementation builds from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .geometry import Point, Rect
+from .hilbert import HilbertCurve, order_for_points
+
+
+@dataclass(frozen=True)
+class DataObject:
+    """One broadcast data object: an identifier, a location and its HC value.
+
+    The 1024-byte payload of the paper is not materialised -- only its size
+    matters to the simulator and that lives in ``SystemConfig.object_size``.
+    """
+
+    oid: int
+    point: Point
+    hc: int
+
+    def distance_to(self, p: Point) -> float:
+        return self.point.distance_to(p)
+
+
+class SpatialDataset:
+    """A set of data objects plus the Hilbert curve that orders them."""
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        name: str = "dataset",
+        curve_order: Optional[int] = None,
+    ) -> None:
+        if len(points) == 0:
+            raise ValueError("a dataset needs at least one point")
+        self.name = name
+        order = curve_order if curve_order is not None else order_for_points(len(points))
+        self.curve = HilbertCurve(order)
+        self.objects: List[DataObject] = [
+            DataObject(oid=i, point=p, hc=self.curve.value_of(p))
+            for i, p in enumerate(points)
+        ]
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self) -> Iterator[DataObject]:
+        return iter(self.objects)
+
+    def __getitem__(self, oid: int) -> DataObject:
+        return self.objects[oid]
+
+    # -- views ----------------------------------------------------------------
+
+    def objects_by_hc(self) -> List[DataObject]:
+        """Objects sorted by HC value (ties broken by object id)."""
+        return sorted(self.objects, key=lambda o: (o.hc, o.oid))
+
+    def points_array(self) -> np.ndarray:
+        """(N, 2) float64 array of coordinates (for vectorised ground truth)."""
+        return np.array([[o.point.x, o.point.y] for o in self.objects], dtype=np.float64)
+
+    def bounding_rect(self) -> Rect:
+        return Rect.from_points([o.point for o in self.objects])
+
+    # -- brute-force reference answers ---------------------------------------
+
+    def objects_in_window(self, window: Rect) -> List[DataObject]:
+        """All objects inside ``window`` (inclusive boundary)."""
+        return [o for o in self.objects if window.contains_point(o.point)]
+
+    def k_nearest(self, q: Point, k: int) -> List[DataObject]:
+        """The ``k`` objects nearest to ``q`` (ties broken by object id)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        ranked = sorted(self.objects, key=lambda o: (o.distance_to(q), o.oid))
+        return ranked[: min(k, len(ranked))]
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+
+def uniform_dataset(
+    n: int = 10_000, seed: int = 7, curve_order: Optional[int] = None
+) -> SpatialDataset:
+    """The paper's UNIFORM dataset: ``n`` uniform points in the unit square."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    coords = rng.random((n, 2))
+    points = [Point(float(x), float(y)) for x, y in coords]
+    return SpatialDataset(points, name=f"uniform-{n}", curve_order=curve_order)
+
+
+def real_surrogate_dataset(
+    n: int = 5_848,
+    seed: int = 11,
+    n_clusters: int = 40,
+    cluster_fraction: float = 0.8,
+    curve_order: Optional[int] = None,
+) -> SpatialDataset:
+    """Clustered surrogate for the paper's REAL dataset (Greek settlements).
+
+    ``cluster_fraction`` of the points are drawn from ``n_clusters`` Gaussian
+    clusters whose centres are themselves placed along a few sweeping arcs
+    (imitating coastline/valley settlement patterns); the remainder is a
+    sparse uniform background.  Points are clipped to the unit square.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not (0.0 <= cluster_fraction <= 1.0):
+        raise ValueError("cluster_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+
+    # Cluster centres along two noisy arcs plus a few independent ones.
+    centers = []
+    for i in range(n_clusters):
+        t = i / max(1, n_clusters - 1)
+        if i % 3 == 0:
+            cx = 0.15 + 0.7 * t + rng.normal(0, 0.03)
+            cy = 0.2 + 0.5 * np.sin(np.pi * t) + rng.normal(0, 0.03)
+        elif i % 3 == 1:
+            cx = 0.25 + 0.5 * np.cos(np.pi * t) + rng.normal(0, 0.04)
+            cy = 0.15 + 0.7 * t + rng.normal(0, 0.04)
+        else:
+            cx, cy = rng.random(2)
+        centers.append((float(np.clip(cx, 0.05, 0.95)), float(np.clip(cy, 0.05, 0.95))))
+
+    n_clustered = int(round(n * cluster_fraction))
+    n_background = n - n_clustered
+    weights = rng.dirichlet(np.ones(n_clusters) * 0.6)
+    assignment = rng.choice(n_clusters, size=n_clustered, p=weights)
+    spreads = rng.uniform(0.004, 0.03, size=n_clusters)
+
+    xs = np.empty(n_clustered)
+    ys = np.empty(n_clustered)
+    for ci in range(n_clusters):
+        mask = assignment == ci
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        xs[mask] = rng.normal(centers[ci][0], spreads[ci], size=count)
+        ys[mask] = rng.normal(centers[ci][1], spreads[ci], size=count)
+
+    bg = rng.random((n_background, 2))
+    all_x = np.clip(np.concatenate([xs, bg[:, 0]]), 0.0, 0.999999)
+    all_y = np.clip(np.concatenate([ys, bg[:, 1]]), 0.0, 0.999999)
+    points = [Point(float(x), float(y)) for x, y in zip(all_x, all_y)]
+    return SpatialDataset(points, name=f"real-surrogate-{n}", curve_order=curve_order)
+
+
+def grid_dataset(side: int = 8, curve_order: Optional[int] = None) -> SpatialDataset:
+    """A regular ``side x side`` grid of points (deterministic; used in tests)."""
+    if side < 1:
+        raise ValueError("side must be >= 1")
+    pts = [
+        Point((i + 0.5) / side, (j + 0.5) / side)
+        for j in range(side)
+        for i in range(side)
+    ]
+    return SpatialDataset(pts, name=f"grid-{side}x{side}", curve_order=curve_order)
+
+
+def running_example_dataset() -> SpatialDataset:
+    """The paper's running example (Figure 2/4): 8 objects on an order-3 curve.
+
+    Objects are placed at the cell centres whose HC values are
+    6, 11, 17, 27, 32, 40, 51 and 61, exactly the values used throughout
+    Section 3 of the paper.
+    """
+    curve = HilbertCurve(3)
+    values = [6, 11, 17, 27, 32, 40, 51, 61]
+    points = [curve.representative_point(v) for v in values]
+    return SpatialDataset(points, name="running-example", curve_order=3)
+
+
+def dataset_from_points(
+    coords: Iterable[Tuple[float, float]],
+    name: str = "custom",
+    curve_order: Optional[int] = None,
+) -> SpatialDataset:
+    """Build a dataset from raw ``(x, y)`` pairs in the unit square."""
+    points = [Point(float(x), float(y)) for x, y in coords]
+    return SpatialDataset(points, name=name, curve_order=curve_order)

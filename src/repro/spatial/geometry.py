@@ -1,0 +1,227 @@
+"""Basic planar geometry used throughout the reproduction.
+
+The whole system works in a unit square ``[0, 1) x [0, 1)`` (the paper's
+"square Euclidean space").  Two tiny immutable value types are provided:
+
+* :class:`Point` -- a 2-D location (also used for query points).
+* :class:`Rect`  -- an axis-aligned rectangle, used both as a query window
+  and as a minimum bounding rectangle (MBR) in the R-tree.
+
+Everything is plain Python floats; the simulator never needs vectorised
+geometry on the hot path (datasets are pre-indexed with numpy where it
+matters).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the unit square."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (cheaper when only comparing)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    Degenerate rectangles (zero width or height) are allowed; they arise as
+    MBRs of single points.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                "invalid Rect: min corner must not exceed max corner "
+                f"({self.min_x}, {self.min_y}, {self.max_x}, {self.max_y})"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "Rect":
+        """MBR of a non-empty collection of points."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("Rect.from_points requires at least one point")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    @classmethod
+    def from_center(cls, center: Point, half_width: float, half_height: float = None) -> "Rect":
+        """Rectangle centred at ``center`` (used to build query windows)."""
+        if half_width < 0:
+            raise ValueError("half_width must be non-negative")
+        if half_height is None:
+            half_height = half_width
+        if half_height < 0:
+            raise ValueError("half_height must be non-negative")
+        return cls(
+            center.x - half_width,
+            center.y - half_height,
+            center.x + half_width,
+            center.y + half_height,
+        )
+
+    @classmethod
+    def union_of(cls, rects: Sequence["Rect"]) -> "Rect":
+        """Smallest rectangle enclosing all ``rects``."""
+        if not rects:
+            raise ValueError("Rect.union_of requires at least one rectangle")
+        return cls(
+            min(r.min_x for r in rects),
+            min(r.min_y for r in rects),
+            max(r.max_x for r in rects),
+            max(r.max_y for r in rects),
+        )
+
+    @classmethod
+    def unit(cls) -> "Rect":
+        """The whole data space."""
+        return cls(0.0, 0.0, 1.0, 1.0)
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    # -- predicates --------------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """True when ``p`` lies inside or on the boundary."""
+        return self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def intersection(self, other: "Rect") -> "Rect":
+        """Intersection rectangle; raises if the rectangles are disjoint."""
+        if not self.intersects(other):
+            raise ValueError("rectangles do not intersect")
+        return Rect(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def expanded(self, other: "Rect") -> "Rect":
+        """Union (enlargement) with another rectangle."""
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def expanded_to_point(self, p: Point) -> "Rect":
+        return Rect(
+            min(self.min_x, p.x),
+            min(self.min_y, p.y),
+            max(self.max_x, p.x),
+            max(self.max_y, p.y),
+        )
+
+    def clipped_to_unit(self) -> "Rect":
+        """Clip to the unit data space (query windows near the border)."""
+        return Rect(
+            max(0.0, self.min_x),
+            max(0.0, self.min_y),
+            min(1.0, self.max_x),
+            min(1.0, self.max_y),
+        )
+
+    # -- distances ---------------------------------------------------------
+
+    def mindist(self, p: Point) -> float:
+        """Minimum distance from ``p`` to the rectangle (0 if inside).
+
+        This is the classical MINDIST lower bound used for R-tree pruning.
+        """
+        dx = max(self.min_x - p.x, 0.0, p.x - self.max_x)
+        dy = max(self.min_y - p.y, 0.0, p.y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def maxdist(self, p: Point) -> float:
+        """Maximum distance from ``p`` to any point of the rectangle."""
+        dx = max(abs(p.x - self.min_x), abs(p.x - self.max_x))
+        dy = max(abs(p.y - self.min_y), abs(p.y - self.max_y))
+        return math.hypot(dx, dy)
+
+    def intersects_circle(self, center: Point, radius: float) -> bool:
+        """True when the rectangle intersects the closed disc."""
+        return self.mindist(center) <= radius
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.min_x, self.min_y, self.max_x, self.max_y)
+
+
+def circle_bounding_rect(center: Point, radius: float) -> Rect:
+    """Axis-aligned bounding rectangle of a disc, clipped to the unit space."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    return Rect(
+        center.x - radius,
+        center.y - radius,
+        center.x + radius,
+        center.y + radius,
+    ).clipped_to_unit()

@@ -1,0 +1,272 @@
+"""Hilbert space-filling curve utilities.
+
+DSI and HCI both broadcast data objects in the order of their Hilbert curve
+(HC) values (paper Section 2.1 and 3.1).  This module provides:
+
+* :class:`HilbertCurve` -- integer encode/decode of arbitrary order plus the
+  mapping from unit-square coordinates to curve values;
+* :func:`HilbertCurve.ranges_for_rect` -- a conservative cover of a query
+  window by contiguous HC ranges ("target segments" in paper Algorithm 1);
+* :func:`HilbertCurve.representative_point` -- the cell centre of an HC
+  value, used by the kNN algorithms when an index table only reveals an HC
+  value (``o'_i`` in paper Algorithm 2).
+
+The encode/decode pair is the classical iterative algorithm (rotate/reflect
+per level); no third-party dependency is used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .geometry import Point, Rect
+
+# A target segment: a half-open range [lo, hi] of HC values, inclusive on
+# both ends (matching the paper's segment notation [H_{2i-1}, H_{2i}]).
+HCRange = Tuple[int, int]
+
+
+def _rotate(n: int, x: int, y: int, rx: int, ry: int) -> Tuple[int, int]:
+    """Rotate/flip a quadrant appropriately (helper of encode/decode)."""
+    if ry == 0:
+        if rx == 1:
+            x = n - 1 - x
+            y = n - 1 - y
+        x, y = y, x
+    return x, y
+
+
+class HilbertCurve:
+    """A 2-D Hilbert curve of a given *order*.
+
+    The grid has ``2**order`` cells per side and curve values range over
+    ``[0, 4**order)``.  Order 3 reproduces the paper's running example
+    (Figure 2), where point ``(1, 1)`` has HC value 2.
+    """
+
+    def __init__(self, order: int) -> None:
+        if order < 1:
+            raise ValueError("Hilbert curve order must be >= 1")
+        if order > 31:
+            raise ValueError("Hilbert curve order > 31 is not supported")
+        self.order = order
+        self.side = 1 << order
+        self.max_value = self.side * self.side  # exclusive upper bound
+
+    # -- integer grid <-> curve value ---------------------------------------
+
+    def encode(self, x: int, y: int) -> int:
+        """HC value of integer grid cell ``(x, y)``."""
+        if not (0 <= x < self.side and 0 <= y < self.side):
+            raise ValueError(f"cell ({x}, {y}) outside a {self.side}x{self.side} grid")
+        rx = ry = 0
+        d = 0
+        s = self.side // 2
+        while s > 0:
+            rx = 1 if (x & s) > 0 else 0
+            ry = 1 if (y & s) > 0 else 0
+            d += s * s * ((3 * rx) ^ ry)
+            x, y = _rotate(s, x, y, rx, ry)
+            s //= 2
+        return d
+
+    def decode(self, d: int) -> Tuple[int, int]:
+        """Grid cell of HC value ``d`` (inverse of :meth:`encode`)."""
+        if not (0 <= d < self.max_value):
+            raise ValueError(f"HC value {d} outside [0, {self.max_value})")
+        t = d
+        x = y = 0
+        s = 1
+        while s < self.side:
+            rx = 1 & (t // 2)
+            ry = 1 & (t ^ rx)
+            x, y = _rotate(s, x, y, rx, ry)
+            x += s * rx
+            y += s * ry
+            t //= 4
+            s *= 2
+        return x, y
+
+    # -- unit-square coordinates <-> curve value -----------------------------
+
+    def cell_of(self, p: Point) -> Tuple[int, int]:
+        """Grid cell containing a unit-square point (border points clamp)."""
+        cx = min(int(p.x * self.side), self.side - 1)
+        cy = min(int(p.y * self.side), self.side - 1)
+        return max(cx, 0), max(cy, 0)
+
+    def value_of(self, p: Point) -> int:
+        """HC value of a unit-square point."""
+        cx, cy = self.cell_of(p)
+        return self.encode(cx, cy)
+
+    def cell_rect(self, x: int, y: int) -> Rect:
+        """Unit-square rectangle covered by grid cell ``(x, y)``."""
+        w = 1.0 / self.side
+        return Rect(x * w, y * w, (x + 1) * w, (y + 1) * w)
+
+    def representative_point(self, d: int) -> Point:
+        """Centre of the cell with HC value ``d``.
+
+        When a DSI index table only reveals an HC value ``HC'_i``, the kNN
+        algorithms treat the object as located at this point (the error is
+        at most half a cell diagonal, which is also the guarantee the paper
+        implicitly relies on).
+        """
+        x, y = self.decode(d)
+        w = 1.0 / self.side
+        return Point((x + 0.5) * w, (y + 0.5) * w)
+
+    def cell_diagonal(self) -> float:
+        """Diagonal length of one grid cell (max representation error)."""
+        return math.sqrt(2.0) / self.side
+
+    # -- window -> target segments ------------------------------------------
+
+    def ranges_for_rect(
+        self,
+        rect: Rect,
+        max_ranges: int = 64,
+        max_depth: int = None,
+    ) -> List[HCRange]:
+        """Conservative cover of ``rect`` by contiguous HC ranges.
+
+        The cover is produced by recursive quadrant decomposition: a
+        quadrant fully inside the window contributes its whole (contiguous)
+        HC range; a partially overlapping quadrant is subdivided until the
+        depth budget is exhausted, at which point it is included whole.
+        The result is therefore a *superset* of the window's exact target
+        segments -- query algorithms always re-check retrieved objects
+        against the exact window, so a coarse cover costs tuning time but
+        never correctness.
+
+        Ranges are returned sorted, merged and inclusive on both ends.  At
+        most ``max_ranges`` ranges are returned (closest gaps are merged
+        first when the limit is exceeded).
+        """
+        rect = rect.clipped_to_unit()
+        if rect.width < 0 or rect.height < 0:
+            return []
+        if max_depth is None:
+            max_depth = min(self.order, 8)
+        max_depth = max(1, min(max_depth, self.order))
+
+        ranges: List[HCRange] = []
+
+        def visit(cx: int, cy: int, level: int) -> None:
+            """Visit the quadrant whose lower-left cell is (cx, cy) and whose
+            side is 2**(order - level) cells; ``level`` counts subdivisions
+            already performed."""
+            size = 1 << (self.order - level)
+            w = 1.0 / self.side
+            quad = Rect(cx * w, cy * w, (cx + size) * w, (cy + size) * w)
+            if not quad.intersects(rect):
+                return
+            cells = size * size
+            if rect.contains_rect(quad) or level >= max_depth or size == 1:
+                h = self.encode(cx, cy)
+                start = (h // cells) * cells
+                ranges.append((start, start + cells - 1))
+                return
+            half = size // 2
+            visit(cx, cy, level + 1)
+            visit(cx + half, cy, level + 1)
+            visit(cx, cy + half, level + 1)
+            visit(cx + half, cy + half, level + 1)
+
+        visit(0, 0, 0)
+        merged = merge_ranges(ranges)
+        return coalesce_to_limit(merged, max_ranges)
+
+    def ranges_for_circle(
+        self, center: Point, radius: float, max_ranges: int = 64
+    ) -> List[HCRange]:
+        """Conservative HC-range cover of a disc (used by kNN termination)."""
+        from .geometry import circle_bounding_rect
+
+        return self.ranges_for_rect(circle_bounding_rect(center, radius), max_ranges)
+
+
+def merge_ranges(ranges: Sequence[HCRange]) -> List[HCRange]:
+    """Sort and merge overlapping or adjacent inclusive ranges."""
+    if not ranges:
+        return []
+    ordered = sorted(ranges)
+    merged = [ordered[0]]
+    for lo, hi in ordered[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi + 1:
+            merged[-1] = (last_lo, max(last_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def coalesce_to_limit(ranges: List[HCRange], max_ranges: int) -> List[HCRange]:
+    """Reduce a sorted, disjoint range list to at most ``max_ranges`` entries.
+
+    Gaps between consecutive ranges are absorbed smallest-first, which keeps
+    the cover conservative (it only grows).
+    """
+    if max_ranges < 1:
+        raise ValueError("max_ranges must be >= 1")
+    ranges = list(ranges)
+    while len(ranges) > max_ranges:
+        gaps = [
+            (ranges[i + 1][0] - ranges[i][1], i) for i in range(len(ranges) - 1)
+        ]
+        _, i = min(gaps)
+        ranges[i] = (ranges[i][0], ranges[i + 1][1])
+        del ranges[i + 1]
+    return ranges
+
+
+def ranges_contain(ranges: Sequence[HCRange], value: int) -> bool:
+    """True when ``value`` falls inside any of the inclusive ranges."""
+    return any(lo <= value <= hi for lo, hi in ranges)
+
+
+def subtract_range(ranges: Sequence[HCRange], lo: int, hi: int) -> List[HCRange]:
+    """Remove the inclusive interval ``[lo, hi]`` from a range list."""
+    if lo > hi:
+        return list(ranges)
+    out: List[HCRange] = []
+    for rlo, rhi in ranges:
+        if rhi < lo or rlo > hi:
+            out.append((rlo, rhi))
+            continue
+        if rlo < lo:
+            out.append((rlo, lo - 1))
+        if rhi > hi:
+            out.append((hi + 1, rhi))
+    return out
+
+
+def total_length(ranges: Sequence[HCRange]) -> int:
+    """Number of HC values covered by a disjoint inclusive range list."""
+    return sum(hi - lo + 1 for lo, hi in ranges)
+
+
+def order_for_points(n_points: int, extra_levels: int = 3) -> int:
+    """A curve order dense enough that ``n_points`` rarely collide.
+
+    The paper notes the order "is decided by the object distribution ...
+    the curve has to pass through all the objects"; we pick
+    ``ceil(log4(n)) + extra_levels`` which gives at least ``64 * n`` cells.
+    """
+    if n_points < 1:
+        raise ValueError("n_points must be >= 1")
+    base = max(1, math.ceil(math.log(n_points, 4)))
+    return min(31, base + extra_levels)
+
+
+@dataclass(frozen=True)
+class HilbertMapping:
+    """Convenience bundle of a curve plus the dataset it was sized for."""
+
+    curve: HilbertCurve
+
+    def value_of(self, p: Point) -> int:
+        return self.curve.value_of(p)

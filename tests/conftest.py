@@ -1,0 +1,78 @@
+"""Shared fixtures: small datasets and pre-built indexes (session scoped)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.broadcast import SystemConfig
+from repro.core import DsiIndex, DsiParameters
+from repro.hci import HciAirIndex
+from repro.rtree import RTreeAirIndex
+from repro.spatial import (
+    grid_dataset,
+    real_surrogate_dataset,
+    running_example_dataset,
+    uniform_dataset,
+)
+
+
+@pytest.fixture(scope="session")
+def config64() -> SystemConfig:
+    return SystemConfig(packet_capacity=64)
+
+
+@pytest.fixture(scope="session")
+def config128() -> SystemConfig:
+    return SystemConfig(packet_capacity=128)
+
+
+@pytest.fixture(scope="session")
+def small_uniform():
+    return uniform_dataset(200, seed=3)
+
+
+@pytest.fixture(scope="session")
+def medium_uniform():
+    return uniform_dataset(600, seed=7)
+
+
+@pytest.fixture(scope="session")
+def clustered():
+    return real_surrogate_dataset(400, seed=11)
+
+
+@pytest.fixture(scope="session")
+def grid8():
+    return grid_dataset(8)
+
+
+@pytest.fixture(scope="session")
+def running_example():
+    return running_example_dataset()
+
+
+@pytest.fixture(scope="session")
+def dsi_m1(small_uniform, config64):
+    return DsiIndex(small_uniform, config64, DsiParameters(n_segments=1))
+
+
+@pytest.fixture(scope="session")
+def dsi_m2(small_uniform, config64):
+    return DsiIndex(small_uniform, config64, DsiParameters(n_segments=2))
+
+
+@pytest.fixture(scope="session")
+def rtree_small(small_uniform, config64):
+    return RTreeAirIndex(small_uniform, config64)
+
+
+@pytest.fixture(scope="session")
+def hci_small(small_uniform, config64):
+    return HciAirIndex(small_uniform, config64)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(12345)

@@ -1,0 +1,117 @@
+"""Tests for dataset generators and brute-force reference answers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spatial import (
+    Point,
+    Rect,
+    SpatialDataset,
+    dataset_from_points,
+    grid_dataset,
+    real_surrogate_dataset,
+    running_example_dataset,
+    uniform_dataset,
+)
+
+
+class TestGenerators:
+    def test_uniform_size_and_bounds(self):
+        ds = uniform_dataset(500, seed=1)
+        assert len(ds) == 500
+        for obj in ds:
+            assert 0.0 <= obj.point.x < 1.0 and 0.0 <= obj.point.y < 1.0
+
+    def test_uniform_is_reproducible(self):
+        a = uniform_dataset(100, seed=9)
+        b = uniform_dataset(100, seed=9)
+        assert [o.point for o in a] == [o.point for o in b]
+
+    def test_uniform_rejects_empty(self):
+        with pytest.raises(ValueError):
+            uniform_dataset(0)
+
+    def test_real_surrogate_size_and_clustering(self):
+        ds = real_surrogate_dataset(1000, seed=2)
+        assert len(ds) == 1000
+        # Clustered data should concentrate: the densest 10% of cells of a
+        # coarse grid hold far more than 10% of the points.
+        counts = {}
+        for obj in ds:
+            cell = (int(obj.point.x * 10), int(obj.point.y * 10))
+            counts[cell] = counts.get(cell, 0) + 1
+        top = sorted(counts.values(), reverse=True)[:10]
+        assert sum(top) > 0.25 * len(ds)
+
+    def test_real_surrogate_paper_cardinality_default(self):
+        ds = real_surrogate_dataset()
+        assert len(ds) == 5848
+
+    def test_grid_dataset(self):
+        ds = grid_dataset(4)
+        assert len(ds) == 16
+
+    def test_running_example_matches_paper(self):
+        ds = running_example_dataset()
+        assert sorted(o.hc for o in ds) == [6, 11, 17, 27, 32, 40, 51, 61]
+
+    def test_dataset_from_points(self):
+        ds = dataset_from_points([(0.1, 0.2), (0.3, 0.4)], name="two")
+        assert len(ds) == 2 and ds.name == "two"
+
+    def test_cluster_fraction_validation(self):
+        with pytest.raises(ValueError):
+            real_surrogate_dataset(10, cluster_fraction=1.5)
+
+
+class TestDatasetQueries:
+    def test_objects_by_hc_sorted(self):
+        ds = uniform_dataset(300, seed=5)
+        hcs = [o.hc for o in ds.objects_by_hc()]
+        assert hcs == sorted(hcs)
+
+    def test_objects_in_window_brute_force(self):
+        ds = grid_dataset(4)
+        window = Rect(0.0, 0.0, 0.5, 0.5)
+        inside = ds.objects_in_window(window)
+        assert len(inside) == 4
+
+    def test_k_nearest_ordering(self):
+        ds = uniform_dataset(100, seed=3)
+        q = Point(0.5, 0.5)
+        result = ds.k_nearest(q, 5)
+        dists = [o.distance_to(q) for o in result]
+        assert dists == sorted(dists)
+        assert len(result) == 5
+
+    def test_k_nearest_more_than_n(self):
+        ds = grid_dataset(2)
+        assert len(ds.k_nearest(Point(0.5, 0.5), 100)) == 4
+
+    def test_k_nearest_invalid_k(self):
+        ds = grid_dataset(2)
+        with pytest.raises(ValueError):
+            ds.k_nearest(Point(0.5, 0.5), 0)
+
+    def test_points_array_shape(self):
+        ds = uniform_dataset(50, seed=1)
+        assert ds.points_array().shape == (50, 2)
+
+    def test_bounding_rect_contains_all(self):
+        ds = uniform_dataset(50, seed=2)
+        rect = ds.bounding_rect()
+        assert all(rect.contains_point(o.point) for o in ds)
+
+    def test_getitem(self):
+        ds = uniform_dataset(10, seed=1)
+        assert ds[3].oid == 3
+
+    def test_hc_values_consistent_with_curve(self):
+        ds = uniform_dataset(50, seed=4)
+        for obj in ds:
+            assert obj.hc == ds.curve.value_of(obj.point)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialDataset([])

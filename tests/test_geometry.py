@@ -1,0 +1,148 @@
+"""Unit and property tests for repro.spatial.geometry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spatial.geometry import Point, Rect, circle_bounding_rect
+
+coords = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+
+
+def rects():
+    return st.tuples(coords, coords, coords, coords).map(
+        lambda t: Rect(min(t[0], t[2]), min(t[1], t[3]), max(t[0], t[2]), max(t[1], t[3]))
+    )
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetry(self):
+        a, b = Point(0.1, 0.9), Point(0.7, 0.2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_squared_distance_consistent(self):
+        a, b = Point(0.25, 0.5), Point(0.75, 0.125)
+        assert a.squared_distance_to(b) == pytest.approx(a.distance_to(b) ** 2)
+
+    def test_iter_and_tuple(self):
+        p = Point(0.3, 0.4)
+        assert tuple(p) == p.as_tuple() == (0.3, 0.4)
+
+
+class TestRect:
+    def test_invalid_rect_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0.5, 0.0, 0.1, 1.0)
+
+    def test_from_points(self):
+        r = Rect.from_points([Point(0.2, 0.8), Point(0.6, 0.1)])
+        assert r.as_tuple() == (0.2, 0.1, 0.6, 0.8)
+
+    def test_from_points_empty(self):
+        with pytest.raises(ValueError):
+            Rect.from_points([])
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(0.5, 0.5), 0.1)
+        assert r.as_tuple() == pytest.approx((0.4, 0.4, 0.6, 0.6))
+
+    def test_negative_half_width_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(Point(0.5, 0.5), -0.1)
+
+    def test_contains_point_boundary(self):
+        r = Rect(0.0, 0.0, 0.5, 0.5)
+        assert r.contains_point(Point(0.5, 0.5))
+        assert r.contains_point(Point(0.0, 0.0))
+        assert not r.contains_point(Point(0.51, 0.2))
+
+    def test_intersects_and_intersection(self):
+        a = Rect(0.0, 0.0, 0.5, 0.5)
+        b = Rect(0.4, 0.4, 0.9, 0.9)
+        assert a.intersects(b)
+        assert a.intersection(b).as_tuple() == pytest.approx((0.4, 0.4, 0.5, 0.5))
+
+    def test_disjoint_intersection_raises(self):
+        a = Rect(0.0, 0.0, 0.2, 0.2)
+        b = Rect(0.5, 0.5, 0.9, 0.9)
+        assert not a.intersects(b)
+        with pytest.raises(ValueError):
+            a.intersection(b)
+
+    def test_union_and_expand(self):
+        a = Rect(0.0, 0.0, 0.2, 0.2)
+        b = Rect(0.5, 0.5, 0.9, 0.9)
+        u = Rect.union_of([a, b])
+        assert u.contains_rect(a) and u.contains_rect(b)
+        assert a.expanded(b).as_tuple() == u.as_tuple()
+
+    def test_expanded_to_point(self):
+        r = Rect(0.2, 0.2, 0.4, 0.4).expanded_to_point(Point(0.9, 0.1))
+        assert r.contains_point(Point(0.9, 0.1))
+
+    def test_clipped_to_unit(self):
+        r = Rect(-0.5, 0.5, 1.5, 2.0).clipped_to_unit()
+        assert r.as_tuple() == (0.0, 0.5, 1.0, 1.0)
+
+    def test_mindist_inside_is_zero(self):
+        r = Rect(0.2, 0.2, 0.8, 0.8)
+        assert r.mindist(Point(0.5, 0.5)) == 0.0
+
+    def test_mindist_outside(self):
+        r = Rect(0.0, 0.0, 0.5, 0.5)
+        assert r.mindist(Point(0.5, 1.0)) == pytest.approx(0.5)
+
+    def test_maxdist_corner(self):
+        r = Rect(0.0, 0.0, 1.0, 1.0)
+        assert r.maxdist(Point(0.0, 0.0)) == pytest.approx(math.sqrt(2))
+
+    def test_center_area_perimeter(self):
+        r = Rect(0.0, 0.0, 0.4, 0.2)
+        assert r.center.as_tuple() == pytest.approx((0.2, 0.1))
+        assert r.area == pytest.approx(0.08)
+        assert r.perimeter == pytest.approx(1.2)
+
+    def test_intersects_circle(self):
+        r = Rect(0.0, 0.0, 0.2, 0.2)
+        assert r.intersects_circle(Point(0.3, 0.1), 0.15)
+        assert not r.intersects_circle(Point(0.9, 0.9), 0.1)
+
+
+class TestCircleBoundingRect:
+    def test_clips_to_unit_space(self):
+        r = circle_bounding_rect(Point(0.05, 0.95), 0.2)
+        assert r.min_x == 0.0 and r.max_y == 1.0
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            circle_bounding_rect(Point(0.5, 0.5), -0.1)
+
+
+class TestRectProperties:
+    @given(rects(), st.tuples(coords, coords))
+    def test_mindist_not_exceeding_maxdist(self, rect, pt):
+        p = Point(*pt)
+        assert rect.mindist(p) <= rect.maxdist(p) + 1e-12
+
+    @given(rects(), st.tuples(coords, coords))
+    def test_mindist_zero_iff_contains(self, rect, pt):
+        p = Point(*pt)
+        if rect.contains_point(p):
+            assert rect.mindist(p) == 0.0
+        else:
+            assert rect.mindist(p) > 0.0
+
+    @given(rects(), rects())
+    def test_intersection_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.expanded(b)
+        assert u.contains_rect(a) and u.contains_rect(b)

@@ -1,0 +1,118 @@
+"""Tests for the Hilbert Curve Index baseline (B+-tree structure, on-air queries)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.broadcast import ClientSession, SystemConfig
+from repro.hci import HciAirIndex, bptree_fanout, build_bptree, node_interval
+from repro.queries import KnnQuery, WindowQuery, matches
+from repro.spatial import Point, Rect, real_surrogate_dataset, uniform_dataset
+
+
+class TestBPTreeBuild:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        dataset = uniform_dataset(257, seed=4)
+        nodes, root_id, hc_order = build_bptree(dataset, fanout=5)
+        return dataset, nodes, root_id, hc_order
+
+    def test_fanout_rule(self):
+        assert bptree_fanout(64, 18) == 3
+        assert bptree_fanout(512, 18) == 28
+        assert bptree_fanout(32, 18) == 2  # HCI stays buildable at 32 bytes
+
+    def test_leaf_entries_cover_all_objects(self, tree):
+        dataset, nodes, _root, _order = tree
+        oids = [e.oid for n in nodes.values() if n.is_leaf for e in n.entries]
+        assert sorted(oids) == [o.oid for o in dataset]
+
+    def test_data_order_is_hc_order(self, tree):
+        _dataset, _nodes, _root, hc_order = tree
+        hcs = [o.hc for o in hc_order]
+        assert hcs == sorted(hcs)
+
+    def test_leaf_keys_sorted_within_and_across_leaves(self, tree):
+        _dataset, nodes, root_id, _order = tree
+        leaves = sorted(
+            (n for n in nodes.values() if n.is_leaf), key=lambda n: n.entries[0].key[0]
+        )
+        previous = -1
+        for leaf in leaves:
+            for entry in leaf.entries:
+                assert entry.key[0] >= previous
+                previous = entry.key[0]
+
+    def test_parent_intervals_contain_children(self, tree):
+        _dataset, nodes, _root, _order = tree
+        for node in nodes.values():
+            if node.is_leaf:
+                continue
+            for entry in node.entries:
+                child_lo, child_hi = node_interval(nodes[entry.child])
+                assert entry.key[0] <= child_lo and child_hi <= entry.key[1]
+
+    def test_root_interval_spans_dataset(self, tree):
+        dataset, nodes, root_id, _order = tree
+        lo, hi = node_interval(nodes[root_id])
+        assert lo == min(o.hc for o in dataset)
+        assert hi == max(o.hc for o in dataset)
+
+    def test_invalid_fanout(self):
+        dataset = uniform_dataset(10, seed=1)
+        with pytest.raises(ValueError):
+            build_bptree(dataset, fanout=1)
+
+
+class TestHciQueries:
+    @pytest.mark.parametrize("capacity", [32, 64, 256])
+    def test_window_matches_brute_force(self, capacity, small_uniform):
+        config = SystemConfig(packet_capacity=capacity)
+        index = HciAirIndex(small_uniform, config)
+        rng = random.Random(17)
+        for _ in range(8):
+            window = Rect.from_center(
+                Point(rng.random(), rng.random()), rng.uniform(0.03, 0.12)
+            ).clipped_to_unit()
+            session = ClientSession(
+                index.program, config, start_packet=rng.randrange(index.program.cycle_packets)
+            )
+            result = index.window_query(window, session)
+            assert matches(small_uniform, WindowQuery(window), result.objects)
+
+    @pytest.mark.parametrize("k", [1, 5, 12])
+    def test_knn_matches_brute_force(self, k, small_uniform, config64):
+        index = HciAirIndex(small_uniform, config64)
+        rng = random.Random(37)
+        for _ in range(8):
+            q = Point(rng.random(), rng.random())
+            session = ClientSession(
+                index.program, config64, start_packet=rng.randrange(index.program.cycle_packets)
+            )
+            result = index.knn_query(q, k, session)
+            assert matches(small_uniform, KnnQuery(q, k), result.objects)
+
+    def test_knn_on_clustered_data(self):
+        dataset = real_surrogate_dataset(220, seed=9)
+        config = SystemConfig()
+        index = HciAirIndex(dataset, config)
+        rng = random.Random(3)
+        for _ in range(5):
+            q = Point(rng.random(), rng.random())
+            session = ClientSession(
+                index.program, config, start_packet=rng.randrange(index.program.cycle_packets)
+            )
+            result = index.knn_query(q, 4, session)
+            assert matches(dataset, KnnQuery(q, 4), result.objects)
+
+    def test_invalid_k(self, hci_small, config64):
+        session = ClientSession(hci_small.program, config64, start_packet=0)
+        with pytest.raises(ValueError):
+            hci_small.knn_query(Point(0.5, 0.5), 0, session)
+
+    def test_describe(self, hci_small):
+        info = hci_small.describe()
+        assert info["index"] == "HCI"
+        assert info["n_objects"] == 200

@@ -1,0 +1,119 @@
+"""Error-prone channel behaviour (paper Section 5).
+
+Queries must stay correct under index-packet loss (the recovery rules just
+cost extra latency/tuning), and the deterioration ordering of the paper's
+Table 1 -- DSI degrades the least -- should be visible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.broadcast import ClientSession, LinkErrorModel, SystemConfig
+from repro.core import DsiIndex, DsiParameters
+from repro.hci import HciAirIndex
+from repro.queries import KnnQuery, WindowQuery, matches
+from repro.rtree import RTreeAirIndex
+from repro.spatial import Point, Rect, uniform_dataset
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = uniform_dataset(200, seed=51)
+    config = SystemConfig()
+    indexes = {
+        "DSI": DsiIndex(dataset, config, DsiParameters(n_segments=2)),
+        "R-tree": RTreeAirIndex(dataset, config),
+        "HCI": HciAirIndex(dataset, config),
+    }
+    return dataset, config, indexes
+
+
+@pytest.mark.parametrize("theta", [0.2, 0.5])
+@pytest.mark.parametrize("name", ["DSI", "R-tree", "HCI"])
+def test_window_queries_survive_index_errors(setting, name, theta):
+    dataset, config, indexes = setting
+    index = indexes[name]
+    rng = random.Random(int(theta * 10) + hash(name) % 97)
+    for trial in range(5):
+        window = Rect.from_center(Point(rng.random(), rng.random()), 0.08).clipped_to_unit()
+        error = LinkErrorModel(theta=theta, scope="index", seed=trial)
+        session = ClientSession(
+            index.program, config,
+            start_packet=rng.randrange(index.program.cycle_packets),
+            error_model=error,
+        )
+        result = index.window_query(window, session)
+        assert matches(dataset, WindowQuery(window), result.objects)
+
+
+@pytest.mark.parametrize("theta", [0.2, 0.5])
+@pytest.mark.parametrize("name", ["DSI", "R-tree", "HCI"])
+def test_knn_queries_survive_index_errors(setting, name, theta):
+    dataset, config, indexes = setting
+    index = indexes[name]
+    rng = random.Random(7 + int(theta * 10))
+    for trial in range(5):
+        q = Point(rng.random(), rng.random())
+        error = LinkErrorModel(theta=theta, scope="index", seed=100 + trial)
+        session = ClientSession(
+            index.program, config,
+            start_packet=rng.randrange(index.program.cycle_packets),
+            error_model=error,
+        )
+        result = index.knn_query(q, 5, session)
+        assert matches(dataset, KnnQuery(q, 5), result.objects)
+
+
+def test_errors_increase_cost_on_average(setting):
+    """With theta = 0.5 the mean latency+tuning must not improve."""
+    dataset, config, indexes = setting
+    index = indexes["DSI"]
+    rng = random.Random(5)
+    queries = [(Point(rng.random(), rng.random()), rng.random()) for _ in range(10)]
+
+    def total_cost(theta, seed_base):
+        total = 0
+        for i, (q, frac) in enumerate(queries):
+            error = LinkErrorModel(theta=theta, scope="index", seed=seed_base + i)
+            session = ClientSession(
+                index.program, config,
+                start_packet=int(frac * index.program.cycle_packets),
+                error_model=error,
+            )
+            result = index.knn_query(q, 5, session)
+            total += result.metrics.latency_bytes + result.metrics.tuning_bytes
+        return total
+
+    assert total_cost(0.5, 1000) >= total_cost(0.0, 2000)
+
+
+def test_dsi_degrades_less_than_rtree(setting):
+    """The qualitative claim of Table 1: DSI is the most resilient index."""
+    dataset, config, indexes = setting
+    rng = random.Random(77)
+    queries = [
+        (Rect.from_center(Point(rng.random(), rng.random()), 0.08).clipped_to_unit(), rng.random())
+        for _ in range(12)
+    ]
+
+    def mean_latency(index, theta, seed_base):
+        total = 0
+        for i, (window, frac) in enumerate(queries):
+            error = LinkErrorModel(theta=theta, scope="index", seed=seed_base + i)
+            session = ClientSession(
+                index.program, config,
+                start_packet=int(frac * index.program.cycle_packets),
+                error_model=error,
+            )
+            total += index.window_query(window, session).metrics.latency_bytes
+        return total / len(queries)
+
+    def deterioration(index):
+        base = mean_latency(index, 0.0, 0)
+        degraded = mean_latency(index, 0.7, 500)
+        return (degraded - base) / base
+
+    assert deterioration(indexes["DSI"]) <= deterioration(indexes["R-tree"]) + 0.05

@@ -1,0 +1,131 @@
+"""Tests for the STR R-tree baseline (structure and on-air queries)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.broadcast import ClientSession, SystemConfig
+from repro.queries import KnnQuery, WindowQuery, matches
+from repro.rtree import RTreeAirIndex, build_str_rtree, node_mbr, rtree_fanout
+from repro.spatial import Point, Rect, uniform_dataset
+
+
+class TestFanout:
+    def test_fanout_values(self):
+        assert rtree_fanout(64, 34) == 2
+        assert rtree_fanout(128, 34) == 3
+        assert rtree_fanout(256, 34) == 7
+        assert rtree_fanout(512, 34) == 15
+
+    def test_paper_32_byte_limitation(self):
+        with pytest.raises(ValueError):
+            rtree_fanout(32, 34)
+
+    def test_index_rejects_32_byte_packets(self, small_uniform):
+        with pytest.raises(ValueError):
+            RTreeAirIndex(small_uniform, SystemConfig(packet_capacity=32))
+
+
+class TestStrPacking:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        dataset = uniform_dataset(300, seed=2)
+        nodes, root_id, leaf_order = build_str_rtree(dataset, fanout=7)
+        return dataset, nodes, root_id, leaf_order
+
+    def test_every_object_in_exactly_one_leaf(self, tree):
+        dataset, nodes, _root, _order = tree
+        leaf_oids = [
+            e.oid for n in nodes.values() if n.is_leaf for e in n.entries
+        ]
+        assert sorted(leaf_oids) == [o.oid for o in dataset]
+
+    def test_leaf_order_is_a_permutation(self, tree):
+        dataset, _nodes, _root, leaf_order = tree
+        assert sorted(o.oid for o in leaf_order) == [o.oid for o in dataset]
+
+    def test_parent_mbr_contains_children(self, tree):
+        _dataset, nodes, root_id, _order = tree
+        for node in nodes.values():
+            if node.is_leaf:
+                continue
+            for entry in node.entries:
+                child = nodes[entry.child]
+                assert entry.key.contains_rect(node_mbr(child))
+
+    def test_fanout_respected(self, tree):
+        _dataset, nodes, _root, _order = tree
+        assert all(1 <= len(n.entries) <= 7 for n in nodes.values())
+
+    def test_root_covers_everything(self, tree):
+        dataset, nodes, root_id, _order = tree
+        root_rect = node_mbr(nodes[root_id])
+        assert all(root_rect.contains_point(o.point) for o in dataset)
+
+    def test_levels_consistent(self, tree):
+        _dataset, nodes, root_id, _order = tree
+        for node in nodes.values():
+            if node.is_leaf:
+                continue
+            for entry in node.entries:
+                assert nodes[entry.child].level == node.level - 1
+
+    def test_small_dataset_single_root(self):
+        dataset = uniform_dataset(5, seed=1)
+        nodes, root_id, _ = build_str_rtree(dataset, fanout=8)
+        assert nodes[root_id].is_leaf
+        assert len(nodes) == 1
+
+    def test_minimum_fanout_validation(self):
+        dataset = uniform_dataset(10, seed=1)
+        with pytest.raises(ValueError):
+            build_str_rtree(dataset, fanout=1)
+
+
+class TestRTreeQueries:
+    @pytest.mark.parametrize("capacity", [64, 128, 256])
+    def test_window_matches_brute_force(self, capacity, small_uniform):
+        config = SystemConfig(packet_capacity=capacity)
+        index = RTreeAirIndex(small_uniform, config)
+        rng = random.Random(13)
+        for _ in range(8):
+            window = Rect.from_center(
+                Point(rng.random(), rng.random()), rng.uniform(0.03, 0.12)
+            ).clipped_to_unit()
+            session = ClientSession(
+                index.program, config, start_packet=rng.randrange(index.program.cycle_packets)
+            )
+            result = index.window_query(window, session)
+            assert matches(small_uniform, WindowQuery(window), result.objects)
+
+    @pytest.mark.parametrize("k", [1, 5, 12])
+    def test_knn_matches_brute_force(self, k, small_uniform, config64):
+        index = RTreeAirIndex(small_uniform, config64)
+        rng = random.Random(29)
+        for _ in range(8):
+            q = Point(rng.random(), rng.random())
+            session = ClientSession(
+                index.program, config64, start_packet=rng.randrange(index.program.cycle_packets)
+            )
+            result = index.knn_query(q, k, session)
+            assert matches(small_uniform, KnnQuery(q, k), result.objects)
+
+    def test_knn_results_ranked(self, rtree_small, config64):
+        q = Point(0.4, 0.4)
+        session = ClientSession(rtree_small.program, config64, start_packet=0)
+        result = rtree_small.knn_query(q, 6, session)
+        dists = [o.distance_to(q) for o in result.objects]
+        assert dists == sorted(dists)
+
+    def test_invalid_k(self, rtree_small, config64):
+        session = ClientSession(rtree_small.program, config64, start_packet=0)
+        with pytest.raises(ValueError):
+            rtree_small.knn_query(Point(0.5, 0.5), 0, session)
+
+    def test_describe(self, rtree_small):
+        info = rtree_small.describe()
+        assert info["index"] == "R-tree"
+        assert info["fanout"] >= 2
+        assert info["nodes"] > 0

@@ -19,9 +19,13 @@ from dataclasses import dataclass
 
 import pytest
 
+from repro.sim.parallel import default_processes
 from repro.spatial import real_surrogate_dataset, uniform_dataset
 
 FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "0") not in ("", "0", "false")
+
+#: Smoke mode shrinks the perf microbenchmark so CI can run it on every push.
+BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("", "0", "false")
 
 
 @dataclass(frozen=True)
@@ -58,6 +62,18 @@ FULL = BenchScale(
 @pytest.fixture(scope="session")
 def scale() -> BenchScale:
     return FULL if FULL_SCALE else REDUCED
+
+
+@pytest.fixture(scope="session")
+def processes() -> int:
+    """Worker count for the parallel sweep executor.
+
+    ``REPRO_PROCESSES`` overrides (``1`` forces serial, which also keeps the
+    per-process index-build cache shared across figure benchmarks); the
+    default is the capped CPU count.  Sweep rows are identical either way --
+    parallelism only changes wall-clock time.
+    """
+    return default_processes()
 
 
 @pytest.fixture(scope="session")

@@ -19,7 +19,9 @@ from conftest import emit
 
 
 def _run(dataset, config, params, workload, error_model=None):
-    index = build_index(IndexSpec(kind="dsi", dsi_params=params), dataset, config)
+    index = build_index(
+        IndexSpec(kind="dsi", dsi_params=params), dataset, config, use_cache=True
+    )
     return run_workload(index, dataset, config, workload, error_model=error_model, verify=False)
 
 

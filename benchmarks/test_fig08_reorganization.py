@@ -13,7 +13,7 @@ from repro.sim import figure_report, reorganization_sweep
 from conftest import emit
 
 
-def test_fig08_reorganization_uniform(benchmark, uniform, scale):
+def test_fig08_reorganization_uniform(benchmark, uniform, scale, processes):
     rows = benchmark.pedantic(
         reorganization_sweep,
         kwargs=dict(
@@ -21,6 +21,7 @@ def test_fig08_reorganization_uniform(benchmark, uniform, scale):
             capacities=scale.capacities_small,
             n_queries=scale.n_queries,
             k=10,
+            processes=processes,
         ),
         rounds=1,
         iterations=1,

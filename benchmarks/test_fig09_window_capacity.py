@@ -11,13 +11,14 @@ from repro.sim import figure_report, pivot_metric, window_capacity_sweep
 from conftest import emit
 
 
-def test_fig09_window_vs_capacity_uniform(benchmark, uniform, scale):
+def test_fig09_window_vs_capacity_uniform(benchmark, uniform, scale, processes):
     rows = benchmark.pedantic(
         window_capacity_sweep,
         kwargs=dict(
             dataset=uniform,
             capacities=scale.capacities,
             n_queries=scale.n_queries,
+            processes=processes,
         ),
         rounds=1,
         iterations=1,
@@ -40,13 +41,14 @@ def test_fig09_window_vs_capacity_uniform(benchmark, uniform, scale):
     assert dsi_mean <= hci_mean * 1.3
 
 
-def test_fig09_window_vs_capacity_real(benchmark, real, scale):
+def test_fig09_window_vs_capacity_real(benchmark, real, scale, processes):
     rows = benchmark.pedantic(
         window_capacity_sweep,
         kwargs=dict(
             dataset=real,
             capacities=scale.capacities_small,
             n_queries=scale.n_queries,
+            processes=processes,
         ),
         rounds=1,
         iterations=1,

@@ -14,7 +14,7 @@ from conftest import emit
 RATIOS = (0.02, 0.05, 0.1, 0.2)
 
 
-def test_fig10_window_vs_ratio_uniform(benchmark, uniform, scale):
+def test_fig10_window_vs_ratio_uniform(benchmark, uniform, scale, processes):
     rows = benchmark.pedantic(
         window_ratio_sweep,
         kwargs=dict(
@@ -22,6 +22,7 @@ def test_fig10_window_vs_ratio_uniform(benchmark, uniform, scale):
             ratios=RATIOS,
             capacity=64,
             n_queries=scale.n_queries,
+            processes=processes,
         ),
         rounds=1,
         iterations=1,

@@ -15,7 +15,7 @@ from conftest import emit
 
 
 @pytest.mark.parametrize("k", [1, 10])
-def test_fig11_knn_vs_capacity_uniform(benchmark, uniform, scale, k):
+def test_fig11_knn_vs_capacity_uniform(benchmark, uniform, scale, k, processes):
     rows = benchmark.pedantic(
         knn_capacity_sweep,
         kwargs=dict(
@@ -23,6 +23,7 @@ def test_fig11_knn_vs_capacity_uniform(benchmark, uniform, scale, k):
             capacities=scale.capacities_small,
             k=k,
             n_queries=scale.n_queries,
+            processes=processes,
         ),
         rounds=1,
         iterations=1,

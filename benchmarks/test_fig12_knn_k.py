@@ -14,7 +14,7 @@ from conftest import emit
 KS = (1, 3, 5, 10, 20, 30)
 
 
-def test_fig12_knn_vs_k_uniform(benchmark, uniform, scale):
+def test_fig12_knn_vs_k_uniform(benchmark, uniform, scale, processes):
     ks = KS if scale.n_uniform >= 5000 else (1, 3, 10, 20)
     rows = benchmark.pedantic(
         knn_k_sweep,
@@ -23,6 +23,7 @@ def test_fig12_knn_vs_k_uniform(benchmark, uniform, scale):
             ks=ks,
             capacity=64,
             n_queries=scale.n_queries,
+            processes=processes,
         ),
         rounds=1,
         iterations=1,

@@ -15,7 +15,7 @@ from conftest import emit
 THETAS = (0.2, 0.5, 0.7)
 
 
-def test_table1_deterioration_uniform(benchmark, uniform, scale):
+def test_table1_deterioration_uniform(benchmark, uniform, scale, processes):
     rows = benchmark.pedantic(
         link_error_table,
         kwargs=dict(
@@ -24,6 +24,7 @@ def test_table1_deterioration_uniform(benchmark, uniform, scale):
             capacity=64,
             n_queries=scale.n_queries_errors,
             k=10,
+            processes=processes,
         ),
         rounds=1,
         iterations=1,

@@ -28,7 +28,7 @@ from .errors import LinkErrorModel, NO_ERRORS
 from .program import BroadcastProgram, Bucket, BucketKind
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadResult:
     """Outcome of one bucket reception."""
 
@@ -92,12 +92,24 @@ class ClientSession:
         return self._receive(bucket_index, start)
 
     def read_next_bucket(
-        self, predicate: Optional[Callable[[Bucket], bool]] = None
+        self,
+        predicate: Optional[Callable[[Bucket], bool]] = None,
+        kind: Optional[BucketKind] = None,
     ) -> ReadResult:
         """Receive the next bucket on the channel (optionally the next one
         matching ``predicate``; non-matching buckets are skipped in doze
         mode at no tuning cost because their boundaries are known from the
-        most recent index information)."""
+        most recent index information).
+
+        ``kind`` is the fast path for the common "next bucket of this kind"
+        case: the occurrence is found by binary search over the program's
+        per-kind layout instead of scanning bucket by bucket.
+        """
+        if kind is not None:
+            if predicate is not None:
+                raise ValueError("pass either predicate or kind, not both")
+            idx, start = self.program.next_occurrence_of_kind(kind, self.clock)
+            return self._receive(idx, start)
         for idx, start in self.program.iter_from(self.clock):
             bucket = self.program.buckets[idx]
             if predicate is None or predicate(bucket):
@@ -155,7 +167,7 @@ class ClientSession:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessMetrics:
     """The two paper metrics (plus bookkeeping) for one query execution."""
 

@@ -43,7 +43,7 @@ class BucketKind(Enum):
         return self in (BucketKind.DSI_TABLE, BucketKind.TREE_NODE, BucketKind.CONTROL)
 
 
-@dataclass
+@dataclass(slots=True)
 class Bucket:
     """One bucket of the broadcast program.
 
@@ -72,11 +72,25 @@ class BroadcastProgram:
         self.name = name
         self.buckets: List[Bucket] = list(buckets)
         self._starts: List[int] = []
+        self._kind_buckets: Dict[BucketKind, List[int]] = {}
+        self._kind_starts: Dict[BucketKind, List[int]] = {}
+        self._count_by_kind: Dict[BucketKind, int] = {}
+        self._packets_by_kind: Dict[BucketKind, int] = {}
         pos = 0
-        for b in self.buckets:
+        for i, b in enumerate(self.buckets):
             self._starts.append(pos)
+            self._kind_buckets.setdefault(b.kind, []).append(i)
+            self._count_by_kind[b.kind] = self._count_by_kind.get(b.kind, 0) + 1
+            self._packets_by_kind[b.kind] = (
+                self._packets_by_kind.get(b.kind, 0) + b.n_packets
+            )
             pos += b.n_packets
         self.cycle_packets = pos
+        for kind, idxs in self._kind_buckets.items():
+            self._kind_starts[kind] = [self._starts[i] for i in idxs]
+        self._index_packets = sum(
+            packets for kind, packets in self._packets_by_kind.items() if kind.is_index
+        )
 
     # -- basic accessors -----------------------------------------------------
 
@@ -134,6 +148,26 @@ class BroadcastProgram:
             return 0, base + cycle
         return idx, base + self._starts[idx]
 
+    def next_occurrence_of_kind(self, kind: BucketKind, position: int) -> Tuple[int, int]:
+        """First bucket of ``kind`` starting at or after an unwrapped position.
+
+        Returns ``(bucket_index, unwrapped_start)``; a binary search over the
+        per-kind start offsets replaces the bucket-by-bucket channel scan.
+        """
+        starts = self._kind_starts.get(kind)
+        if not starts:
+            raise KeyError(f"program {self.name!r} broadcasts no {kind.value} bucket")
+        idxs = self._kind_buckets[kind]
+        if position < 0:
+            position = 0
+        cycle = self.cycle_packets
+        base = (position // cycle) * cycle
+        offset = position - base
+        j = bisect.bisect_left(starts, offset)
+        if j == len(starts):
+            return idxs[0], base + cycle + starts[0]
+        return idxs[j], base + starts[j]
+
     def iter_from(self, position: int) -> Iterator[Tuple[int, int]]:
         """Iterate buckets in broadcast order starting at/after ``position``.
 
@@ -150,20 +184,11 @@ class BroadcastProgram:
     # -- summaries ------------------------------------------------------------
 
     def count_by_kind(self) -> Dict[BucketKind, int]:
-        counts: Dict[BucketKind, int] = {}
-        for b in self.buckets:
-            counts[b.kind] = counts.get(b.kind, 0) + 1
-        return counts
+        return dict(self._count_by_kind)
 
     def packets_by_kind(self) -> Dict[BucketKind, int]:
-        packets: Dict[BucketKind, int] = {}
-        for b in self.buckets:
-            packets[b.kind] = packets.get(b.kind, 0) + b.n_packets
-        return packets
+        return dict(self._packets_by_kind)
 
     def index_overhead_fraction(self) -> float:
         """Fraction of the cycle occupied by index (non-data) packets."""
-        index_packets = sum(
-            b.n_packets for b in self.buckets if b.kind.is_index
-        )
-        return index_packets / self.cycle_packets
+        return self._index_packets / self.cycle_packets

@@ -25,7 +25,7 @@ replicated nodes, the next cycle otherwise).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .client import ClientSession, ReadResult
 from .config import SystemConfig
@@ -187,6 +187,34 @@ class TreeOnAir:
                 best = (bucket_index, start)
         if best is None:
             raise KeyError(f"node {node_id} is not broadcast")
+        return best
+
+    def next_pending_event(
+        self,
+        clock: int,
+        node_ids: Iterable[int],
+        oids: Iterable[int] = (),
+    ) -> Optional[Tuple[str, int, int]]:
+        """Earliest upcoming pending bucket: ``("node"|"data", id, bucket_index)``.
+
+        The search algorithms keep *pending sets* of node ids and object ids
+        they still need; the next relevant bucket on the channel is simply
+        the pending bucket with the earliest next occurrence.  Computing it
+        arithmetically (O(pending) occurrence lookups) replaces the
+        bucket-by-bucket channel scan of the naive sweep while visiting the
+        very same buckets in the very same arrival order.
+        """
+        best_start: Optional[int] = None
+        best: Optional[Tuple[str, int, int]] = None
+        for node_id in node_ids:
+            bucket_index, start = self.next_node_occurrence(node_id, clock)
+            if best_start is None or start < best_start:
+                best_start, best = start, ("node", node_id, bucket_index)
+        for oid in oids:
+            bucket_index = self.object_bucket[oid]
+            start = self.program.next_occurrence(bucket_index, clock)
+            if best_start is None or start < best_start:
+                best_start, best = start, ("data", oid, bucket_index)
         return best
 
     def read_node(

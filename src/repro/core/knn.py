@@ -30,6 +30,8 @@ over a broadcast built with ``DsiParameters(n_segments=2)``.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
@@ -76,14 +78,21 @@ class _SearchSpace:
         self.exact: Dict[int, float] = {}           # oid -> exact distance
         self.retrieved_hcs: Set[int] = set()
         self.lost_objects = 0
+        self._est_memo: Dict[int, float] = {}       # hc -> distance (memoised)
+        self._radius: Optional[float] = None        # invalidated on updates
 
     def estimate_distance(self, hc: int) -> float:
-        return self.q.distance_to(self.view.curve.representative_point(hc))
+        d = self._est_memo.get(hc)
+        if d is None:
+            d = self.q.distance_to(self.view.curve.representative_point(hc))
+            self._est_memo[hc] = d
+        return d
 
     def add_estimate(self, hc: int) -> None:
         if hc in self.estimates or hc in self.retrieved_hcs:
             return
         self.estimates[hc] = self.estimate_distance(hc)
+        self._radius = None
 
     def add_object(self, obj: DataObject) -> None:
         if obj.oid in self.retrieved:
@@ -94,6 +103,7 @@ class _SearchSpace:
         # An estimate for the same object (same HC value) would otherwise be
         # double-counted and shrink the radius below the true k-th distance.
         self.estimates.pop(obj.hc, None)
+        self._radius = None
 
     def learn_table(self, table: DsiTable) -> None:
         self.add_estimate(table.own_min_hc)
@@ -101,11 +111,20 @@ class _SearchSpace:
             self.add_estimate(entry.hc)
 
     def radius(self) -> float:
-        """Distance to the k-th best candidate (inf while fewer than k known)."""
-        dists = sorted(list(self.exact.values()) + list(self.estimates.values()))
-        if len(dists) < self.k:
-            return math.inf
-        return dists[self.k - 1]
+        """Distance to the k-th best candidate (inf while fewer than k known).
+
+        The value is cached between candidate updates; the k smallest of the
+        known distances are found with a bounded heap instead of a full sort.
+        """
+        if self._radius is None:
+            if len(self.exact) + len(self.estimates) < self.k:
+                self._radius = math.inf
+            else:
+                smallest = heapq.nsmallest(
+                    self.k, itertools.chain(self.exact.values(), self.estimates.values())
+                )
+                self._radius = smallest[-1]
+        return self._radius
 
     def prune_radius(self) -> float:
         r = self.radius()

@@ -62,7 +62,7 @@ def read_first_table(
     session.initial_probe()
     attempts = 0
     while True:
-        result = session.read_next_bucket(lambda b: b.kind is BucketKind.DSI_TABLE)
+        result = session.read_next_bucket(kind=BucketKind.DSI_TABLE)
         attempts += 1
         if result.ok:
             table: DsiTable = result.payload

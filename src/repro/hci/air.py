@@ -24,7 +24,6 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..broadcast.client import ClientSession
 from ..broadcast.config import SystemConfig
-from ..broadcast.program import BucketKind
 from ..broadcast.treeair import AirTreeNode, TreeOnAir
 from ..rtree.air import TreeQueryResult
 from ..spatial.datasets import DataObject, SpatialDataset
@@ -163,31 +162,22 @@ class HciAirIndex:
 
         guard = 64 * len(self.program) + 256
         steps = 0
-        for idx, _start in self.program.iter_from(session.clock):
-            if not pending_nodes and not (collect_data and pending_objects):
-                break
+        while pending_nodes or (collect_data and pending_objects):
             steps += 1
             if steps > guard:
                 break
-            bucket = self.program.buckets[idx]
-            if bucket.kind in (BucketKind.TREE_NODE, BucketKind.CONTROL):
-                node_id = bucket.meta["node_id"]
-                if node_id not in pending_nodes:
-                    continue
-                result = session.read_bucket(idx)
-                if not result.ok:
-                    continue
-                pending_nodes.discard(node_id)
+            kind, ident, bucket_index = self.air.next_pending_event(
+                session.clock, pending_nodes, pending_objects if collect_data else ()
+            )
+            result = session.read_bucket(bucket_index)
+            if not result.ok:
+                continue
+            if kind == "node":
+                pending_nodes.discard(ident)
                 nodes_read += 1
                 self._expand(result.payload, ranges, pending_nodes, pending_objects)
-            elif collect_data and bucket.kind is BucketKind.DATA:
-                oid = bucket.meta["oid"]
-                if oid not in pending_objects:
-                    continue
-                result = session.read_bucket(idx)
-                if not result.ok:
-                    continue
-                pending_objects.discard(oid)
+            else:
+                pending_objects.discard(ident)
                 objects_read += 1
                 retrieved.append(result.payload)
         return retrieved, nodes_read, objects_read
@@ -205,22 +195,17 @@ class HciAirIndex:
 
         guard = 64 * len(self.program) + 256
         steps = 0
-        for idx, _start in self.program.iter_from(session.clock):
-            if not pending_nodes:
-                break
+        while pending_nodes:
             steps += 1
             if steps > guard:
                 break
-            bucket = self.program.buckets[idx]
-            if bucket.kind not in (BucketKind.TREE_NODE, BucketKind.CONTROL):
-                continue
-            node_id = bucket.meta["node_id"]
-            if node_id not in pending_nodes:
-                continue
-            result = session.read_bucket(idx)
+            _kind, ident, bucket_index = self.air.next_pending_event(
+                session.clock, pending_nodes
+            )
+            result = session.read_bucket(bucket_index)
             if not result.ok:
                 continue
-            pending_nodes.discard(node_id)
+            pending_nodes.discard(ident)
             nodes_read += 1
             self._expand(result.payload, ranges, pending_nodes, sink, found)
         return found, nodes_read

@@ -2,9 +2,12 @@
 
 from .types import KnnQuery, Query, WindowQuery
 from .workload import Trial, Workload, knn_workload, mixed_workload, window_workload
-from .ground_truth import answer, matches
+from .ground_truth import GridGroundTruth, answer, brute_answer, grid_for, matches
 
 __all__ = [
+    "GridGroundTruth",
+    "brute_answer",
+    "grid_for",
     "WindowQuery",
     "KnnQuery",
     "Query",

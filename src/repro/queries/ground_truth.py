@@ -1,20 +1,154 @@
-"""Brute-force reference answers used by tests and result verification."""
+"""Reference answers used by tests and result verification.
+
+Two oracles coexist:
+
+* :func:`brute_answer` -- exhaustive scan over the dataset (the original,
+  obviously-correct oracle);
+* :class:`GridGroundTruth` -- a uniform-grid spatial index over the same
+  objects that answers window and kNN verification queries in (expected)
+  sublinear time.  The grid is exact, not approximate: window queries test
+  every candidate against the window, and the kNN ring expansion only stops
+  once no uncollected cell can hold an object at or below the current k-th
+  distance, so ties resolve identically to the brute-force scan.
+
+:func:`answer` / :func:`matches` use the grid (built lazily and cached per
+dataset); tests validate the grid against the brute-force oracle on random
+workloads.
+"""
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import math
+import weakref
+from typing import List, Sequence, Tuple
 
 from ..spatial.datasets import DataObject, SpatialDataset
+from ..spatial.geometry import Point, Rect
 from .types import KnnQuery, Query, WindowQuery
 
 
-def answer(dataset: SpatialDataset, query: Query) -> List[DataObject]:
-    """Exact answer of a query computed by exhaustive scan."""
+class GridGroundTruth:
+    """A uniform grid over a dataset, answering exact window/kNN queries."""
+
+    def __init__(self, dataset: SpatialDataset, cells_per_side: int = None) -> None:
+        n = len(dataset)
+        if cells_per_side is None:
+            # ~2 objects per occupied cell on a uniform dataset.
+            cells_per_side = max(1, int(math.sqrt(n / 2.0)))
+        self.dataset = dataset
+        self.side = cells_per_side
+        self.cell_width = 1.0 / cells_per_side
+        self._cells: List[List[DataObject]] = [[] for _ in range(cells_per_side**2)]
+        for obj in dataset.objects:
+            cx, cy = self._cell_of(obj.point.x, obj.point.y)
+            self._cells[cy * cells_per_side + cx].append(obj)
+
+    def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        side = self.side
+        cx = min(int(x * side) if x > 0.0 else 0, side - 1)
+        cy = min(int(y * side) if y > 0.0 else 0, side - 1)
+        return cx, cy
+
+    # -- window queries -------------------------------------------------------
+
+    def window(self, window: Rect) -> List[DataObject]:
+        """All objects inside ``window`` (inclusive boundary), sorted by oid."""
+        if window.max_x < 0.0 or window.max_y < 0.0 or window.min_x > 1.0 or window.min_y > 1.0:
+            return []
+        side = self.side
+        x0 = min(max(int(math.floor(window.min_x * side)), 0), side - 1)
+        y0 = min(max(int(math.floor(window.min_y * side)), 0), side - 1)
+        x1 = min(max(int(math.floor(window.max_x * side)), 0), side - 1)
+        y1 = min(max(int(math.floor(window.max_y * side)), 0), side - 1)
+        out: List[DataObject] = []
+        contains = window.contains_point
+        for cy in range(y0, y1 + 1):
+            row = cy * side
+            for cx in range(x0, x1 + 1):
+                for obj in self._cells[row + cx]:
+                    if contains(obj.point):
+                        out.append(obj)
+        out.sort(key=lambda o: o.oid)
+        return out
+
+    # -- kNN queries ----------------------------------------------------------
+
+    def k_nearest(self, q: Point, k: int) -> List[DataObject]:
+        """The ``k`` objects nearest to ``q`` (ties broken by object id).
+
+        Cells are visited in expanding Chebyshev rings around the query
+        cell.  Any point of a cell in ring ``r`` is at Euclidean distance at
+        least ``(r - 1) * cell_width`` from ``q``, so once that lower bound
+        exceeds the current k-th best distance no uncollected object can
+        enter the answer (or change a tie) and the expansion stops.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        side = self.side
+        w = self.cell_width
+        cqx, cqy = self._cell_of(min(max(q.x, 0.0), 1.0), min(max(q.y, 0.0), 1.0))
+        candidates: List[Tuple[float, int, DataObject]] = []
+        max_ring = max(cqx, side - 1 - cqx, cqy, side - 1 - cqy)
+        for ring in range(max_ring + 1):
+            if len(candidates) >= k:
+                candidates.sort()
+                kth = candidates[k - 1][0]
+                # Every cell at ring distance >= ring is at least
+                # (ring - 1) * w away; strict inequality keeps tie objects.
+                if (ring - 1) * w > kth:
+                    break
+            x0, x1 = cqx - ring, cqx + ring
+            y0, y1 = cqy - ring, cqy + ring
+            for cy in range(max(y0, 0), min(y1, side - 1) + 1):
+                on_y_edge = cy == y0 or cy == y1
+                row = cy * side
+                for cx in range(max(x0, 0), min(x1, side - 1) + 1):
+                    if not on_y_edge and cx != x0 and cx != x1:
+                        continue  # interior cells were visited by inner rings
+                    for obj in self._cells[row + cx]:
+                        candidates.append((obj.distance_to(q), obj.oid, obj))
+        candidates.sort()
+        return [obj for _d, _oid, obj in candidates[: min(k, len(candidates))]]
+
+    def answer(self, query: Query) -> List[DataObject]:
+        if isinstance(query, WindowQuery):
+            return self.window(query.window)
+        if isinstance(query, KnnQuery):
+            return self.k_nearest(query.point, query.k)
+        raise TypeError(f"unsupported query type: {type(query)!r}")
+
+
+#: Lazily built grids, one per live dataset (dropped with the dataset).
+_GRIDS: "weakref.WeakKeyDictionary[SpatialDataset, GridGroundTruth]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def grid_for(dataset: SpatialDataset) -> GridGroundTruth:
+    """The (cached) grid ground-truth index of a dataset."""
+    grid = _GRIDS.get(dataset)
+    if grid is None:
+        grid = GridGroundTruth(dataset)
+        _GRIDS[dataset] = grid
+    return grid
+
+
+def brute_answer(dataset: SpatialDataset, query: Query) -> List[DataObject]:
+    """Exact answer of a query computed by exhaustive scan (the slow oracle)."""
     if isinstance(query, WindowQuery):
         return dataset.objects_in_window(query.window)
     if isinstance(query, KnnQuery):
         return dataset.k_nearest(query.point, query.k)
     raise TypeError(f"unsupported query type: {type(query)!r}")
+
+
+def answer(dataset: SpatialDataset, query: Query, method: str = "grid") -> List[DataObject]:
+    """Exact answer of a query (``method``: ``"grid"`` fast path or ``"brute"``)."""
+    if method == "brute":
+        return brute_answer(dataset, query)
+    if method == "grid":
+        return grid_for(dataset).answer(query)
+    raise ValueError(f"unknown ground-truth method {method!r}")
 
 
 def matches(dataset: SpatialDataset, query: Query, result: Sequence[DataObject]) -> bool:
@@ -27,7 +161,7 @@ def matches(dataset: SpatialDataset, query: Query, result: Sequence[DataObject])
     """
     truth = answer(dataset, query)
     if isinstance(query, WindowQuery):
-        return sorted(o.oid for o in result) == sorted(o.oid for o in truth)
+        return sorted(o.oid for o in result) == [o.oid for o in truth]
     truth_dists = sorted(o.distance_to(query.point) for o in truth)
     result_dists = sorted(o.distance_to(query.point) for o in result)
     if len(truth_dists) != len(result_dists):

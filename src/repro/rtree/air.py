@@ -18,7 +18,6 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..broadcast.client import AccessMetrics, ClientSession
 from ..broadcast.config import SystemConfig
-from ..broadcast.program import BucketKind
 from ..broadcast.treeair import AirTreeNode, TreeOnAir
 from ..spatial.datasets import DataObject, SpatialDataset
 from ..spatial.geometry import Point, Rect
@@ -93,31 +92,22 @@ class RTreeAirIndex:
 
         guard = 64 * len(self.program) + 256
         steps = 0
-        for idx, _start in self.program.iter_from(session.clock):
-            if not pending_nodes and not pending_objects:
-                break
+        while pending_nodes or pending_objects:
             steps += 1
             if steps > guard:
                 break
-            bucket = self.program.buckets[idx]
-            if bucket.kind in (BucketKind.TREE_NODE, BucketKind.CONTROL):
-                node_id = bucket.meta["node_id"]
-                if node_id not in pending_nodes:
-                    continue
-                result = session.read_bucket(idx)
-                if not result.ok:
-                    continue  # wait for the node's next copy (tree recovery rule)
-                pending_nodes.discard(node_id)
+            kind, ident, bucket_index = self.air.next_pending_event(
+                session.clock, pending_nodes, pending_objects
+            )
+            result = session.read_bucket(bucket_index)
+            if not result.ok:
+                continue  # wait for the node's next copy (tree recovery rule)
+            if kind == "node":
+                pending_nodes.discard(ident)
                 nodes_read += 1
                 self._expand_window(result.payload, window, pending_nodes, pending_objects)
-            elif bucket.kind is BucketKind.DATA:
-                oid = bucket.meta["oid"]
-                if oid not in pending_objects:
-                    continue
-                result = session.read_bucket(idx)
-                if not result.ok:
-                    continue
-                pending_objects.discard(oid)
+            else:
+                pending_objects.discard(ident)
                 objects_read += 1
                 retrieved.append(result.payload)
 
@@ -154,40 +144,35 @@ class RTreeAirIndex:
 
         guard = 64 * len(self.program) + 256
         steps = 0
-        for idx, _start in self.program.iter_from(session.clock):
-            if state.finished():
-                break
+        while not state.finished():
             steps += 1
             if steps > guard:
                 break
-            bucket = self.program.buckets[idx]
-            if bucket.kind in (BucketKind.TREE_NODE, BucketKind.CONTROL):
-                node_id = bucket.meta["node_id"]
-                mindist = state.pending_nodes.get(node_id)
-                if mindist is None:
+            event = self.air.next_pending_event(
+                session.clock, state.pending_nodes, state.pending_data
+            )
+            if event is None:
+                break  # nothing pending; missing answers are fetched below
+            kind, ident, bucket_index = event
+            if kind == "node":
+                if state.pending_nodes[ident] > state.bound():
+                    del state.pending_nodes[ident]
                     continue
-                if mindist > state.bound():
-                    del state.pending_nodes[node_id]
-                    continue
-                result = session.read_bucket(idx)
+                result = session.read_bucket(bucket_index)
                 if not result.ok:
                     continue
-                del state.pending_nodes[node_id]
+                del state.pending_nodes[ident]
                 nodes_read += 1
                 state.expand(result.payload)
-            elif bucket.kind is BucketKind.DATA:
-                oid = bucket.meta["oid"]
-                dist = state.pending_data.get(oid)
-                if dist is None:
+            else:
+                if state.pending_data[ident] > state.bound():
+                    del state.pending_data[ident]
                     continue
-                if dist > state.bound():
-                    del state.pending_data[oid]
-                    continue
-                result = session.read_bucket(idx)
+                result = session.read_bucket(bucket_index)
                 if not result.ok:
                     continue
-                del state.pending_data[oid]
-                state.downloaded[oid] = result.payload
+                del state.pending_data[ident]
+                state.downloaded[ident] = result.payload
 
         # Any of the final k answers not downloaded yet must still be fetched
         # (possibly waiting for the next cycle): the query is not satisfied

@@ -1,12 +1,15 @@
 """Simulation harness: experiment runner, sweeps and reporting."""
 
 from .metrics import ExperimentResult, MetricSummary, deterioration
+from .parallel import default_processes, parallel_map
 from .runner import (
     INDEX_NAMES,
     IndexSpec,
     build_index,
+    clear_index_cache,
     compare_indexes,
     default_specs,
+    index_cache_stats,
     run_workload,
 )
 from .sweep import (
@@ -26,9 +29,13 @@ __all__ = [
     "IndexSpec",
     "INDEX_NAMES",
     "build_index",
+    "clear_index_cache",
+    "index_cache_stats",
     "run_workload",
     "compare_indexes",
     "default_specs",
+    "default_processes",
+    "parallel_map",
     "reorganization_sweep",
     "window_capacity_sweep",
     "window_ratio_sweep",

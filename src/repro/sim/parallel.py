@@ -1,0 +1,67 @@
+"""Deterministic multiprocessing fan-out over sweep points.
+
+Every figure sweep is an embarrassingly parallel loop over independent
+points (capacities, window ratios, values of k): each point builds its own
+indexes and replays a seeded workload, so points can run in separate worker
+processes without any shared state.  Determinism is preserved because all
+randomness flows through explicit seeds carried in the task arguments --
+a parallel run produces bit-identical rows to a serial run, in the same
+order.
+
+The executor degrades gracefully: on a single-core box, when only one task
+is submitted, when ``REPRO_PROCESSES=1`` or when the platform offers no
+``fork`` start method (pickling module-level workers plus their arguments
+is all that is required of the platform otherwise), the tasks simply run
+serially in-process -- which also keeps the per-process index-build cache
+effective.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+#: Environment variable overriding the worker count (``1`` forces serial).
+PROCESSES_ENV = "REPRO_PROCESSES"
+
+#: Upper bound on auto-detected workers (sweep points are coarse-grained;
+#: more workers than points is never useful and a modest cap keeps memory
+#: bounded when every worker holds its own copies of the built indexes).
+MAX_AUTO_PROCESSES = 8
+
+
+def default_processes() -> int:
+    """Worker count: ``REPRO_PROCESSES`` if set, else the (capped) CPU count."""
+    env = os.environ.get(PROCESSES_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, min(MAX_AUTO_PROCESSES, os.cpu_count() or 1))
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    tasks: Sequence[Tuple],
+    processes: Optional[int] = None,
+) -> List[Any]:
+    """Apply ``fn(*task)`` to every task, fanning out over processes.
+
+    ``fn`` must be a module-level callable (picklable); results are returned
+    in task order.  ``processes=None`` auto-detects via
+    :func:`default_processes`; any value <= 1 (or a single task, or an
+    unavailable ``fork`` start method) runs serially in-process.
+    """
+    tasks = list(tasks)
+    if processes is None:
+        processes = default_processes()
+    if processes <= 1 or len(tasks) <= 1:
+        return [fn(*task) for task in tasks]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        return [fn(*task) for task in tasks]
+    with ctx.Pool(processes=min(processes, len(tasks))) as pool:
+        return pool.starmap(fn, tasks)

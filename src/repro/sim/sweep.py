@@ -3,6 +3,15 @@
 Every function returns a list of plain dictionaries (one per curve point),
 so the benchmark harness can print them as the rows of the corresponding
 figure and EXPERIMENTS.md can archive them.
+
+Each sweep is expressed as a module-level *point worker* (one capacity, one
+ratio, one k) plus a thin driver that fans the points out through
+:func:`repro.sim.parallel.parallel_map`.  Workers are module-level so they
+pickle cleanly into worker processes; all randomness flows through explicit
+seeds, so serial and parallel runs produce identical rows in identical
+order.  Index builds inside a point go through the runner's build cache, so
+e.g. the reorganization sweep builds each DSI variant exactly once per
+capacity even though it replays both a window and a kNN workload against it.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from ..core.structure import DsiParameters
 from ..queries.workload import Workload, knn_workload, window_workload
 from ..spatial.datasets import SpatialDataset
 from .metrics import ExperimentResult, deterioration
+from .parallel import parallel_map
 from .runner import IndexSpec, build_index, compare_indexes, default_specs, run_workload
 
 
@@ -29,20 +39,21 @@ def _rows(results: Dict[str, ExperimentResult], **extra) -> List[Dict[str, float
     return rows
 
 
-def reorganization_sweep(
-    dataset: SpatialDataset,
-    capacities: Sequence[int],
-    n_queries: int = 50,
-    k: int = 10,
-    win_side_ratio: float = 0.1,
-    seed: int = 42,
-    verify: bool = False,
-) -> List[Dict[str, float]]:
-    """Figure 8: original vs reorganized broadcast, window and 10NN queries.
+# ---------------------------------------------------------------------------
+# Figure 8: broadcast reorganization
+# ---------------------------------------------------------------------------
 
-    Curves: ``Original``/``Reorganized`` for window queries, and
-    ``Conservative``/``Aggressive``/``Reorganized`` for kNN queries.
-    """
+
+def _reorganization_point(
+    dataset: SpatialDataset,
+    capacity: int,
+    n_queries: int,
+    k: int,
+    win_side_ratio: float,
+    seed: int,
+    verify: bool,
+) -> List[Dict[str, float]]:
+    """One capacity of Figure 8 (all index variants, both workloads)."""
     rows: List[Dict[str, float]] = []
     win = window_workload(n_queries, win_side_ratio, seed=seed)
     knn = knn_workload(n_queries, k=k, seed=seed)
@@ -51,39 +62,85 @@ def reorganization_sweep(
         ("Reorganized", DsiParameters(n_segments=2), "conservative"),
         ("Aggressive", DsiParameters(n_segments=1), "aggressive"),
     ]
-    for capacity in capacities:
-        config = SystemConfig(packet_capacity=capacity)
-        for label, params, strategy in variants:
-            index = build_index(IndexSpec(kind="dsi", dsi_params=params), dataset, config)
-            if label != "Aggressive":
-                res_w = run_workload(
-                    index, dataset, config, win, verify=verify, label=label
-                )
-                rows.append(
-                    {
-                        "figure": "8ab",
-                        "query": "window",
-                        "capacity": capacity,
-                        "index": label,
-                        "latency_bytes": res_w.mean_latency_bytes,
-                        "tuning_bytes": res_w.mean_tuning_bytes,
-                    }
-                )
-            knn_label = "Conservative" if label == "Original" else label
-            res_k = run_workload(
-                index, dataset, config, knn, verify=verify, knn_strategy=strategy, label=knn_label
+    config = SystemConfig(packet_capacity=capacity)
+    for label, params, strategy in variants:
+        index = build_index(
+            IndexSpec(kind="dsi", dsi_params=params), dataset, config, use_cache=True
+        )
+        if label != "Aggressive":
+            res_w = run_workload(
+                index, dataset, config, win, verify=verify, label=label
             )
             rows.append(
                 {
-                    "figure": "8cd",
-                    "query": f"{k}NN",
+                    "figure": "8ab",
+                    "query": "window",
                     "capacity": capacity,
-                    "index": knn_label,
-                    "latency_bytes": res_k.mean_latency_bytes,
-                    "tuning_bytes": res_k.mean_tuning_bytes,
+                    "index": label,
+                    "latency_bytes": res_w.mean_latency_bytes,
+                    "tuning_bytes": res_w.mean_tuning_bytes,
                 }
             )
+        knn_label = "Conservative" if label == "Original" else label
+        res_k = run_workload(
+            index, dataset, config, knn, verify=verify, knn_strategy=strategy, label=knn_label
+        )
+        rows.append(
+            {
+                "figure": "8cd",
+                "query": f"{k}NN",
+                "capacity": capacity,
+                "index": knn_label,
+                "latency_bytes": res_k.mean_latency_bytes,
+                "tuning_bytes": res_k.mean_tuning_bytes,
+            }
+        )
     return rows
+
+
+def reorganization_sweep(
+    dataset: SpatialDataset,
+    capacities: Sequence[int],
+    n_queries: int = 50,
+    k: int = 10,
+    win_side_ratio: float = 0.1,
+    seed: int = 42,
+    verify: bool = False,
+    processes: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Figure 8: original vs reorganized broadcast, window and 10NN queries.
+
+    Curves: ``Original``/``Reorganized`` for window queries, and
+    ``Conservative``/``Aggressive``/``Reorganized`` for kNN queries.
+    """
+    tasks = [
+        (dataset, capacity, n_queries, k, win_side_ratio, seed, verify)
+        for capacity in capacities
+    ]
+    per_point = parallel_map(_reorganization_point, tasks, processes=processes)
+    return [row for rows in per_point for row in rows]
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: window queries vs packet capacity
+# ---------------------------------------------------------------------------
+
+
+def _window_capacity_point(
+    dataset: SpatialDataset,
+    capacity: int,
+    n_queries: int,
+    win_side_ratio: float,
+    seed: int,
+    verify: bool,
+) -> List[Dict[str, float]]:
+    workload = window_workload(n_queries, win_side_ratio, seed=seed)
+    config = SystemConfig(packet_capacity=capacity)
+    specs = default_specs(
+        include_rtree=capacity >= 2 * config.coord_size + config.pointer_size
+    )
+    results = compare_indexes(dataset, config, workload, specs=specs, verify=verify)
+    return _rows(results, figure="9", query="window", capacity=capacity)
 
 
 def window_capacity_sweep(
@@ -93,16 +150,34 @@ def window_capacity_sweep(
     win_side_ratio: float = 0.1,
     seed: int = 42,
     verify: bool = False,
+    processes: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Figure 9: window queries, DSI vs R-tree vs HCI, varying packet capacity."""
-    rows: List[Dict[str, float]] = []
-    workload = window_workload(n_queries, win_side_ratio, seed=seed)
-    for capacity in capacities:
-        config = SystemConfig(packet_capacity=capacity)
-        specs = default_specs(include_rtree=capacity >= 2 * config.coord_size + config.pointer_size)
-        results = compare_indexes(dataset, config, workload, specs=specs, verify=verify)
-        rows.extend(_rows(results, figure="9", query="window", capacity=capacity))
-    return rows
+    tasks = [
+        (dataset, capacity, n_queries, win_side_ratio, seed, verify)
+        for capacity in capacities
+    ]
+    per_point = parallel_map(_window_capacity_point, tasks, processes=processes)
+    return [row for rows in per_point for row in rows]
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: window queries vs window-side ratio
+# ---------------------------------------------------------------------------
+
+
+def _window_ratio_point(
+    dataset: SpatialDataset,
+    ratio: float,
+    capacity: int,
+    n_queries: int,
+    seed: int,
+    verify: bool,
+) -> List[Dict[str, float]]:
+    config = SystemConfig(packet_capacity=capacity)
+    workload = window_workload(n_queries, ratio, seed=seed)
+    results = compare_indexes(dataset, config, workload, verify=verify)
+    return _rows(results, figure="10", query="window", win_side_ratio=ratio)
 
 
 def window_ratio_sweep(
@@ -112,15 +187,34 @@ def window_ratio_sweep(
     n_queries: int = 50,
     seed: int = 42,
     verify: bool = False,
+    processes: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Figure 10: window queries, varying WinSideRatio at a fixed capacity."""
-    rows: List[Dict[str, float]] = []
+    tasks = [(dataset, ratio, capacity, n_queries, seed, verify) for ratio in ratios]
+    per_point = parallel_map(_window_ratio_point, tasks, processes=processes)
+    return [row for rows in per_point for row in rows]
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: kNN queries vs packet capacity
+# ---------------------------------------------------------------------------
+
+
+def _knn_capacity_point(
+    dataset: SpatialDataset,
+    capacity: int,
+    k: int,
+    n_queries: int,
+    seed: int,
+    verify: bool,
+) -> List[Dict[str, float]]:
+    workload = knn_workload(n_queries, k=k, seed=seed)
     config = SystemConfig(packet_capacity=capacity)
-    for ratio in ratios:
-        workload = window_workload(n_queries, ratio, seed=seed)
-        results = compare_indexes(dataset, config, workload, verify=verify)
-        rows.extend(_rows(results, figure="10", query="window", win_side_ratio=ratio))
-    return rows
+    specs = default_specs(
+        include_rtree=capacity >= 2 * config.coord_size + config.pointer_size
+    )
+    results = compare_indexes(dataset, config, workload, specs=specs, verify=verify)
+    return _rows(results, figure="11", query=f"{k}NN", capacity=capacity, k=k)
 
 
 def knn_capacity_sweep(
@@ -130,16 +224,33 @@ def knn_capacity_sweep(
     n_queries: int = 50,
     seed: int = 42,
     verify: bool = False,
+    processes: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Figure 11: kNN queries (k = 1 and k = 10 in the paper), varying capacity."""
-    rows: List[Dict[str, float]] = []
+    tasks = [
+        (dataset, capacity, k, n_queries, seed, verify) for capacity in capacities
+    ]
+    per_point = parallel_map(_knn_capacity_point, tasks, processes=processes)
+    return [row for rows in per_point for row in rows]
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: kNN queries vs k
+# ---------------------------------------------------------------------------
+
+
+def _knn_k_point(
+    dataset: SpatialDataset,
+    k: int,
+    capacity: int,
+    n_queries: int,
+    seed: int,
+    verify: bool,
+) -> List[Dict[str, float]]:
+    config = SystemConfig(packet_capacity=capacity)
     workload = knn_workload(n_queries, k=k, seed=seed)
-    for capacity in capacities:
-        config = SystemConfig(packet_capacity=capacity)
-        specs = default_specs(include_rtree=capacity >= 2 * config.coord_size + config.pointer_size)
-        results = compare_indexes(dataset, config, workload, specs=specs, verify=verify)
-        rows.extend(_rows(results, figure="11", query=f"{k}NN", capacity=capacity, k=k))
-    return rows
+    results = compare_indexes(dataset, config, workload, verify=verify)
+    return _rows(results, figure="12", query="knn", k=k)
 
 
 def knn_k_sweep(
@@ -149,14 +260,62 @@ def knn_k_sweep(
     n_queries: int = 50,
     seed: int = 42,
     verify: bool = False,
+    processes: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Figure 12: kNN queries, varying k at a fixed capacity."""
-    rows: List[Dict[str, float]] = []
+    tasks = [(dataset, k, capacity, n_queries, seed, verify) for k in ks]
+    per_point = parallel_map(_knn_k_point, tasks, processes=processes)
+    return [row for rows in per_point for row in rows]
+
+
+# ---------------------------------------------------------------------------
+# Table 1: link errors
+# ---------------------------------------------------------------------------
+
+
+def _link_error_rows_for_spec(
+    dataset: SpatialDataset,
+    spec: IndexSpec,
+    thetas: Sequence[float],
+    capacity: int,
+    n_queries: int,
+    k: int,
+    win_side_ratio: float,
+    seed: int,
+    error_scope: str,
+) -> List[Dict[str, float]]:
+    """All thetas of Table 1 for one index (shares the error-free baseline)."""
     config = SystemConfig(packet_capacity=capacity)
-    for k in ks:
-        workload = knn_workload(n_queries, k=k, seed=seed)
-        results = compare_indexes(dataset, config, workload, verify=verify)
-        rows.extend(_rows(results, figure="12", query="knn", k=k))
+    win = window_workload(n_queries, win_side_ratio, seed=seed)
+    knn = knn_workload(n_queries, k=k, seed=seed)
+    index = build_index(spec, dataset, config, use_cache=True)
+    baselines = {
+        "window": run_workload(index, dataset, config, win, verify=False, label=spec.display_name),
+        "knn": run_workload(index, dataset, config, knn, verify=False, label=spec.display_name),
+    }
+    rows: List[Dict[str, float]] = []
+    for theta in thetas:
+        error = LinkErrorModel(theta=theta, scope=error_scope, seed=seed)
+        degraded_w = run_workload(
+            index, dataset, config, win, error_model=error, verify=False, label=spec.display_name
+        )
+        error = LinkErrorModel(theta=theta, scope=error_scope, seed=seed + 1)
+        degraded_k = run_workload(
+            index, dataset, config, knn, error_model=error, verify=False, label=spec.display_name
+        )
+        det_w = deterioration(baselines["window"], degraded_w)
+        det_k = deterioration(baselines["knn"], degraded_k)
+        rows.append(
+            {
+                "table": "1",
+                "index": spec.display_name,
+                "theta": theta,
+                "window_latency_pct": det_w["latency_pct"],
+                "window_tuning_pct": det_w["tuning_pct"],
+                "knn_latency_pct": det_k["latency_pct"],
+                "knn_tuning_pct": det_k["tuning_pct"],
+            }
+        )
     return rows
 
 
@@ -169,42 +328,16 @@ def link_error_table(
     win_side_ratio: float = 0.1,
     seed: int = 42,
     error_scope: str = "index",
+    processes: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Table 1: percentage deterioration under link errors.
 
     For every index and every theta the deterioration is reported relative
     to the same index running over a lossless channel (theta = 0).
     """
-    config = SystemConfig(packet_capacity=capacity)
-    win = window_workload(n_queries, win_side_ratio, seed=seed)
-    knn = knn_workload(n_queries, k=k, seed=seed)
-    rows: List[Dict[str, float]] = []
-    for spec in default_specs():
-        index = build_index(spec, dataset, config)
-        baselines = {
-            "window": run_workload(index, dataset, config, win, verify=False, label=spec.display_name),
-            "knn": run_workload(index, dataset, config, knn, verify=False, label=spec.display_name),
-        }
-        for theta in thetas:
-            error = LinkErrorModel(theta=theta, scope=error_scope, seed=seed)
-            degraded_w = run_workload(
-                index, dataset, config, win, error_model=error, verify=False, label=spec.display_name
-            )
-            error = LinkErrorModel(theta=theta, scope=error_scope, seed=seed + 1)
-            degraded_k = run_workload(
-                index, dataset, config, knn, error_model=error, verify=False, label=spec.display_name
-            )
-            det_w = deterioration(baselines["window"], degraded_w)
-            det_k = deterioration(baselines["knn"], degraded_k)
-            rows.append(
-                {
-                    "table": "1",
-                    "index": spec.display_name,
-                    "theta": theta,
-                    "window_latency_pct": det_w["latency_pct"],
-                    "window_tuning_pct": det_w["tuning_pct"],
-                    "knn_latency_pct": det_k["latency_pct"],
-                    "knn_tuning_pct": det_k["tuning_pct"],
-                }
-            )
-    return rows
+    tasks = [
+        (dataset, spec, tuple(thetas), capacity, n_queries, k, win_side_ratio, seed, error_scope)
+        for spec in default_specs()
+    ]
+    per_spec = parallel_map(_link_error_rows_for_spec, tasks, processes=processes)
+    return [row for rows in per_spec for row in rows]

@@ -16,6 +16,7 @@ and the per-object HC values; every index implementation builds from it.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -25,7 +26,7 @@ from .geometry import Point, Rect
 from .hilbert import HilbertCurve, order_for_points
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataObject:
     """One broadcast data object: an identifier, a location and its HC value.
 
@@ -55,10 +56,18 @@ class SpatialDataset:
         self.name = name
         order = curve_order if curve_order is not None else order_for_points(len(points))
         self.curve = HilbertCurve(order)
+        pts = list(points)
+        coords = np.empty((len(pts), 2), dtype=np.float64)
+        coords[:, 0] = [p.x for p in pts]
+        coords[:, 1] = [p.y for p in pts]
+        hcs = self.curve.values_of(coords)
         self.objects: List[DataObject] = [
-            DataObject(oid=i, point=p, hc=self.curve.value_of(p))
-            for i, p in enumerate(points)
+            DataObject(oid=i, point=p, hc=int(h)) for i, (p, h) in enumerate(zip(pts, hcs))
         ]
+        self._coords = coords
+        self._coords.setflags(write=False)
+        self._by_hc: Optional[List[DataObject]] = None
+        self._fingerprint: Optional[str] = None
 
     # -- container protocol --------------------------------------------------
 
@@ -75,11 +84,33 @@ class SpatialDataset:
 
     def objects_by_hc(self) -> List[DataObject]:
         """Objects sorted by HC value (ties broken by object id)."""
-        return sorted(self.objects, key=lambda o: (o.hc, o.oid))
+        if self._by_hc is None:
+            self._by_hc = sorted(self.objects, key=lambda o: (o.hc, o.oid))
+        return list(self._by_hc)
 
     def points_array(self) -> np.ndarray:
-        """(N, 2) float64 array of coordinates (for vectorised ground truth)."""
-        return np.array([[o.point.x, o.point.y] for o in self.objects], dtype=np.float64)
+        """(N, 2) float64 array of coordinates (for vectorised ground truth).
+
+        The array is cached at construction time and read-only.
+        """
+        return self._coords
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash of the dataset (used as an index-cache key).
+
+        Covers the curve order and every object's HC value -- two datasets
+        with equal fingerprints produce identical broadcast programs for any
+        index configuration.
+        """
+        if self._fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(self.name.encode())
+            h.update(self.curve.order.to_bytes(1, "big"))
+            h.update(np.ascontiguousarray(self._coords).tobytes())
+            h.update(np.array([o.hc for o in self.objects], dtype=np.int64).tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def bounding_rect(self) -> Rect:
         return Rect.from_points([o.point for o in self.objects])

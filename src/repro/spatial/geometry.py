@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Tuple
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Point:
     """A point in the unit square."""
 
@@ -44,7 +44,7 @@ class Point:
         yield self.y
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Rect:
     """Axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
 

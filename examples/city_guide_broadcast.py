@@ -8,18 +8,18 @@ Mobile users issue the two classical location-based queries:
 * "what is in the rectangle I am looking at on my map?" (window query)
 * "where are the 10 nearest restaurants?" (kNN query)
 
-The example compares the three air indexes of the paper on the same set of
-user requests and prints the average access latency (how long the user
-waits) and tuning time (how much energy the radio burns).
+The example declares the comparison with the public ``Experiment`` builder:
+the three air indexes of the paper answer the same set of user requests
+(paired trials), and the table shows the average access latency (how long
+the user waits) and tuning time (how much energy the radio burns).
 
 Run with ``python examples/city_guide_broadcast.py``.
 """
 
 from __future__ import annotations
 
-from repro import SystemConfig, real_surrogate_dataset
-from repro.queries import knn_workload, window_workload
-from repro.sim import compare_indexes, format_table
+from repro import Experiment, SystemConfig, real_surrogate_dataset
+from repro.sim import format_table
 
 
 def main() -> None:
@@ -29,11 +29,14 @@ def main() -> None:
     print(f"Broadcasting {len(dataset)} points of interest "
           f"({config.packet_capacity}-byte packets, {config.object_size}-byte objects)\n")
 
-    window = window_workload(n_queries=30, win_side_ratio=0.1, seed=1)
-    knn = knn_workload(n_queries=30, k=10, seed=2)
-
-    for title, workload in (("Map-view window queries", window), ("10 nearest restaurants", knn)):
-        results = compare_indexes(dataset, config, workload, verify=True)
+    experiments = (
+        ("Map-view window queries",
+         Experiment(dataset).config(config).window_workload(n_queries=30, seed=1)),
+        ("10 nearest restaurants",
+         Experiment(dataset).config(config).knn_workload(n_queries=30, k=10, seed=2)),
+    )
+    for title, experiment in experiments:
+        results = experiment.verify(True).run().results()
         rows = []
         for name, res in results.items():
             rows.append(

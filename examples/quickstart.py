@@ -1,18 +1,20 @@
-"""Quickstart: build a DSI broadcast and run both query types.
+"""Quickstart: air a DSI broadcast and run both query types.
 
 Run with ``python examples/quickstart.py``.
 
-The example builds the reorganized DSI broadcast over a uniform dataset,
-tunes a client in at a random point of the cycle and runs one window query
-and one 5NN query, printing the objects found and the two paper metrics
-(access latency and tuning time, in bytes).
+The example uses the public service layer (``repro.api``): a
+:class:`BroadcastServer` builds the reorganized DSI broadcast over a
+uniform dataset, a :class:`MobileClient` tunes in at seeded-random points
+of the cycle and runs one window query and one 5NN query, printing the
+objects found and the two paper metrics (access latency and tuning time,
+in bytes).
 """
 
 from __future__ import annotations
 
 import random
 
-from repro import ClientSession, DsiIndex, DsiParameters, SystemConfig, uniform_dataset
+from repro import BroadcastServer, SystemConfig, uniform_dataset
 from repro.spatial import Point, Rect
 
 
@@ -20,42 +22,43 @@ def main() -> None:
     rng = random.Random(2005)
 
     # 1. The server side: a dataset, the broadcast system parameters and the
-    #    DSI index (two interleaved broadcast segments, the paper's default
-    #    for its comparisons).
+    #    index to air ("dsi" is the reorganized broadcast, the paper's
+    #    default for its comparisons; any registered kind works here).
     dataset = uniform_dataset(2_000, seed=7)
-    config = SystemConfig(packet_capacity=64)
-    index = DsiIndex(dataset, config, DsiParameters(n_segments=2))
+    server = BroadcastServer(dataset, SystemConfig(packet_capacity=64), index="dsi")
 
-    info = index.describe()
+    info = server.describe()
     print("Broadcast program:")
     for key in ("n_objects", "n_frames", "object_factor", "cycle_bytes", "index_overhead"):
         print(f"  {key:15s} {info[key]}")
 
-    # 2. A client tunes in at a random position and asks for every object in
-    #    a 10% x 10% window around where it is standing.
+    # 2. A client tunes in (at a seeded-random packet of the cycle -- pass
+    #    at= for an explicit position) and asks for every object in a
+    #    10% x 10% window around where it is standing.
+    client = server.client(seed=rng.randrange(2**32))
     here = Point(rng.random(), rng.random())
     window = Rect.from_center(here, 0.05).clipped_to_unit()
-    session = ClientSession(
-        index.program, config, start_packet=rng.randrange(index.program.cycle_packets)
-    )
-    result = index.window_query(window, session)
+    result = client.window_query(window)
     print(f"\nWindow query around ({here.x:.2f}, {here.y:.2f}):")
     print(f"  objects found   {len(result.objects)}")
     print(f"  access latency  {result.metrics.latency_bytes:,} bytes")
     print(f"  tuning time     {result.metrics.tuning_bytes:,} bytes")
     print(f"  frames visited  {result.frames_visited}")
 
-    # 3. The same client later asks for its five nearest objects.
-    session = ClientSession(
-        index.program, config, start_packet=rng.randrange(index.program.cycle_packets)
-    )
-    knn = index.knn_query(here, k=5, session=session)
+    # 3. The same client later asks for its five nearest objects (a fresh
+    #    tune-in per query, as in the paper's one-query-per-session model).
+    knn = client.knn_query(here, k=5)
     print(f"\n5NN query around ({here.x:.2f}, {here.y:.2f}):")
     for obj in knn.objects:
         print(f"  object {obj.oid:5d} at ({obj.point.x:.3f}, {obj.point.y:.3f}) "
               f"distance {obj.distance_to(here):.4f}")
     print(f"  access latency  {knn.metrics.latency_bytes:,} bytes")
     print(f"  tuning time     {knn.metrics.tuning_bytes:,} bytes")
+
+    # 4. The client kept per-query records and cumulative totals.
+    print(f"\nClient session: {client.queries_run} queries, "
+          f"{client.total_latency_bytes:,} latency bytes, "
+          f"{client.total_tuning_bytes:,} tuning bytes in total")
 
 
 if __name__ == "__main__":

@@ -9,32 +9,40 @@ The three DSI variants trade access latency against tuning time:
 * reorganized  -- the conservative client over the two-segment interleaved
   broadcast, the configuration the paper uses for its comparisons.
 
+Each variant is declared as an :class:`IndexSpec` (label, DSI parameters,
+kNN strategy) and the whole comparison is one ``Experiment``.
+
 Run with ``python examples/strategy_tradeoffs.py``.
 """
 
 from __future__ import annotations
 
-from repro import DsiParameters, SystemConfig, uniform_dataset
-from repro.queries import knn_workload
-from repro.sim import IndexSpec, build_index, format_table, run_workload
+from repro import DsiParameters, Experiment, IndexSpec, SystemConfig, uniform_dataset
+from repro.sim import format_table
 
 
 def main() -> None:
     dataset = uniform_dataset(1_500, seed=21)
-    config = SystemConfig(packet_capacity=64)
-    workload = knn_workload(n_queries=30, k=10, seed=9)
 
     variants = [
-        ("Conservative", DsiParameters(n_segments=1), "conservative"),
-        ("Aggressive", DsiParameters(n_segments=1), "aggressive"),
-        ("Reorganized", DsiParameters(n_segments=2), "conservative"),
+        IndexSpec(kind="dsi", label="Conservative",
+                  dsi_params=DsiParameters(n_segments=1), knn_strategy="conservative"),
+        IndexSpec(kind="dsi", label="Aggressive",
+                  dsi_params=DsiParameters(n_segments=1), knn_strategy="aggressive"),
+        IndexSpec(kind="dsi", label="Reorganized",
+                  dsi_params=DsiParameters(n_segments=2), knn_strategy="conservative"),
     ]
+    results = (
+        Experiment(dataset)
+        .config(SystemConfig(packet_capacity=64))
+        .indexes(*variants)
+        .knn_workload(n_queries=30, k=10, seed=9)
+        .verify(True)
+        .run()
+        .results()
+    )
     rows = []
-    for label, params, strategy in variants:
-        index = build_index(IndexSpec(kind="dsi", dsi_params=params), dataset, config)
-        res = run_workload(
-            index, dataset, config, workload, knn_strategy=strategy, verify=True, label=label
-        )
+    for label, res in results.items():
         rows.append(
             {
                 "variant": label,

@@ -3,6 +3,9 @@ Broadcast* (Lee & Zheng, 2005).
 
 The package is organised as:
 
+* :mod:`repro.api` -- the **public service layer**: the ``AirIndex``
+  protocol, the pluggable index registry, ``BroadcastServer`` /
+  ``MobileClient`` and the fluent ``Experiment`` builder;
 * :mod:`repro.spatial` -- geometry, Hilbert curve and datasets;
 * :mod:`repro.broadcast` -- the wireless broadcast system model (packets,
   programs, clients, link errors, tree-on-air layout);
@@ -15,17 +18,15 @@ The package is organised as:
 * :mod:`repro.sim` -- the experiment runner and the sweeps behind every
   figure and table of the paper's evaluation.
 
-Quickstart::
+Quickstart (see README.md for more)::
 
-    from repro import (SystemConfig, uniform_dataset, DsiIndex, DsiParameters,
-                       ClientSession)
+    from repro import BroadcastServer, SystemConfig, uniform_dataset
     from repro.spatial import Point, Rect
 
     dataset = uniform_dataset(2_000)
-    config = SystemConfig(packet_capacity=64)
-    index = DsiIndex(dataset, config, DsiParameters(n_segments=2))
-    session = ClientSession(index.program, config, start_packet=0)
-    result = index.knn_query(Point(0.4, 0.6), k=5, session=session)
+    server = BroadcastServer(dataset, SystemConfig(packet_capacity=64), index="dsi")
+    client = server.client(seed=2005)
+    result = client.knn_query(Point(0.4, 0.6), k=5)
     print(result.object_ids, result.metrics.tuning_bytes)
 """
 
@@ -49,14 +50,34 @@ from .spatial import (
     real_surrogate_dataset,
     uniform_dataset,
 )
+from .api import (
+    AirIndex,
+    BroadcastServer,
+    Experiment,
+    MobileClient,
+    available_indexes,
+    cache_stats,
+    clear_index_cache,
+    create_index,
+    register_index,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SystemConfig",
     "ClientSession",
     "LinkErrorModel",
     "PAPER_PACKET_CAPACITIES",
+    "AirIndex",
+    "BroadcastServer",
+    "MobileClient",
+    "Experiment",
+    "register_index",
+    "available_indexes",
+    "create_index",
+    "cache_stats",
+    "clear_index_cache",
     "DsiIndex",
     "DsiParameters",
     "RTreeAirIndex",

@@ -1,0 +1,85 @@
+"""`repro.api` -- the public service layer of the reproduction.
+
+This package is the single public surface of the system, mirroring the
+paper's architecture:
+
+* :class:`AirIndex` -- the protocol every index strategy implements;
+* :func:`register_index` / :func:`available_indexes` / :func:`create_index`
+  -- the pluggable index registry (plus the build cache behind
+  :func:`cache_stats` / :func:`clear_index_cache`);
+* :class:`BroadcastServer` / :class:`MobileClient` -- the server airing a
+  packet cycle and the clients tuning in to answer queries;
+* :class:`Experiment` -- the fluent builder behind every figure sweep.
+
+Submodules are imported lazily so that low-level packages (``repro.core``,
+``repro.rtree``, ``repro.hci``) can import :mod:`repro.api.protocol`
+without dragging the whole service layer -- importing ``repro.api`` itself
+is therefore free of circular-import hazards.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    # protocol
+    "AirIndex": ".protocol",
+    "ensure_air_index": ".protocol",
+    "missing_members": ".protocol",
+    # registry + build cache
+    "IndexSpec": ".registry",
+    "IndexEntry": ".registry",
+    "register_index": ".registry",
+    "unregister_index": ".registry",
+    "available_indexes": ".registry",
+    "index_entry": ".registry",
+    "create_index": ".registry",
+    "build_index": ".registry",
+    "cache_stats": ".registry",
+    "clear_index_cache": ".registry",
+    # service layer
+    "BroadcastServer": ".server",
+    "MobileClient": ".client",
+    "QueryRecord": ".client",
+    # experiment builder
+    "Axis": ".experiment",
+    "Experiment": ".experiment",
+    "ExperimentRun": ".experiment",
+    "PointResult": ".experiment",
+    "RunRecord": ".experiment",
+}
+
+__all__ = list(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
+    from .client import MobileClient, QueryRecord
+    from .experiment import Axis, Experiment, ExperimentRun, PointResult, RunRecord
+    from .protocol import AirIndex, ensure_air_index, missing_members
+    from .registry import (
+        IndexEntry,
+        IndexSpec,
+        available_indexes,
+        build_index,
+        cache_stats,
+        clear_index_cache,
+        create_index,
+        index_entry,
+        register_index,
+        unregister_index,
+    )
+    from .server import BroadcastServer
+
+
+def __getattr__(name: str):
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(import_module(module, __name__), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

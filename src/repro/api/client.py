@@ -1,0 +1,173 @@
+"""The mobile client: the paper's system, client side.
+
+A :class:`MobileClient` is attached to a :class:`~repro.api.server.BroadcastServer`
+and executes queries by tuning into the server's channel.  Each query runs
+in its own :class:`~repro.broadcast.client.ClientSession` (one tune-in, one
+query, as in the paper's model); the client keeps a per-query history and
+cumulative latency/tuning totals across queries.
+
+Tune-in positions default to a **seeded random** packet of the cycle (the
+physical situation of a user switching the radio on at an arbitrary time);
+``at=`` accepts an explicit packet position or a cycle fraction in
+``[0, 1)``.  A pluggable :class:`~repro.broadcast.errors.LinkErrorModel`
+makes the client's link lossy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Union
+
+from ..broadcast.client import AccessMetrics, ClientSession
+from ..broadcast.errors import LinkErrorModel
+from ..queries.types import KnnQuery, Query, WindowQuery
+from ..queries.workload import Trial, Workload
+from ..sim.metrics import ExperimentResult
+from ..spatial.geometry import Point, Rect
+from .server import BroadcastServer
+
+__all__ = ["MobileClient", "QueryRecord"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One executed query: what was asked, what came back, what it cost."""
+
+    query: Query
+    outcome: Any
+    metrics: AccessMetrics
+
+    @property
+    def objects(self) -> List[Any]:
+        return self.outcome.objects
+
+
+class MobileClient:
+    """A mobile client answering queries over a broadcast channel."""
+
+    def __init__(
+        self,
+        server: BroadcastServer,
+        *,
+        error_model: Optional[LinkErrorModel] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.server = server
+        self.config = server.config
+        self.error_model = error_model
+        self._rng = random.Random(seed)
+        self.history: List[QueryRecord] = []
+
+    # -- tuning in -------------------------------------------------------------
+
+    def tune_in(self, at: Optional[Union[int, float]] = None) -> ClientSession:
+        """Open a session on the channel.
+
+        ``at=None`` picks a seeded-random packet of the cycle; an ``int`` is
+        an explicit packet position (validated against the cycle length by
+        :class:`ClientSession`); a ``float`` in ``[0, 1)`` is a cycle
+        fraction, exactly as workload trials express tune-in positions.
+        """
+        cycle = self.server.cycle_packets
+        if at is None:
+            start = self._rng.randrange(cycle)
+        elif isinstance(at, bool):
+            raise TypeError("at must be an int packet position or a float fraction")
+        elif isinstance(at, int):
+            start = at
+        elif isinstance(at, float):
+            if not 0.0 <= at < 1.0:
+                raise ValueError("a fractional tune-in position must be in [0, 1)")
+            start = int(at * cycle) % cycle
+        else:
+            raise TypeError("at must be an int packet position or a float fraction")
+        return ClientSession(
+            self.server.program, self.config, start_packet=start, error_model=self.error_model
+        )
+
+    # -- single queries ----------------------------------------------------------
+
+    def window_query(self, window: Rect, *, at: Optional[Union[int, float]] = None) -> Any:
+        """Run one window query (a fresh tune-in per query)."""
+        session = self.tune_in(at)
+        outcome = self.server.index.window_query(window, session)
+        return self._record(WindowQuery(window=window), outcome)
+
+    def knn_query(
+        self,
+        point: Point,
+        k: int = 1,
+        *,
+        at: Optional[Union[int, float]] = None,
+        strategy: Optional[str] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Run one kNN query.  ``strategy`` (and any extra keyword) is
+        forwarded to indexes that understand it (DSI's conservative /
+        aggressive search)."""
+        session = self.tune_in(at)
+        if strategy is not None:
+            kwargs["strategy"] = strategy
+        outcome = self.server.index.knn_query(point, k, session, **kwargs)
+        return self._record(KnnQuery(point=point, k=k), outcome)
+
+    def run(self, query: Union[Query, Trial], *, at: Optional[Union[int, float]] = None) -> Any:
+        """Run one :class:`WindowQuery` / :class:`KnnQuery` / :class:`Trial`."""
+        if isinstance(query, Trial):
+            if at is None:
+                at = query.tune_in_fraction
+            query = query.query
+        if isinstance(query, WindowQuery):
+            return self.window_query(query.window, at=at)
+        if isinstance(query, KnnQuery):
+            return self.knn_query(query.point, query.k, at=at)
+        raise TypeError(f"unsupported query type {type(query)!r}")
+
+    # -- batched execution -------------------------------------------------------
+
+    def run_batch(self, queries: Union[Workload, Iterable[Union[Query, Trial]]]) -> List[Any]:
+        """Run a batch of queries (or a whole workload), one session each.
+
+        Workload trials replay their recorded tune-in fractions, so the
+        same workload run against clients of different servers is a paired
+        comparison -- the setup behind every figure of the paper.
+        """
+        return [self.run(q) for q in queries]
+
+    # -- metrics -----------------------------------------------------------------
+
+    def _record(self, query: Query, outcome: Any) -> Any:
+        self.history.append(QueryRecord(query=query, outcome=outcome, metrics=outcome.metrics))
+        return outcome
+
+    @property
+    def queries_run(self) -> int:
+        return len(self.history)
+
+    @property
+    def last(self) -> Optional[QueryRecord]:
+        """The most recent query record (or ``None``)."""
+        return self.history[-1] if self.history else None
+
+    @property
+    def total_latency_bytes(self) -> int:
+        return sum(r.metrics.latency_bytes for r in self.history)
+
+    @property
+    def total_tuning_bytes(self) -> int:
+        return sum(r.metrics.tuning_bytes for r in self.history)
+
+    def summary(self, label: Optional[str] = None) -> ExperimentResult:
+        """Cumulative per-client statistics as an :class:`ExperimentResult`."""
+        result = ExperimentResult(
+            index_name=label or getattr(self.server.index, "name", "index"),
+            workload_name="client-session",
+        )
+        for record in self.history:
+            result.record(record.metrics)
+        return result
+
+    def reset_metrics(self) -> None:
+        """Forget the query history (cumulative totals restart at zero)."""
+        self.history.clear()

@@ -1,0 +1,409 @@
+"""The fluent experiment builder: declare a comparison, run it, get rows.
+
+Every figure of the paper is "run the same workload against several indexes
+while sweeping one parameter".  :class:`Experiment` captures that shape as
+a small builder so new scenarios read like the sentence describing them::
+
+    rows = (
+        Experiment(dataset)
+        .indexes("dsi", "rtree", "hci")
+        .window_workload(n_queries=50, win_side_ratio=0.1, seed=42)
+        .sweep(capacity=[64, 128, 256, 512])
+        .run(parallel=True)
+        .rows
+    )
+
+The builder subsumes the figure drivers in :mod:`repro.sim.sweep` (they are
+thin shims over it) and :func:`repro.sim.runner.compare_indexes` (a
+single-point experiment).  Determinism rules are the same as the sweeps':
+all randomness flows through explicit seeds carried by the declared
+workloads, so serial and parallel runs produce bit-identical rows in
+identical order.  Index builds go through the registry's build cache.
+
+Sweep axes:
+
+* ``capacity`` (or any :class:`SystemConfig` field name) varies the system
+  configuration;
+* ``win_side_ratio``, ``k``, ``n_queries``, ``seed`` vary the declared
+  generated workloads;
+* ``theta`` varies the link-error ratio (requires error parameters, or
+  defaults to the paper's index-scope model).
+
+Multiple axes form a cartesian product in declaration order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..broadcast.config import SystemConfig
+from ..broadcast.errors import LinkErrorModel
+from ..queries.workload import Workload, knn_workload, window_workload
+from ..sim.metrics import ExperimentResult
+from ..sim.parallel import parallel_map
+from ..spatial.datasets import SpatialDataset
+from .registry import IndexSpec, build_index, default_specs, index_entry, resolve_spec
+
+__all__ = ["Axis", "Experiment", "ExperimentRun", "PointResult", "RunRecord"]
+
+
+class Axis:
+    """Marker referencing a sweep axis inside :meth:`Experiment.tag`.
+
+    ``.tag(figure="11", capacity=Axis("capacity"), k=10)`` places the
+    swept capacity between the static tags, which fixes the column order of
+    the produced rows.  Axes not referenced by any tag are appended after
+    the tags automatically.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Axis({self.name!r})"
+
+
+#: Workload-generation parameters a sweep axis may override.
+_WINDOW_PARAMS = ("n_queries", "win_side_ratio", "seed")
+_KNN_PARAMS = ("n_queries", "k", "seed")
+
+
+@dataclass(frozen=True)
+class _WorkloadDecl:
+    """One declared workload: a concrete instance or a seeded generator."""
+
+    kind: str                      # "window" | "knn" | "fixed"
+    label: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    workload: Optional[Workload] = None
+
+    def realise(self, overrides: Dict[str, Any]) -> Workload:
+        if self.kind == "fixed":
+            touched = [k for k in overrides if k in _WINDOW_PARAMS + _KNN_PARAMS]
+            if touched:
+                raise ValueError(
+                    f"cannot sweep {touched} over a fixed workload "
+                    f"{self.workload.name!r}; declare the workload with "
+                    "window_workload()/knn_workload() instead"
+                )
+            return self.workload
+        allowed = _WINDOW_PARAMS if self.kind == "window" else _KNN_PARAMS
+        merged = dict(self.params)
+        merged.update({k: v for k, v in overrides.items() if k in allowed})
+        maker = window_workload if self.kind == "window" else knn_workload
+        return maker(**merged)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (workload, index) cell of a sweep point."""
+
+    workload: str
+    spec: IndexSpec
+    result: ExperimentResult
+
+
+@dataclass
+class PointResult:
+    """Everything measured at one sweep point."""
+
+    params: Dict[str, Any]
+    config: SystemConfig
+    records: List[RunRecord] = field(default_factory=list)
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def by_index(self, workload: Optional[str] = None) -> "OrderedDict[str, ExperimentResult]":
+        """Results keyed by index display name (optionally one workload)."""
+        out: "OrderedDict[str, ExperimentResult]" = OrderedDict()
+        for record in self.records:
+            if workload is not None and record.workload != workload:
+                continue
+            out[record.spec.display_name] = record.result
+        return out
+
+
+@dataclass
+class ExperimentRun:
+    """The outcome of :meth:`Experiment.run`: one :class:`PointResult` per
+    sweep point, plus the flattened figure rows."""
+
+    points: List[PointResult]
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        return [row for point in self.points for row in point.rows]
+
+    def results(self) -> "OrderedDict[str, ExperimentResult]":
+        """Results of a single-point run keyed by index display name."""
+        if len(self.points) != 1:
+            raise ValueError(
+                f"results() needs a single-point run, got {len(self.points)} points; "
+                "use .points / .rows for sweeps"
+            )
+        return self.points[0].by_index()
+
+
+class Experiment:
+    """Fluent builder for index comparisons and parameter sweeps.
+
+    All configuration methods mutate the builder and return ``self``; call
+    :meth:`run` to execute.  See the module docstring for an example.
+    """
+
+    def __init__(self, dataset: SpatialDataset, name: Optional[str] = None) -> None:
+        self.dataset = dataset
+        self.name = name or f"experiment-{dataset.name}"
+        self._specs: Optional[List[IndexSpec]] = None
+        self._base_config: SystemConfig = SystemConfig()
+        self._workloads: List[_WorkloadDecl] = []
+        self._error_model: Optional[LinkErrorModel] = None
+        self._error_params: Optional[Dict[str, Any]] = None
+        self._verify: bool = False
+        self._use_cache: bool = True
+        self._axes: "OrderedDict[str, List[Any]]" = OrderedDict()
+        self._tags: "OrderedDict[str, Any]" = OrderedDict()
+
+    # -- declaration -----------------------------------------------------------
+
+    def indexes(self, *specs: Union[str, IndexSpec]) -> "Experiment":
+        """The contenders, as registered kind names or :class:`IndexSpec`."""
+        if not specs:
+            raise ValueError("indexes() needs at least one spec")
+        self._specs = [resolve_spec(spec) for spec in specs]
+        for spec in self._specs:
+            index_entry(spec.kind)  # fail fast on unknown kinds
+        return self
+
+    def config(self, config: Optional[SystemConfig] = None, **overrides: Any) -> "Experiment":
+        """The base system configuration (overridden per point by sweeps)."""
+        base = config if config is not None else self._base_config
+        if overrides:
+            base = dataclasses.replace(base, **overrides)
+        self._base_config = base
+        return self
+
+    def workload(self, workload: Workload, label: Optional[str] = None) -> "Experiment":
+        """Add a concrete (pre-generated) workload."""
+        self._workloads.append(
+            _WorkloadDecl(kind="fixed", label=label or workload.name, workload=workload)
+        )
+        return self
+
+    def window_workload(
+        self, n_queries: int = 50, win_side_ratio: float = 0.1, seed: int = 42,
+        label: str = "window",
+    ) -> "Experiment":
+        """Add a seeded window-query workload (regenerated per sweep point)."""
+        params = (("n_queries", n_queries), ("win_side_ratio", win_side_ratio), ("seed", seed))
+        self._workloads.append(_WorkloadDecl(kind="window", label=label, params=params))
+        return self
+
+    def knn_workload(
+        self, n_queries: int = 50, k: int = 10, seed: int = 42, label: str = "knn"
+    ) -> "Experiment":
+        """Add a seeded kNN workload (regenerated per sweep point)."""
+        params = (("n_queries", n_queries), ("k", k), ("seed", seed))
+        self._workloads.append(_WorkloadDecl(kind="knn", label=label, params=params))
+        return self
+
+    def errors(
+        self,
+        model: Optional[LinkErrorModel] = None,
+        *,
+        theta: Optional[float] = None,
+        scope: str = "index",
+        seed: Optional[int] = None,
+    ) -> "Experiment":
+        """Make the channel lossy.
+
+        Pass a :class:`LinkErrorModel` instance to share it across all runs
+        (its random stream flows through them in declaration order), or
+        ``theta=``/``scope=``/``seed=`` to create a fresh seeded model per
+        sweep point -- the deterministic choice for parallel sweeps and the
+        form the ``theta`` sweep axis requires.
+        """
+        if model is not None and theta is not None:
+            raise ValueError("pass either a model instance or theta=, not both")
+        self._error_model = model
+        self._error_params = (
+            None if model is not None
+            else {"theta": theta, "scope": scope, "seed": seed}
+        )
+        return self
+
+    def verify(self, flag: bool = True) -> "Experiment":
+        """Check every answer against brute-force ground truth."""
+        self._verify = bool(flag)
+        return self
+
+    def use_cache(self, flag: bool = True) -> "Experiment":
+        """Toggle the registry's index-build cache (default on)."""
+        self._use_cache = bool(flag)
+        return self
+
+    def sweep(self, **axes: Iterable[Any]) -> "Experiment":
+        """Declare sweep axes; multiple axes form a cartesian product."""
+        for name, values in axes.items():
+            values = list(values)
+            if not values:
+                raise ValueError(f"sweep axis {name!r} needs at least one value")
+            self._axes[name] = values
+        return self
+
+    def tag(self, **tags: Any) -> "Experiment":
+        """Constant row columns (or :class:`Axis` references) for reporting."""
+        self._tags.update(tags)
+        return self
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, processes: Optional[int] = None, parallel: bool = True) -> ExperimentRun:
+        """Execute the experiment.
+
+        Points fan out over worker processes via
+        :func:`repro.sim.parallel.parallel_map` (``parallel=False`` or
+        ``processes=1`` force a serial run); rows are identical either way.
+        """
+        if not self._workloads:
+            raise ValueError("declare at least one workload before run()")
+        self._validate_axes()
+        points = self._expand_points()
+        if self._error_model is not None and len(points) > 1:
+            raise ValueError(
+                "a shared LinkErrorModel instance is not reproducible across "
+                "sweep points (its random stream would depend on execution "
+                "order); declare errors(theta=..., scope=..., seed=...) instead"
+            )
+        tasks = [(self, params) for params in points]
+        per_point = parallel_map(
+            _run_point, tasks, processes=1 if not parallel else processes
+        )
+        return ExperimentRun(points=list(per_point))
+
+    # -- internals -------------------------------------------------------------
+
+    def _expand_points(self) -> List[Dict[str, Any]]:
+        if not self._axes:
+            return [{}]
+        names = list(self._axes)
+        return [dict(zip(names, combo)) for combo in product(*self._axes.values())]
+
+    def _config_at(self, params: Dict[str, Any]) -> SystemConfig:
+        config = self._base_config
+        fields = {f.name for f in dataclasses.fields(SystemConfig)}
+        for name, value in params.items():
+            if name == "capacity":
+                config = config.with_capacity(value)
+            elif name in fields:
+                config = dataclasses.replace(config, **{name: value})
+        return config
+
+    def _specs_at(self, config: SystemConfig) -> List[IndexSpec]:
+        specs = self._specs if self._specs is not None else default_specs()
+        return [spec for spec in specs if index_entry(spec.kind).is_supported(config)]
+
+    def _error_model_at(self, params: Dict[str, Any]) -> Optional[LinkErrorModel]:
+        if self._error_model is not None:
+            return self._error_model
+        if self._error_params is None and "theta" not in params:
+            return None
+        cfg = dict(self._error_params or {"theta": None, "scope": "index", "seed": None})
+        theta = params.get("theta", cfg["theta"])
+        if theta is None:
+            return None
+        return LinkErrorModel(theta=theta, scope=cfg["scope"], seed=cfg["seed"])
+
+    def _row_extras(self, params: Dict[str, Any]) -> "OrderedDict[str, Any]":
+        extras: "OrderedDict[str, Any]" = OrderedDict()
+        referenced = set()
+        for key, value in self._tags.items():
+            if isinstance(value, Axis):
+                extras[key] = params[value.name]
+                referenced.add(value.name)
+            else:
+                extras[key] = value
+        for axis in self._axes:
+            if axis not in referenced:
+                extras[axis] = params[axis]
+        return extras
+
+    def _validate_axes(self) -> None:
+        """Every axis must actually vary something -- a silently inert axis
+        would label rows with values that were never applied."""
+        fields = {f.name for f in dataclasses.fields(SystemConfig)}
+        known = {"capacity", "theta", *fields, *_WINDOW_PARAMS, *_KNN_PARAMS}
+        unknown = [a for a in self._axes if a not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown sweep axes {unknown}; axes must name a SystemConfig "
+                "field (or 'capacity'), a workload parameter, or 'theta'"
+            )
+        if "theta" in self._axes and self._error_model is not None:
+            raise ValueError(
+                "a theta sweep cannot vary a shared LinkErrorModel instance; "
+                "declare the channel with errors(theta=..., scope=..., seed=...) "
+                "(or no errors() call at all) instead"
+            )
+        accepted = set()
+        for decl in self._workloads:
+            if decl.kind == "window":
+                accepted.update(_WINDOW_PARAMS)
+            elif decl.kind == "knn":
+                accepted.update(_KNN_PARAMS)
+        for axis in self._axes:
+            if axis in ("capacity", "theta") or axis in fields:
+                continue
+            if axis not in accepted:
+                raise ValueError(
+                    f"sweep axis {axis!r} is not consumed by any declared "
+                    "workload; declare a matching window_workload()/"
+                    "knn_workload() (fixed workloads cannot be swept)"
+                )
+
+
+def _run_point(experiment: Experiment, params: Dict[str, Any]) -> PointResult:
+    """Run one sweep point (module-level so it pickles into workers)."""
+    from ..sim.runner import run_workload
+
+    config = experiment._config_at(params)
+    point = PointResult(params=params, config=config)
+    specs = experiment._specs_at(config)
+    error_model = experiment._error_model_at(params)
+    extras = experiment._row_extras(params)
+    multi = len(experiment._workloads) > 1
+    # One build per spec per point, even with several workloads and the
+    # cache off (building is the dominant cost the build cache exists for).
+    built = {
+        spec: build_index(spec, experiment.dataset, config, use_cache=experiment._use_cache)
+        for spec in specs
+    }
+    for decl in experiment._workloads:
+        workload = decl.realise(params)
+        for spec in specs:
+            index = built[spec]
+            result = run_workload(
+                index,
+                experiment.dataset,
+                config,
+                workload,
+                error_model=error_model,
+                verify=experiment._verify,
+                knn_strategy=spec.knn_strategy,
+                label=spec.display_name,
+            )
+            point.records.append(RunRecord(workload=decl.label, spec=spec, result=result))
+            row: Dict[str, Any] = {"index": spec.display_name}
+            if multi:
+                row["workload"] = decl.label
+            row.update(extras)
+            row["latency_bytes"] = result.mean_latency_bytes
+            row["tuning_bytes"] = result.mean_tuning_bytes
+            row["accuracy"] = result.accuracy
+            point.rows.append(row)
+    return point

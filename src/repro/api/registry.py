@@ -1,0 +1,318 @@
+"""The index registry: named, pluggable air-index factories.
+
+This replaces the hardcoded ``if/else`` dispatch the experiment runner used
+to carry: every index strategy -- the three built-ins and any third-party
+one -- is a registry entry mapping a name to a factory.  Everything above
+this layer (:class:`~repro.api.server.BroadcastServer`, the
+:class:`~repro.api.experiment.Experiment` builder, the figure sweeps in
+:mod:`repro.sim.sweep`) resolves indexes exclusively through the registry,
+so registering a new strategy makes it available to the whole system::
+
+    from repro.api import IndexSpec, register_index
+
+    register_index("flat", lambda dataset, config, spec: FlatScanIndex(dataset, config))
+    rows = Experiment(dataset).indexes("dsi", "flat").window_workload(20).run().rows
+
+The registry also owns the content-keyed **index-build cache** introduced
+by the performance PR (previously a private of ``repro.sim.runner``): a
+built index is immutable -- clients only read it through a
+:class:`~repro.broadcast.client.ClientSession` -- so builds are memoised on
+the dataset fingerprint, the frozen system configuration and the spec's
+build-relevant parameters.  :func:`cache_stats` / :func:`clear_index_cache`
+are the public face of that cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..broadcast.config import SystemConfig
+from ..core.structure import DsiIndex, DsiParameters
+from ..hci.air import HciAirIndex
+from ..rtree.air import RTreeAirIndex
+from ..spatial.datasets import SpatialDataset
+from .protocol import AirIndex, ensure_air_index
+
+__all__ = [
+    "IndexSpec",
+    "IndexEntry",
+    "register_index",
+    "unregister_index",
+    "available_indexes",
+    "index_entry",
+    "create_index",
+    "build_index",
+    "default_specs",
+    "cache_stats",
+    "clear_index_cache",
+]
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """A named recipe for building an index to compare.
+
+    ``kind`` selects a registry entry; ``label`` overrides the display name
+    used in results; ``dsi_params`` configures the DSI variants;
+    ``knn_strategy`` selects the DSI kNN search strategy (ignored by other
+    indexes).  ``options`` is an open-ended tuple of ``(key, value)`` pairs
+    for third-party indexes -- it participates in the build-cache key, so
+    values must be hashable; :meth:`option` reads one back.
+    """
+
+    kind: str
+    label: Optional[str] = None
+    dsi_params: Optional[DsiParameters] = None
+    knn_strategy: str = "conservative"
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def display_name(self) -> str:
+        return self.label if self.label is not None else self.kind
+
+    def option(self, key: str, default: Any = None) -> Any:
+        """The value of an ``options`` entry (or ``default``)."""
+        for name, value in self.options:
+            if name == key:
+                return value
+        return default
+
+
+#: A factory receives ``(dataset, config, spec)`` and returns a built index.
+IndexFactory = Callable[[SpatialDataset, SystemConfig, IndexSpec], Any]
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One registered index strategy.
+
+    ``supports`` (optional) reports whether the index can be built at all
+    under a given configuration -- e.g. the R-tree cannot fit an MBR entry
+    in a 32-byte packet; the experiment builder uses it to prune contenders
+    per sweep point exactly as the paper's figures do.  ``cache_kind`` and
+    ``param_key`` control the build-cache key: entries sharing a
+    ``cache_kind`` share cached builds when their resolved parameters match
+    (``dsi`` / ``dsi-original`` exploit this).
+    """
+
+    name: str
+    factory: IndexFactory
+    description: str = ""
+    supports: Optional[Callable[[SystemConfig], bool]] = None
+    cache_kind: Optional[str] = None
+    param_key: Optional[Callable[[IndexSpec], Any]] = None
+
+    def is_supported(self, config: SystemConfig) -> bool:
+        return True if self.supports is None else bool(self.supports(config))
+
+
+_REGISTRY: "OrderedDict[str, IndexEntry]" = OrderedDict()
+
+
+def register_index(
+    name: str,
+    factory: IndexFactory,
+    *,
+    description: str = "",
+    supports: Optional[Callable[[SystemConfig], bool]] = None,
+    cache_kind: Optional[str] = None,
+    param_key: Optional[Callable[[IndexSpec], Any]] = None,
+    replace: bool = False,
+) -> IndexEntry:
+    """Register an index strategy under ``name``.
+
+    Raises :class:`ValueError` when ``name`` is already taken (unless
+    ``replace=True``, which also drops the replaced strategy's cached
+    builds) so accidental shadowing of a built-in fails loudly.
+    """
+    key = name.lower()
+    if not key:
+        raise ValueError("index name must be a non-empty string")
+    if key in _REGISTRY:
+        if not replace:
+            raise ValueError(
+                f"index {name!r} is already registered; pass replace=True to override"
+            )
+        _evict_cached_kind(_effective_cache_kind(_REGISTRY[key]))
+    entry = IndexEntry(
+        name=key,
+        factory=factory,
+        description=description,
+        supports=supports,
+        cache_kind=cache_kind,
+        param_key=param_key,
+    )
+    _REGISTRY[key] = entry
+    return entry
+
+
+def unregister_index(name: str) -> None:
+    """Remove a registered strategy and its cached builds (unknown names
+    raise ``ValueError``)."""
+    try:
+        entry = _REGISTRY.pop(name.lower())
+    except KeyError:
+        raise ValueError(f"index {name!r} is not registered") from None
+    _evict_cached_kind(_effective_cache_kind(entry))
+
+
+def available_indexes() -> Tuple[str, ...]:
+    """Names of all registered strategies, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def index_entry(name: str) -> IndexEntry:
+    """The registry entry for ``name`` (``ValueError`` if unknown)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown index kind {name!r}; expected one of {available_indexes()}"
+        ) from None
+
+
+def resolve_spec(spec: Union[str, IndexSpec]) -> IndexSpec:
+    """Normalise a kind name or spec into an :class:`IndexSpec`."""
+    return IndexSpec(kind=spec) if isinstance(spec, str) else spec
+
+
+def create_index(
+    spec: Union[str, IndexSpec], dataset: SpatialDataset, config: SystemConfig
+) -> Any:
+    """Build a fresh index through the registry (no caching)."""
+    spec = resolve_spec(spec)
+    entry = index_entry(spec.kind)
+    return ensure_air_index(entry.factory(dataset, config, spec))
+
+
+# ---------------------------------------------------------------------------
+# Index-build cache
+# ---------------------------------------------------------------------------
+
+_INDEX_CACHE: "OrderedDict[Tuple, Any]" = OrderedDict()
+_INDEX_CACHE_MAX = 32
+_INDEX_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def clear_index_cache() -> None:
+    """Drop all cached index builds (and reset the hit/miss counters)."""
+    _INDEX_CACHE.clear()
+    _INDEX_CACHE_STATS["hits"] = 0
+    _INDEX_CACHE_STATS["misses"] = 0
+
+
+def cache_stats() -> Dict[str, int]:
+    """Current build-cache statistics: hits, misses and resident entries."""
+    return {**_INDEX_CACHE_STATS, "entries": len(_INDEX_CACHE)}
+
+
+def _effective_cache_kind(entry: IndexEntry) -> str:
+    return entry.cache_kind if entry.cache_kind is not None else entry.name
+
+
+def _evict_cached_kind(kind: str) -> None:
+    """Drop cached builds of one strategy (its factory is going away)."""
+    for key in [k for k in _INDEX_CACHE if k[2] == kind]:
+        del _INDEX_CACHE[key]
+
+
+def _cache_key(entry: IndexEntry, spec: IndexSpec, dataset: SpatialDataset, config: SystemConfig) -> Tuple:
+    kind = _effective_cache_kind(entry)
+    if entry.param_key is not None:
+        params = entry.param_key(spec)
+    else:
+        params = (spec.dsi_params, spec.options)
+    return (dataset.fingerprint, config, kind, params)
+
+
+def build_index(
+    spec: Union[str, IndexSpec],
+    dataset: SpatialDataset,
+    config: SystemConfig,
+    use_cache: bool = False,
+) -> Any:
+    """Build the index described by ``spec`` over ``dataset``.
+
+    With ``use_cache=True`` an identical earlier build (same dataset
+    content, configuration and build parameters) is returned instead of
+    rebuilding; the sweeps and the comparison harness enable this so each
+    index is built exactly once per process.
+    """
+    spec = resolve_spec(spec)
+    if not use_cache:
+        return create_index(spec, dataset, config)
+    entry = index_entry(spec.kind)
+    key = _cache_key(entry, spec, dataset, config)
+    index = _INDEX_CACHE.get(key)
+    if index is not None:
+        _INDEX_CACHE.move_to_end(key)
+        _INDEX_CACHE_STATS["hits"] += 1
+        return index
+    _INDEX_CACHE_STATS["misses"] += 1
+    index = ensure_air_index(entry.factory(dataset, config, spec))
+    _INDEX_CACHE[key] = index
+    while len(_INDEX_CACHE) > _INDEX_CACHE_MAX:
+        _INDEX_CACHE.popitem(last=False)
+    return index
+
+
+# ---------------------------------------------------------------------------
+# Built-in strategies
+# ---------------------------------------------------------------------------
+#
+# ``dsi`` is the reorganized broadcast the paper uses for its comparisons;
+# ``dsi-original`` exposes the original single-segment broadcast.  Both
+# share a ``cache_kind`` so a ``dsi-original`` build and a ``dsi`` build
+# with explicit matching parameters reuse the same cache entry.
+
+
+def _dsi_params(spec: IndexSpec, default_segments: int) -> DsiParameters:
+    if spec.dsi_params is not None:
+        return spec.dsi_params
+    return DsiParameters(n_segments=default_segments)
+
+
+register_index(
+    "dsi",
+    lambda dataset, config, spec: DsiIndex(dataset, config, _dsi_params(spec, 2)),
+    description="DSI over the reorganized (two-segment) broadcast (paper default)",
+    cache_kind="dsi",
+    param_key=lambda spec: _dsi_params(spec, 2),
+)
+
+register_index(
+    "dsi-original",
+    lambda dataset, config, spec: DsiIndex(dataset, config, _dsi_params(spec, 1)),
+    description="DSI over the original ascending-HC broadcast",
+    cache_kind="dsi",
+    param_key=lambda spec: _dsi_params(spec, 1),
+)
+
+register_index(
+    "rtree",
+    lambda dataset, config, spec: RTreeAirIndex(dataset, config),
+    description="STR-packed R-tree on air (baseline)",
+    supports=lambda config: config.packet_capacity >= config.rtree_entry_size,
+)
+
+register_index(
+    "hci",
+    lambda dataset, config, spec: HciAirIndex(dataset, config),
+    description="Hilbert Curve Index on air (baseline)",
+)
+
+
+def builtin_index_names() -> Tuple[str, ...]:
+    """The four built-in strategy names (kept stable for ``repro.sim``)."""
+    return ("dsi", "dsi-original", "rtree", "hci")
+
+
+def default_specs(include_rtree: bool = True) -> List[IndexSpec]:
+    """The paper's three contenders: DSI (reorganized), R-tree and HCI."""
+    specs = [IndexSpec(kind="dsi", label="DSI")]
+    if include_rtree:
+        specs.append(IndexSpec(kind="rtree", label="R-tree"))
+    specs.append(IndexSpec(kind="hci", label="HCI"))
+    return specs

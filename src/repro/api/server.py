@@ -1,0 +1,110 @@
+"""The broadcast server: the paper's system, server side.
+
+A :class:`BroadcastServer` owns a dataset, the broadcast system parameters
+and one built air index, and airs the index's packet cycle.  It is the
+entry point the examples and new scenarios read from: build a server,
+attach :class:`~repro.api.client.MobileClient` instances to it, run
+queries.  Index resolution goes through the registry, so any registered
+strategy (built-in or third-party) can be aired::
+
+    server = BroadcastServer(dataset, SystemConfig(packet_capacity=64), index="dsi")
+    client = server.client(seed=42)
+    result = client.window_query(rect)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+from ..broadcast.config import DEFAULT_CONFIG, SystemConfig
+from ..broadcast.errors import LinkErrorModel
+from ..spatial.datasets import SpatialDataset
+from .protocol import ensure_air_index
+from .registry import IndexSpec, build_index, resolve_spec
+
+__all__ = ["BroadcastServer"]
+
+
+class BroadcastServer:
+    """A broadcast server airing one spatial index over one dataset.
+
+    ``index`` may be a registered kind name (``"dsi"``, ``"rtree"``, ...),
+    an :class:`~repro.api.registry.IndexSpec`, or an already-built index
+    instance satisfying the :class:`~repro.api.protocol.AirIndex` protocol.
+    Builds go through the registry's build cache by default.
+    """
+
+    def __init__(
+        self,
+        dataset: SpatialDataset,
+        config: Optional[SystemConfig] = None,
+        index: Union[str, IndexSpec, Any] = "dsi",
+        *,
+        use_cache: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config if config is not None else DEFAULT_CONFIG
+        if isinstance(index, (str, IndexSpec)):
+            self.spec: Optional[IndexSpec] = resolve_spec(index)
+            self.index = build_index(self.spec, dataset, self.config, use_cache=use_cache)
+        else:
+            self.spec = None
+            self.index = ensure_air_index(index)
+
+    # -- the aired program -----------------------------------------------------
+
+    @property
+    def program(self):
+        """The broadcast program (packet cycle) this server airs."""
+        return self.index.program
+
+    @property
+    def cycle_packets(self) -> int:
+        """Length of one broadcast cycle, in packets."""
+        return self.program.cycle_packets
+
+    @property
+    def cycle_bytes(self) -> int:
+        """Length of one broadcast cycle, in bytes."""
+        return self.program.cycle_bytes(self.config.packet_capacity)
+
+    # -- reporting -------------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """The index's build summary (see :meth:`AirIndex.describe`)."""
+        return self.index.describe()
+
+    def stats(self) -> Dict[str, object]:
+        """Program-level statistics of the aired cycle."""
+        return {
+            "index": getattr(self.index, "name", type(self.index).__name__),
+            "dataset": self.dataset.name,
+            "n_objects": len(self.dataset),
+            "cycle_packets": self.cycle_packets,
+            "cycle_bytes": self.cycle_bytes,
+            "index_overhead": self.program.index_overhead_fraction(),
+        }
+
+    # -- clients ---------------------------------------------------------------
+
+    def client(
+        self,
+        *,
+        error_model: Optional[LinkErrorModel] = None,
+        seed: Optional[int] = None,
+    ) -> "MobileClient":
+        """A new mobile client tuned to this server's channel.
+
+        ``seed`` drives the client's default (random) tune-in positions;
+        ``error_model`` makes the client's link lossy.
+        """
+        from .client import MobileClient
+
+        return MobileClient(self, error_model=error_model, seed=seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.index, "name", type(self.index).__name__)
+        return (
+            f"BroadcastServer(index={name!r}, dataset={self.dataset.name!r}, "
+            f"cycle_packets={self.cycle_packets})"
+        )

@@ -54,8 +54,14 @@ class ClientSession:
         start_packet: int = 0,
         error_model: Optional[LinkErrorModel] = None,
     ) -> None:
-        if start_packet < 0:
-            raise ValueError("start_packet must be non-negative")
+        cycle = program.cycle_packets
+        if not 0 <= start_packet < cycle:
+            # Failing here beats wrapping silently (a tune-in position is a
+            # point of the cycle) or erroring deep inside the seek logic.
+            raise ValueError(
+                f"start_packet must be in [0, {cycle}) -- one packet of the "
+                f"broadcast cycle -- got {start_packet}"
+            )
         self.program = program
         self.config = config
         self.error_model = error_model if error_model is not None else NO_ERRORS

@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api.protocol import AirIndex
 from ..broadcast.config import SystemConfig
 from ..broadcast.program import BroadcastProgram, Bucket, BucketKind
 from ..spatial.datasets import DataObject, SpatialDataset
@@ -191,7 +192,7 @@ class DsiFrame:
 # ---------------------------------------------------------------------------
 
 
-class DsiIndex:
+class DsiIndex(AirIndex):
     """A built DSI index: frames, tables, directories and broadcast program.
 
     Construction is entirely server-side; clients only ever see the bucket
@@ -199,6 +200,13 @@ class DsiIndex:
     """
 
     name = "DSI"
+
+    @classmethod
+    def build(cls, dataset: SpatialDataset, config: SystemConfig, spec=None) -> "DsiIndex":
+        """:class:`~repro.api.protocol.AirIndex` factory honouring
+        ``spec.dsi_params`` when present."""
+        params = getattr(spec, "dsi_params", None)
+        return cls(dataset, config, params)
 
     def __init__(
         self,

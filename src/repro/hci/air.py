@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..api.protocol import AirIndex
 from ..broadcast.client import ClientSession
 from ..broadcast.config import SystemConfig
 from ..broadcast.treeair import AirTreeNode, TreeOnAir
@@ -39,7 +40,7 @@ def _intersects_any(interval: HCInterval, ranges: Sequence[HCRange]) -> bool:
     return any(not (hi < rlo or lo > rhi) for rlo, rhi in ranges)
 
 
-class HciAirIndex:
+class HciAirIndex(AirIndex):
     """Hilbert Curve Index over the broadcast channel (the paper's "HCI")."""
 
     name = "HCI"

@@ -16,6 +16,7 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..api.protocol import AirIndex
 from ..broadcast.client import AccessMetrics, ClientSession
 from ..broadcast.config import SystemConfig
 from ..broadcast.treeair import AirTreeNode, TreeOnAir
@@ -42,7 +43,7 @@ class TreeQueryResult:
         return [o.oid for o in self.objects]
 
 
-class RTreeAirIndex:
+class RTreeAirIndex(AirIndex):
     """STR R-tree over the broadcast channel (the paper's "R-tree" curves)."""
 
     name = "R-tree"

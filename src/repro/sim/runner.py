@@ -1,27 +1,32 @@
 """Experiment runner: build an index, replay a workload, collect metrics.
 
-This is the layer the benchmark harness (and the examples) drive.  It knows
-how to
-
-* build any of the three evaluated indexes from a dataset and a
-  :class:`~repro.broadcast.config.SystemConfig` (``build_index``);
-* replay a :class:`~repro.queries.workload.Workload` against an index with a
-  given link-error model, verifying every answer against brute force when
-  asked (``run_workload``);
-* run the paired comparison the paper's figures are made of
-  (``compare_indexes``).
+This is the layer the benchmark harness (and the examples) drive.  Index
+construction is delegated to the public registry in
+:mod:`repro.api.registry` -- ``build_index`` here is a thin shim kept for
+backward compatibility, as is ``compare_indexes`` (now a single-point
+:class:`repro.api.experiment.Experiment`).  The one piece of real machinery
+left in this module is :func:`run_workload`, which replays a
+:class:`~repro.queries.workload.Workload` against a built index with a
+given link-error model, verifying every answer against brute force when
+asked.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence, Union
 
+from ..api.registry import (
+    IndexSpec,
+    build_index,
+    builtin_index_names,
+    cache_stats,
+    clear_index_cache,
+    default_specs,
+)
 from ..broadcast.client import ClientSession
 from ..broadcast.config import SystemConfig
 from ..broadcast.errors import LinkErrorModel
-from ..core.structure import DsiIndex, DsiParameters
+from ..core.structure import DsiIndex
 from ..hci.air import HciAirIndex
 from ..queries.ground_truth import matches
 from ..queries.types import KnnQuery, WindowQuery
@@ -30,121 +35,19 @@ from ..rtree.air import RTreeAirIndex
 from ..spatial.datasets import SpatialDataset
 from .metrics import ExperimentResult
 
-#: The index names understood by :func:`build_index`.  ``dsi`` is the
-#: reorganized broadcast the paper uses for its comparisons; the two
-#: suffixed variants expose the original broadcast and the kNN strategies.
-INDEX_NAMES = ("dsi", "dsi-original", "rtree", "hci")
+#: The built-in index names (``dsi`` is the reorganized broadcast the paper
+#: uses for its comparisons; the suffixed variant exposes the original
+#: broadcast).  Third-party strategies registered through
+#: :func:`repro.api.register_index` are *not* listed here -- consult
+#: :func:`repro.api.available_indexes` for the live set.
+INDEX_NAMES = builtin_index_names()
 
 AnyIndex = Union[DsiIndex, RTreeAirIndex, HciAirIndex]
 
 
-@dataclass
-class IndexSpec:
-    """A named recipe for building an index to compare."""
-
-    kind: str
-    label: Optional[str] = None
-    dsi_params: Optional[DsiParameters] = None
-    knn_strategy: str = "conservative"
-
-    @property
-    def display_name(self) -> str:
-        return self.label if self.label is not None else self.kind
-
-
-def default_specs(include_rtree: bool = True) -> List[IndexSpec]:
-    """The paper's three contenders: DSI (reorganized), R-tree and HCI."""
-    specs = [IndexSpec(kind="dsi", label="DSI")]
-    if include_rtree:
-        specs.append(IndexSpec(kind="rtree", label="R-tree"))
-    specs.append(IndexSpec(kind="hci", label="HCI"))
-    return specs
-
-
-# ---------------------------------------------------------------------------
-# Index-build cache
-# ---------------------------------------------------------------------------
-#
-# Sweeps rebuild the same index over and over: ``reorganization_sweep``
-# builds one DSI per capacity for the window *and* the kNN workload, and the
-# figure benchmarks share (dataset, config, spec) triples across files.  A
-# built index is immutable -- queries only ever read it through a
-# ``ClientSession`` -- so builds can be memoised on the *content* of their
-# inputs: the dataset fingerprint, the (frozen) system configuration and the
-# resolved spec.  The cache is a small per-process LRU.
-
-_INDEX_CACHE: "OrderedDict[Tuple, AnyIndex]" = OrderedDict()
-_INDEX_CACHE_MAX = 32
-_INDEX_CACHE_STATS = {"hits": 0, "misses": 0}
-
-
-def _resolved_params(spec: IndexSpec) -> Optional[DsiParameters]:
-    kind = spec.kind.lower()
-    if kind == "dsi":
-        return spec.dsi_params if spec.dsi_params is not None else DsiParameters(n_segments=2)
-    if kind == "dsi-original":
-        return spec.dsi_params if spec.dsi_params is not None else DsiParameters(n_segments=1)
-    return None
-
-
-def _cache_key(spec: IndexSpec, dataset: SpatialDataset, config: SystemConfig) -> Tuple:
-    kind = spec.kind.lower()
-    build_kind = "dsi" if kind == "dsi-original" else kind
-    return (dataset.fingerprint, config, build_kind, _resolved_params(spec))
-
-
-def clear_index_cache() -> None:
-    """Drop all cached index builds (and reset the hit/miss counters)."""
-    _INDEX_CACHE.clear()
-    _INDEX_CACHE_STATS["hits"] = 0
-    _INDEX_CACHE_STATS["misses"] = 0
-
-
 def index_cache_stats() -> Dict[str, int]:
-    """Current cache statistics: hits, misses and resident entries."""
-    return {**_INDEX_CACHE_STATS, "entries": len(_INDEX_CACHE)}
-
-
-def _build_fresh(spec: IndexSpec, dataset: SpatialDataset, config: SystemConfig) -> AnyIndex:
-    kind = spec.kind.lower()
-    if kind in ("dsi", "dsi-original"):
-        return DsiIndex(dataset, config, _resolved_params(spec))
-    if kind == "rtree":
-        return RTreeAirIndex(dataset, config)
-    if kind == "hci":
-        return HciAirIndex(dataset, config)
-    raise ValueError(f"unknown index kind {spec.kind!r}; expected one of {INDEX_NAMES}")
-
-
-def build_index(
-    spec: Union[str, IndexSpec],
-    dataset: SpatialDataset,
-    config: SystemConfig,
-    use_cache: bool = False,
-) -> AnyIndex:
-    """Build the index described by ``spec`` over ``dataset``.
-
-    With ``use_cache=True`` an identical earlier build (same dataset
-    content, configuration and spec) is returned instead of rebuilding; the
-    sweeps and the comparison harness enable this so each index is built
-    exactly once per process.
-    """
-    if isinstance(spec, str):
-        spec = IndexSpec(kind=spec)
-    if not use_cache:
-        return _build_fresh(spec, dataset, config)
-    key = _cache_key(spec, dataset, config)
-    index = _INDEX_CACHE.get(key)
-    if index is not None:
-        _INDEX_CACHE.move_to_end(key)
-        _INDEX_CACHE_STATS["hits"] += 1
-        return index
-    _INDEX_CACHE_STATS["misses"] += 1
-    index = _build_fresh(spec, dataset, config)
-    _INDEX_CACHE[key] = index
-    while len(_INDEX_CACHE) > _INDEX_CACHE_MAX:
-        _INDEX_CACHE.popitem(last=False)
-    return index
+    """Current build-cache statistics (alias of :func:`repro.api.cache_stats`)."""
+    return cache_stats()
 
 
 def run_workload(
@@ -192,20 +95,35 @@ def compare_indexes(
     verify: bool = True,
     use_cache: bool = True,
 ) -> Dict[str, ExperimentResult]:
-    """Run the same workload against several indexes (paired trials)."""
-    if specs is None:
-        specs = default_specs()
-    results: Dict[str, ExperimentResult] = {}
-    for spec in specs:
-        index = build_index(spec, dataset, config, use_cache=use_cache)
-        results[spec.display_name] = run_workload(
-            index,
-            dataset,
-            config,
-            workload,
-            error_model=error_model,
-            verify=verify,
-            knn_strategy=spec.knn_strategy,
-            label=spec.display_name,
-        )
-    return results
+    """Run the same workload against several indexes (paired trials).
+
+    A thin shim over a single-point :class:`~repro.api.experiment.Experiment`.
+    With the default contenders, indexes the configuration cannot support
+    (the R-tree below its minimum packet capacity) are skipped, matching
+    the paper's figures; an *explicitly requested* spec the configuration
+    cannot support raises instead of being dropped silently.
+    """
+    from ..api.experiment import Experiment
+    from ..api.registry import index_entry, resolve_spec
+
+    if specs is not None:
+        for spec in map(resolve_spec, specs):
+            if not index_entry(spec.kind).is_supported(config):
+                raise ValueError(
+                    f"index {spec.kind!r} cannot be built under this configuration "
+                    f"(packet_capacity={config.packet_capacity} is too small for "
+                    "one of its entries)"
+                )
+
+    experiment = (
+        Experiment(dataset)
+        .config(config)
+        .workload(workload)
+        .verify(verify)
+        .use_cache(use_cache)
+    )
+    if specs is not None:
+        experiment.indexes(*specs)
+    if error_model is not None:
+        experiment.errors(error_model)
+    return experiment.run(parallel=False).results()

@@ -4,39 +4,31 @@ Every function returns a list of plain dictionaries (one per curve point),
 so the benchmark harness can print them as the rows of the corresponding
 figure and EXPERIMENTS.md can archive them.
 
-Each sweep is expressed as a module-level *point worker* (one capacity, one
-ratio, one k) plus a thin driver that fans the points out through
-:func:`repro.sim.parallel.parallel_map`.  Workers are module-level so they
-pickle cleanly into worker processes; all randomness flows through explicit
-seeds, so serial and parallel runs produce identical rows in identical
-order.  Index builds inside a point go through the runner's build cache, so
-e.g. the reorganization sweep builds each DSI variant exactly once per
-capacity even though it replays both a window and a kNN workload against it.
+The four single-axis figure sweeps (Figures 9-12) are thin shims over the
+public :class:`repro.api.experiment.Experiment` builder, which owns point
+expansion, per-point index pruning (the R-tree only competes where an MBR
+entry fits a packet) and the parallel fan-out.  Figure 8 and Table 1 have
+bespoke structure (per-variant labels, shared error-free baselines), so
+they keep module-level *point workers* fanned out through
+:func:`repro.sim.parallel.parallel_map`; workers are module-level so they
+pickle cleanly into worker processes.  In both forms all randomness flows
+through explicit seeds, so serial and parallel runs produce identical rows
+in identical order, and index builds go through the registry's build cache.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..api.experiment import Axis, Experiment
 from ..broadcast.config import SystemConfig
 from ..broadcast.errors import LinkErrorModel
 from ..core.structure import DsiParameters
-from ..queries.workload import Workload, knn_workload, window_workload
+from ..queries.workload import knn_workload, window_workload
 from ..spatial.datasets import SpatialDataset
-from .metrics import ExperimentResult, deterioration
+from .metrics import deterioration
 from .parallel import parallel_map
-from .runner import IndexSpec, build_index, compare_indexes, default_specs, run_workload
-
-
-def _rows(results: Dict[str, ExperimentResult], **extra) -> List[Dict[str, float]]:
-    rows = []
-    for name, res in results.items():
-        row = {"index": name, **extra}
-        row["latency_bytes"] = res.mean_latency_bytes
-        row["tuning_bytes"] = res.mean_tuning_bytes
-        row["accuracy"] = res.accuracy
-        rows.append(row)
-    return rows
+from .runner import IndexSpec, build_index, run_workload
 
 
 # ---------------------------------------------------------------------------
@@ -122,25 +114,8 @@ def reorganization_sweep(
 
 
 # ---------------------------------------------------------------------------
-# Figure 9: window queries vs packet capacity
+# Figures 9-12: Experiment-builder shims
 # ---------------------------------------------------------------------------
-
-
-def _window_capacity_point(
-    dataset: SpatialDataset,
-    capacity: int,
-    n_queries: int,
-    win_side_ratio: float,
-    seed: int,
-    verify: bool,
-) -> List[Dict[str, float]]:
-    workload = window_workload(n_queries, win_side_ratio, seed=seed)
-    config = SystemConfig(packet_capacity=capacity)
-    specs = default_specs(
-        include_rtree=capacity >= 2 * config.coord_size + config.pointer_size
-    )
-    results = compare_indexes(dataset, config, workload, specs=specs, verify=verify)
-    return _rows(results, figure="9", query="window", capacity=capacity)
 
 
 def window_capacity_sweep(
@@ -153,31 +128,15 @@ def window_capacity_sweep(
     processes: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Figure 9: window queries, DSI vs R-tree vs HCI, varying packet capacity."""
-    tasks = [
-        (dataset, capacity, n_queries, win_side_ratio, seed, verify)
-        for capacity in capacities
-    ]
-    per_point = parallel_map(_window_capacity_point, tasks, processes=processes)
-    return [row for rows in per_point for row in rows]
-
-
-# ---------------------------------------------------------------------------
-# Figure 10: window queries vs window-side ratio
-# ---------------------------------------------------------------------------
-
-
-def _window_ratio_point(
-    dataset: SpatialDataset,
-    ratio: float,
-    capacity: int,
-    n_queries: int,
-    seed: int,
-    verify: bool,
-) -> List[Dict[str, float]]:
-    config = SystemConfig(packet_capacity=capacity)
-    workload = window_workload(n_queries, ratio, seed=seed)
-    results = compare_indexes(dataset, config, workload, verify=verify)
-    return _rows(results, figure="10", query="window", win_side_ratio=ratio)
+    return (
+        Experiment(dataset)
+        .window_workload(n_queries=n_queries, win_side_ratio=win_side_ratio, seed=seed)
+        .verify(verify)
+        .sweep(capacity=capacities)
+        .tag(figure="9", query="window", capacity=Axis("capacity"))
+        .run(processes=processes)
+        .rows
+    )
 
 
 def window_ratio_sweep(
@@ -190,31 +149,16 @@ def window_ratio_sweep(
     processes: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Figure 10: window queries, varying WinSideRatio at a fixed capacity."""
-    tasks = [(dataset, ratio, capacity, n_queries, seed, verify) for ratio in ratios]
-    per_point = parallel_map(_window_ratio_point, tasks, processes=processes)
-    return [row for rows in per_point for row in rows]
-
-
-# ---------------------------------------------------------------------------
-# Figure 11: kNN queries vs packet capacity
-# ---------------------------------------------------------------------------
-
-
-def _knn_capacity_point(
-    dataset: SpatialDataset,
-    capacity: int,
-    k: int,
-    n_queries: int,
-    seed: int,
-    verify: bool,
-) -> List[Dict[str, float]]:
-    workload = knn_workload(n_queries, k=k, seed=seed)
-    config = SystemConfig(packet_capacity=capacity)
-    specs = default_specs(
-        include_rtree=capacity >= 2 * config.coord_size + config.pointer_size
+    return (
+        Experiment(dataset)
+        .config(packet_capacity=capacity)
+        .window_workload(n_queries=n_queries, seed=seed)
+        .verify(verify)
+        .sweep(win_side_ratio=ratios)
+        .tag(figure="10", query="window", win_side_ratio=Axis("win_side_ratio"))
+        .run(processes=processes)
+        .rows
     )
-    results = compare_indexes(dataset, config, workload, specs=specs, verify=verify)
-    return _rows(results, figure="11", query=f"{k}NN", capacity=capacity, k=k)
 
 
 def knn_capacity_sweep(
@@ -227,30 +171,15 @@ def knn_capacity_sweep(
     processes: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Figure 11: kNN queries (k = 1 and k = 10 in the paper), varying capacity."""
-    tasks = [
-        (dataset, capacity, k, n_queries, seed, verify) for capacity in capacities
-    ]
-    per_point = parallel_map(_knn_capacity_point, tasks, processes=processes)
-    return [row for rows in per_point for row in rows]
-
-
-# ---------------------------------------------------------------------------
-# Figure 12: kNN queries vs k
-# ---------------------------------------------------------------------------
-
-
-def _knn_k_point(
-    dataset: SpatialDataset,
-    k: int,
-    capacity: int,
-    n_queries: int,
-    seed: int,
-    verify: bool,
-) -> List[Dict[str, float]]:
-    config = SystemConfig(packet_capacity=capacity)
-    workload = knn_workload(n_queries, k=k, seed=seed)
-    results = compare_indexes(dataset, config, workload, verify=verify)
-    return _rows(results, figure="12", query="knn", k=k)
+    return (
+        Experiment(dataset)
+        .knn_workload(n_queries=n_queries, k=k, seed=seed)
+        .verify(verify)
+        .sweep(capacity=capacities)
+        .tag(figure="11", query=f"{k}NN", capacity=Axis("capacity"), k=k)
+        .run(processes=processes)
+        .rows
+    )
 
 
 def knn_k_sweep(
@@ -263,9 +192,16 @@ def knn_k_sweep(
     processes: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Figure 12: kNN queries, varying k at a fixed capacity."""
-    tasks = [(dataset, k, capacity, n_queries, seed, verify) for k in ks]
-    per_point = parallel_map(_knn_k_point, tasks, processes=processes)
-    return [row for rows in per_point for row in rows]
+    return (
+        Experiment(dataset)
+        .config(packet_capacity=capacity)
+        .knn_workload(n_queries=n_queries, seed=seed)
+        .verify(verify)
+        .sweep(k=ks)
+        .tag(figure="12", query="knn", k=Axis("k"))
+        .run(processes=processes)
+        .rows
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -335,6 +271,8 @@ def link_error_table(
     For every index and every theta the deterioration is reported relative
     to the same index running over a lossless channel (theta = 0).
     """
+    from .runner import default_specs
+
     tasks = [
         (dataset, spec, tuple(thetas), capacity, n_queries, k, win_side_ratio, seed, error_scope)
         for spec in default_specs()

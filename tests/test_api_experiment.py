@@ -1,0 +1,225 @@
+"""The fluent Experiment builder (repro.api.experiment)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Experiment, SystemConfig, uniform_dataset
+from repro.api import Axis, IndexSpec, clear_index_cache
+from repro.queries import window_workload
+from repro.sim import build_index, compare_indexes, run_workload
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform_dataset(160, seed=15)
+
+
+class TestBuilderValidation:
+    def test_requires_a_workload(self, dataset):
+        with pytest.raises(ValueError, match="workload"):
+            Experiment(dataset).run()
+
+    def test_unknown_index_kind_fails_fast(self, dataset):
+        with pytest.raises(ValueError, match="unknown index kind"):
+            Experiment(dataset).indexes("btree")
+
+    def test_unknown_sweep_axis_rejected(self, dataset):
+        experiment = (
+            Experiment(dataset).window_workload(n_queries=2).sweep(warp=[1, 2])
+        )
+        with pytest.raises(ValueError, match="unknown sweep axes"):
+            experiment.run()
+
+    def test_workload_axes_reject_fixed_workloads(self, dataset):
+        experiment = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .workload(window_workload(n_queries=2, seed=1))
+            .sweep(win_side_ratio=[0.1, 0.2])
+        )
+        with pytest.raises(ValueError, match="fixed workload"):
+            experiment.run(parallel=False)
+
+    def test_results_needs_single_point(self, dataset):
+        run = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .window_workload(n_queries=2, seed=1)
+            .sweep(capacity=[64, 128])
+            .run(parallel=False)
+        )
+        with pytest.raises(ValueError, match="single-point"):
+            run.results()
+
+    def test_errors_rejects_model_plus_theta(self, dataset):
+        from repro import LinkErrorModel
+
+        with pytest.raises(ValueError, match="either a model"):
+            Experiment(dataset).errors(LinkErrorModel(theta=0.1), theta=0.2)
+
+    def test_theta_axis_rejects_shared_model_instance(self, dataset):
+        from repro import LinkErrorModel
+
+        experiment = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .window_workload(n_queries=2, seed=1)
+            .errors(LinkErrorModel(theta=0.0, scope="index", seed=1))
+            .sweep(theta=[0.0, 0.5])
+        )
+        with pytest.raises(ValueError, match="shared LinkErrorModel"):
+            experiment.run(parallel=False)
+
+    def test_shared_error_model_rejected_for_multi_point_sweeps(self, dataset):
+        from repro import LinkErrorModel
+
+        experiment = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .window_workload(n_queries=2, seed=1)
+            .errors(LinkErrorModel(theta=0.2, scope="index", seed=1))
+            .sweep(capacity=[64, 128])
+        )
+        # A shared model's RNG state would flow differently through serial
+        # and forked-parallel runs, breaking row reproducibility.
+        with pytest.raises(ValueError, match="not reproducible across"):
+            experiment.run(parallel=False)
+
+    def test_inert_workload_axis_rejected(self, dataset):
+        # Sweeping k with only a window workload would label rows with k
+        # values that never changed anything.
+        experiment = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .window_workload(n_queries=2, seed=1)
+            .sweep(k=[1, 10])
+        )
+        with pytest.raises(ValueError, match="not consumed by any declared"):
+            experiment.run(parallel=False)
+
+    def test_explicit_unsupported_spec_raises_in_compare(self, dataset):
+        with pytest.raises(ValueError, match="cannot be built"):
+            compare_indexes(
+                dataset,
+                SystemConfig(packet_capacity=32),
+                window_workload(n_queries=2, seed=2),
+                specs=[IndexSpec(kind="rtree")],
+            )
+
+
+class TestRowsAndSweeps:
+    def test_single_point_matches_manual_runner_calls(self, dataset):
+        config = SystemConfig(packet_capacity=64)
+        workload = window_workload(n_queries=5, seed=21)
+        results = (
+            Experiment(dataset)
+            .config(config)
+            .workload(workload)
+            .verify(True)
+            .run(parallel=False)
+            .results()
+        )
+        clear_index_cache()
+        for spec in (IndexSpec("dsi", label="DSI"), IndexSpec("rtree", label="R-tree"),
+                     IndexSpec("hci", label="HCI")):
+            index = build_index(spec, dataset, config)
+            manual = run_workload(index, dataset, config, workload, verify=True)
+            assert results[spec.display_name].mean_latency_bytes == manual.mean_latency_bytes
+            assert results[spec.display_name].mean_tuning_bytes == manual.mean_tuning_bytes
+            assert results[spec.display_name].accuracy == 1.0
+
+    def test_compare_indexes_is_a_thin_shim(self, dataset):
+        config = SystemConfig(packet_capacity=64)
+        workload = window_workload(n_queries=4, seed=22)
+        via_shim = compare_indexes(dataset, config, workload, verify=False)
+        via_builder = (
+            Experiment(dataset).config(config).workload(workload).run(parallel=False).results()
+        )
+        assert list(via_shim) == ["DSI", "R-tree", "HCI"]
+        for name in via_shim:
+            assert via_shim[name].mean_latency_bytes == via_builder[name].mean_latency_bytes
+
+    def test_capacity_sweep_prunes_unsupported_indexes(self, dataset):
+        rows = (
+            Experiment(dataset)
+            .window_workload(n_queries=2, seed=3)
+            .sweep(capacity=[32, 64])
+            .run(parallel=False)
+            .rows
+        )
+        at32 = {r["index"] for r in rows if r["capacity"] == 32}
+        at64 = {r["index"] for r in rows if r["capacity"] == 64}
+        assert at32 == {"DSI", "HCI"}  # no R-tree: an MBR entry cannot fit
+        assert at64 == {"DSI", "R-tree", "HCI"}
+
+    def test_axis_tags_fix_column_order(self, dataset):
+        rows = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .knn_workload(n_queries=2, k=3, seed=4)
+            .sweep(capacity=[64])
+            .tag(figure="11", query="3NN", capacity=Axis("capacity"), k=3)
+            .run(parallel=False)
+            .rows
+        )
+        assert list(rows[0]) == [
+            "index", "figure", "query", "capacity", "k",
+            "latency_bytes", "tuning_bytes", "accuracy",
+        ]
+        assert rows[0]["capacity"] == 64
+
+    def test_multiple_workloads_tag_rows(self, dataset):
+        rows = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .window_workload(n_queries=2, seed=5)
+            .knn_workload(n_queries=2, k=2, seed=6)
+            .run(parallel=False)
+            .rows
+        )
+        assert [r["workload"] for r in rows] == ["window", "knn"]
+
+    def test_parallel_and_serial_rows_identical(self, dataset):
+        def sweep(parallel):
+            return (
+                Experiment(dataset)
+                .window_workload(n_queries=3, seed=7)
+                .verify(True)  # also keeps every row field NaN-free for ==
+                .sweep(capacity=[64, 128, 256])
+                .run(processes=2 if parallel else None, parallel=parallel)
+                .rows
+            )
+
+        assert sweep(parallel=True) == sweep(parallel=False)
+
+    def test_theta_axis_is_deterministic(self, dataset):
+        def run_once():
+            return (
+                Experiment(dataset)
+                .indexes("dsi")
+                .window_workload(n_queries=3, seed=8)
+                .errors(scope="index", seed=99)
+                .sweep(theta=[0.0, 0.5])
+                .run(parallel=False)
+                .rows
+            )
+
+        first, second = run_once(), run_once()
+        assert first == second
+        lossless = [r for r in first if r["theta"] == 0.0][0]
+        lossy = [r for r in first if r["theta"] == 0.5][0]
+        assert lossy["tuning_bytes"] >= lossless["tuning_bytes"]
+        assert all(not math.isnan(r["latency_bytes"]) for r in first)
+
+    def test_verify_defaults_off(self, dataset):
+        rows = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .window_workload(n_queries=2, seed=9)
+            .run(parallel=False)
+            .rows
+        )
+        assert math.isnan(rows[0]["accuracy"])

@@ -1,0 +1,242 @@
+"""Registry + AirIndex protocol coverage (repro.api).
+
+Covers: built-in conformance to the protocol, registration error paths,
+spec options in the build-cache key, and a toy custom index registered
+in-test running end-to-end through the Experiment builder without touching
+``repro.sim``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemConfig, uniform_dataset
+from repro.api import (
+    AirIndex,
+    Experiment,
+    IndexSpec,
+    available_indexes,
+    build_index,
+    cache_stats,
+    clear_index_cache,
+    create_index,
+    ensure_air_index,
+    register_index,
+    unregister_index,
+)
+from repro.broadcast import BroadcastProgram, Bucket, BucketKind
+from repro.rtree.air import TreeQueryResult
+from repro.sim.runner import INDEX_NAMES
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform_dataset(150, seed=5)
+
+
+@pytest.fixture(scope="module")
+def config64():
+    return SystemConfig(packet_capacity=64)
+
+
+class FlatScanIndex:
+    """A deliberately naive custom index: no index buckets at all.
+
+    The whole cycle is data in HC order; every query scans one full cycle.
+    It is exact (perfect accuracy) and structurally conforms to AirIndex
+    without inheriting from it.
+    """
+
+    name = "FlatScan"
+
+    def __init__(self, dataset, config):
+        self.dataset = dataset
+        self.config = config
+        buckets = [
+            Bucket(
+                kind=BucketKind.DATA,
+                n_packets=config.object_packets,
+                payload=obj,
+                meta={"oid": obj.oid},
+            )
+            for obj in dataset.objects_by_hc()
+        ]
+        self.program = BroadcastProgram(buckets, name=f"flat-{dataset.name}")
+
+    def describe(self):
+        return {"index": self.name, "n_objects": len(self.dataset)}
+
+    def _scan(self, session):
+        idx, _start = session.initial_probe()
+        n = len(self.program.buckets)
+        received = []
+        for offset in range(n):
+            result = session.read_bucket((idx + offset) % n)
+            if result.ok:
+                received.append(result.payload)
+        return received
+
+    def window_query(self, window, session):
+        objects = [o for o in self._scan(session) if window.contains_point(o.point)]
+        return TreeQueryResult(objects=objects, metrics=session.metrics())
+
+    def knn_query(self, point, k, session, **kwargs):
+        ranked = sorted(self._scan(session), key=lambda o: (o.distance_to(point), o.oid))
+        return TreeQueryResult(objects=ranked[:k], metrics=session.metrics())
+
+
+class TestPublicSurface:
+    def test_api_all_imports_cleanly(self):
+        """Every repro.api export resolves through the lazy __init__ and no
+        private names leak (mirrored by the api-surface CI job)."""
+        import repro.api as api
+
+        assert api.__all__
+        for name in api.__all__:
+            assert not name.startswith("_")
+            assert getattr(api, name) is not None
+        assert set(api.__all__) <= set(dir(api))
+
+    def test_repro_reexports_service_layer(self):
+        import repro
+
+        for name in ("BroadcastServer", "MobileClient", "Experiment",
+                     "AirIndex", "register_index", "available_indexes",
+                     "cache_stats", "clear_index_cache"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+
+class TestProtocolConformance:
+    def test_builtin_indexes_satisfy_air_index(self, dataset, config64):
+        for kind in INDEX_NAMES:
+            index = create_index(kind, dataset, config64)
+            assert isinstance(index, AirIndex)
+            assert ensure_air_index(index) is index
+            assert index.program.cycle_packets > 0
+            info = index.describe()
+            assert isinstance(info, dict) and info
+
+    def test_structural_conformance_without_inheritance(self):
+        assert issubclass(FlatScanIndex, AirIndex)
+        assert not issubclass(dict, AirIndex)
+
+    def test_ensure_air_index_rejects_junk(self):
+        with pytest.raises(TypeError, match="AirIndex protocol"):
+            ensure_air_index(object())
+
+    def test_build_classmethod_honours_spec(self, dataset, config64):
+        from repro import DsiIndex, DsiParameters
+
+        index = DsiIndex.build(
+            dataset, config64, IndexSpec(kind="dsi", dsi_params=DsiParameters(n_segments=1))
+        )
+        assert index.params.n_segments == 1
+
+
+class TestRegistry:
+    def test_builtins_registered_in_order(self):
+        names = available_indexes()
+        assert names[:4] == ("dsi", "dsi-original", "rtree", "hci")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_index("dsi", lambda d, c, s: None)
+
+    def test_unknown_kind_raises_with_choices(self, dataset, config64):
+        with pytest.raises(ValueError, match="unknown index kind"):
+            create_index("btree", dataset, config64)
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(ValueError, match="not registered"):
+            unregister_index("no-such-index")
+
+    def test_register_replace_and_unregister(self, dataset, config64):
+        register_index("flat-tmp", lambda d, c, s: FlatScanIndex(d, c))
+        try:
+            register_index(
+                "flat-tmp", lambda d, c, s: FlatScanIndex(d, c), replace=True
+            )
+            index = create_index("flat-tmp", dataset, config64)
+            assert index.name == "FlatScan"
+        finally:
+            unregister_index("flat-tmp")
+        assert "flat-tmp" not in available_indexes()
+
+    def test_spec_options_participate_in_cache_key(self, dataset, config64):
+        register_index("flat-cache", lambda d, c, s: FlatScanIndex(d, c))
+        try:
+            clear_index_cache()
+            a = build_index(
+                IndexSpec(kind="flat-cache", options=(("x", 1),)),
+                dataset, config64, use_cache=True,
+            )
+            b = build_index(
+                IndexSpec(kind="flat-cache", options=(("x", 1),)),
+                dataset, config64, use_cache=True,
+            )
+            c = build_index(
+                IndexSpec(kind="flat-cache", options=(("x", 2),)),
+                dataset, config64, use_cache=True,
+            )
+            assert a is b and a is not c
+            stats = cache_stats()
+            assert stats["hits"] == 1 and stats["misses"] == 2
+        finally:
+            unregister_index("flat-cache")
+            clear_index_cache()
+
+    def test_replace_and_unregister_evict_cached_builds(self, dataset, config64):
+        class OtherFlat(FlatScanIndex):
+            name = "OtherFlat"
+
+        register_index("flat-evict", lambda d, c, s: FlatScanIndex(d, c))
+        try:
+            clear_index_cache()
+            first = build_index("flat-evict", dataset, config64, use_cache=True)
+            assert first.name == "FlatScan"
+            register_index("flat-evict", lambda d, c, s: OtherFlat(d, c), replace=True)
+            second = build_index("flat-evict", dataset, config64, use_cache=True)
+            assert second.name == "OtherFlat"  # not the stale cached build
+        finally:
+            unregister_index("flat-evict")
+        # unregistering evicted the strategy's cached builds too
+        assert cache_stats()["entries"] == 0
+        clear_index_cache()
+
+    def test_spec_option_lookup(self):
+        spec = IndexSpec(kind="flat", options=(("fanout", 8),))
+        assert spec.option("fanout") == 8
+        assert spec.option("missing", "default") == "default"
+
+
+class TestCustomIndexEndToEnd:
+    def test_custom_index_runs_through_experiment(self, dataset, config64):
+        register_index(
+            "flat",
+            lambda d, c, s: FlatScanIndex(d, c),
+            description="full-cycle scan (no index)",
+        )
+        try:
+            run = (
+                Experiment(dataset)
+                .indexes("dsi", "flat")
+                .config(config64)
+                .window_workload(n_queries=6, seed=3)
+                .knn_workload(n_queries=6, k=4, seed=4)
+                .verify(True)
+                .run(parallel=False)
+            )
+            rows = run.rows
+            flat_rows = [r for r in rows if r["index"] == "flat"]
+            assert len(flat_rows) == 2  # one per workload
+            assert all(r["accuracy"] == 1.0 for r in rows)
+            # The no-index scan must pay far more tuning than DSI.
+            by_index = run.points[0].by_index(workload="window")
+            assert (
+                by_index["flat"].mean_tuning_bytes
+                > 5 * by_index["dsi"].mean_tuning_bytes
+            )
+        finally:
+            unregister_index("flat")
+            clear_index_cache()

@@ -1,0 +1,141 @@
+"""BroadcastServer / MobileClient service layer (repro.api)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BroadcastServer,
+    ClientSession,
+    DsiParameters,
+    LinkErrorModel,
+    SystemConfig,
+    uniform_dataset,
+)
+from repro.api import IndexSpec, clear_index_cache
+from repro.queries import mixed_workload
+from repro.sim import run_workload
+from repro.spatial import Point, Rect
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform_dataset(180, seed=9)
+
+
+@pytest.fixture(scope="module")
+def config64():
+    return SystemConfig(packet_capacity=64)
+
+
+@pytest.fixture(scope="module")
+def server(dataset, config64):
+    return BroadcastServer(dataset, config64, index="dsi")
+
+
+class TestBroadcastServer:
+    def test_builds_through_registry(self, server):
+        assert server.index.name == "DSI"
+        assert server.cycle_packets == server.program.cycle_packets
+        assert server.cycle_bytes == server.cycle_packets * 64
+
+    def test_spec_and_string_and_instance(self, dataset, config64):
+        by_spec = BroadcastServer(
+            dataset, config64,
+            index=IndexSpec(kind="dsi", dsi_params=DsiParameters(n_segments=1)),
+        )
+        assert by_spec.index.params.n_segments == 1
+        prebuilt = BroadcastServer(dataset, config64, index=by_spec.index)
+        assert prebuilt.index is by_spec.index and prebuilt.spec is None
+
+    def test_rejects_non_conforming_index(self, dataset, config64):
+        with pytest.raises(TypeError, match="AirIndex protocol"):
+            BroadcastServer(dataset, config64, index=object())
+
+    def test_cached_builds_shared_between_servers(self, dataset, config64):
+        clear_index_cache()
+        a = BroadcastServer(dataset, config64, index="hci")
+        b = BroadcastServer(dataset, config64, index="hci")
+        assert a.index is b.index
+        fresh = BroadcastServer(dataset, config64, index="hci", use_cache=False)
+        assert fresh.index is not a.index
+        clear_index_cache()
+
+    def test_stats_and_describe(self, server, dataset):
+        stats = server.stats()
+        assert stats["n_objects"] == len(dataset)
+        assert 0 < stats["index_overhead"] < 1
+        assert server.describe()["index"] == "DSI"
+
+
+class TestMobileClient:
+    def test_tune_in_defaults_are_seeded(self, server):
+        starts_a = [server.client(seed=7).tune_in().start_clock for _ in range(3)]
+        starts_b = [server.client(seed=7).tune_in().start_clock for _ in range(3)]
+        assert starts_a == starts_b
+        many = [server.client(seed=i).tune_in().start_clock for i in range(16)]
+        assert len(set(many)) > 1  # actually random across seeds
+
+    def test_tune_in_positions(self, server):
+        client = server.client(seed=1)
+        assert client.tune_in(0).start_clock == 0
+        cycle = server.cycle_packets
+        assert client.tune_in(0.5).start_clock == int(0.5 * cycle) % cycle
+        with pytest.raises(ValueError):
+            client.tune_in(1.5)
+        with pytest.raises(ValueError):
+            client.tune_in(-1)
+        with pytest.raises(ValueError):
+            client.tune_in(cycle)  # one past the last packet of the cycle
+        with pytest.raises(TypeError):
+            client.tune_in("now")
+
+    def test_session_start_packet_validated(self, server, config64):
+        with pytest.raises(ValueError, match="start_packet must be in"):
+            ClientSession(server.program, config64, start_packet=server.cycle_packets)
+        with pytest.raises(ValueError, match="start_packet must be in"):
+            ClientSession(server.program, config64, start_packet=-3)
+
+    def test_queries_record_history_and_totals(self, server):
+        client = server.client(seed=11)
+        w = client.window_query(Rect(0.1, 0.1, 0.5, 0.5))
+        k = client.knn_query(Point(0.3, 0.3), k=3)
+        assert client.queries_run == 2
+        assert client.last.outcome is k
+        assert client.total_latency_bytes == (
+            w.metrics.latency_bytes + k.metrics.latency_bytes
+        )
+        assert client.total_tuning_bytes == (
+            w.metrics.tuning_bytes + k.metrics.tuning_bytes
+        )
+        summary = client.summary()
+        assert summary.trials == 2
+        client.reset_metrics()
+        assert client.queries_run == 0 and client.last is None
+
+    def test_knn_strategy_forwarded(self, server):
+        client = server.client(seed=2)
+        conservative = client.knn_query(Point(0.4, 0.6), k=3, at=0)
+        aggressive = client.knn_query(Point(0.4, 0.6), k=3, at=0, strategy="aggressive")
+        assert [o.oid for o in conservative.objects] == [o.oid for o in aggressive.objects]
+
+    def test_batch_matches_run_workload(self, server, dataset, config64):
+        workload = mixed_workload(n_queries=8, seed=13)
+        client = server.client()
+        client.run_batch(workload)
+        summary = client.summary()
+        reference = run_workload(
+            server.index, dataset, config64, workload, verify=False
+        )
+        assert summary.mean_latency_bytes == reference.mean_latency_bytes
+        assert summary.mean_tuning_bytes == reference.mean_tuning_bytes
+
+    def test_error_model_is_pluggable(self, server):
+        lossy = server.client(error_model=LinkErrorModel(theta=0.5, scope="index", seed=5))
+        clean = server.client(seed=5)
+        query = Rect(0.2, 0.2, 0.6, 0.6)
+        lossy_result = lossy.window_query(query, at=0)
+        clean_result = clean.window_query(query, at=0)
+        # Same answer, but the lossy client pays for corrupted receptions.
+        assert lossy_result.object_ids == clean_result.object_ids
+        assert lossy_result.metrics.tuning_bytes >= clean_result.metrics.tuning_bytes

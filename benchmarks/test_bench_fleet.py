@@ -1,0 +1,77 @@
+"""Fleet microbenchmark: population-scale simulation throughput.
+
+Times a 100k-client fleet (window workload, DSI, single- and 4-channel
+schedules, serial vs parallel unique-execution fan-out) and writes
+clients-per-second figures to ``BENCH_fleet.json`` at the repository root
+so later PRs can track the population-scaling trajectory.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the fleet so CI can run the bench on every
+push; the acceptance-style wall-clock assertion (< 30 s for the 100k run)
+is enforced only at full scale.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.broadcast.config import SystemConfig
+from repro.queries.workload import window_workload
+from repro.sim.fleet import run_fleet
+from repro.sim.runner import build_index
+from repro.spatial.datasets import uniform_dataset
+
+from conftest import BENCH_SMOKE, emit
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+N_CLIENTS = 20_000 if BENCH_SMOKE else 100_000
+N_OBJECTS = 300 if BENCH_SMOKE else 600
+N_QUERIES = 8 if BENCH_SMOKE else 20
+MAX_WALL_S = 30.0
+
+
+def test_fleet_bench():
+    dataset = uniform_dataset(N_OBJECTS, seed=7)
+    workload = window_workload(N_QUERIES, 0.1, seed=3)
+    stages = {"n_clients": N_CLIENTS, "n_objects": N_OBJECTS, "n_queries": N_QUERIES}
+
+    reference = None
+    for channels in (1, 4):
+        config = SystemConfig(packet_capacity=64, n_channels=channels)
+        index = build_index("dsi", dataset, config, use_cache=True)
+        for mode, parallel in (("serial", False), ("parallel", True)):
+            t0 = time.perf_counter()
+            result = run_fleet(
+                index, dataset, config, workload, N_CLIENTS, seed=9, parallel=parallel
+            )
+            wall = time.perf_counter() - t0
+            key = f"fleet_{channels}ch_{mode}"
+            stages[f"{key}_s"] = wall
+            stages[f"{key}_clients_per_sec"] = N_CLIENTS / wall
+            stages[f"{key}_executions"] = result.n_executions
+            if not BENCH_SMOKE:
+                assert wall < MAX_WALL_S, f"{key} took {wall:.1f}s (> {MAX_WALL_S}s)"
+            # serial and parallel must agree exactly
+            if reference is None:
+                reference = (channels, result.result.latency.mean)
+            elif reference[0] == channels:
+                assert result.result.latency.mean == reference[1]
+        reference = None
+
+    # memory model sanity: retained state is the execution histogram
+    config = SystemConfig(packet_capacity=64)
+    index = build_index("dsi", dataset, config, use_cache=True)
+    small = run_fleet(index, dataset, config, workload, 1_000, seed=9)
+    stages["executions_bound"] = len(workload) * small.n_phases
+    assert small.n_executions <= stages["executions_bound"]
+
+    BENCH_JSON.write_text(json.dumps(stages, indent=2, sort_keys=True) + "\n")
+    emit(
+        "BENCH fleet (clients/sec)",
+        "\n".join(
+            f"{k}: {v:,.0f}" if isinstance(v, float) else f"{k}: {v}"
+            for k, v in sorted(stages.items())
+        ),
+    )

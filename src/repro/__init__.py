@@ -31,6 +31,7 @@ Quickstart (see README.md for more)::
 """
 
 from .broadcast import (
+    BroadcastSchedule,
     ClientSession,
     LinkErrorModel,
     PAPER_PACKET_CAPACITIES,
@@ -40,7 +41,7 @@ from .core import DsiIndex, DsiParameters
 from .hci import HciAirIndex
 from .queries import KnnQuery, WindowQuery, knn_workload, window_workload
 from .rtree import RTreeAirIndex
-from .sim import IndexSpec, build_index, compare_indexes, run_workload
+from .sim import ClientFleet, IndexSpec, build_index, compare_indexes, run_fleet, run_workload
 from .spatial import (
     HilbertCurve,
     Point,
@@ -66,7 +67,10 @@ __version__ = "1.1.0"
 
 __all__ = [
     "SystemConfig",
+    "BroadcastSchedule",
     "ClientSession",
+    "ClientFleet",
+    "run_fleet",
     "LinkErrorModel",
     "PAPER_PACKET_CAPACITIES",
     "AirIndex",

@@ -68,8 +68,12 @@ class MobileClient:
         an explicit packet position (validated against the cycle length by
         :class:`ClientSession`); a ``float`` in ``[0, 1)`` is a cycle
         fraction, exactly as workload trials express tune-in positions.
+
+        On a multi-channel server the session starts on the control channel
+        and positions range over the longest channel cycle; with one channel
+        (the default) this is exactly the legacy single-program session.
         """
-        cycle = self.server.cycle_packets
+        cycle = self.server.tune_cycle_packets
         if at is None:
             start = self._rng.randrange(cycle)
         elif isinstance(at, bool):
@@ -83,7 +87,10 @@ class MobileClient:
         else:
             raise TypeError("at must be an int packet position or a float fraction")
         return ClientSession(
-            self.server.program, self.config, start_packet=start, error_model=self.error_model
+            self.server.schedule.view(),
+            self.config,
+            start_packet=start,
+            error_model=self.error_model,
         )
 
     # -- single queries ----------------------------------------------------------

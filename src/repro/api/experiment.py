@@ -24,6 +24,14 @@ Sweep axes:
 
 * ``capacity`` (or any :class:`SystemConfig` field name) varies the system
   configuration;
+* ``channels`` varies the channel topology (declare with
+  :meth:`Experiment.channels`): 1 is the classic single broadcast channel,
+  ``k >= 2`` airs the index on a control channel and stripes data over
+  ``k - 1`` data channels;
+* ``fleet`` varies the client population (declare with
+  :meth:`Experiment.fleet`): each cell then runs a population-scale
+  :class:`~repro.sim.fleet.ClientFleet` with streaming metrics instead of
+  per-trial sessions, and rows gain ``n_clients`` plus percentile columns;
 * ``win_side_ratio``, ``k``, ``n_queries``, ``seed`` vary the declared
   generated workloads;
 * ``theta`` varies the link-error ratio (requires error parameters, or
@@ -168,6 +176,10 @@ class Experiment:
         self._use_cache: bool = True
         self._axes: "OrderedDict[str, List[Any]]" = OrderedDict()
         self._tags: "OrderedDict[str, Any]" = OrderedDict()
+        self._fleet_n: Optional[int] = None
+        self._fleet_seed: int = 0
+        self._fleet_max_phases: Optional[int] = None
+        self._channels_n: Optional[int] = None
 
     # -- declaration -----------------------------------------------------------
 
@@ -247,6 +259,60 @@ class Experiment:
         self._use_cache = bool(flag)
         return self
 
+    def channels(self, *counts: int) -> "Experiment":
+        """The channel topology: one count fixes it, several sweep it.
+
+        ``channels(4)`` airs every run over a control channel plus three
+        striped data channels; ``channels(1, 2, 4)`` declares a ``channels``
+        sweep axis.  See :class:`repro.broadcast.schedule.BroadcastSchedule`.
+        """
+        if not counts:
+            raise ValueError("channels() needs at least one channel count")
+        for n in counts:
+            if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+                raise ValueError(f"channel counts must be positive ints, got {n!r}")
+        if len(counts) == 1:
+            # Kept as its own declaration (not folded into the base config)
+            # so a later .config(...) call cannot silently discard it.
+            self._channels_n = counts[0]
+            self._axes.pop("channels", None)
+        else:
+            self._channels_n = None
+            self.sweep(channels=list(counts))
+        return self
+
+    def fleet(
+        self,
+        *sizes: int,
+        seed: int = 0,
+        max_phases: Optional[int] = None,
+    ) -> "Experiment":
+        """Run each cell as a population-scale client fleet.
+
+        ``fleet(100_000)`` fixes the population; ``fleet(1_000, 100_000)``
+        declares a ``fleet`` sweep axis.  Fleet cells replace per-trial
+        sessions with a :class:`~repro.sim.fleet.ClientFleet` (streaming
+        summaries, O(1) memory in population); the declared workloads
+        provide the query mix, ``seed`` drives the client draws and
+        ``max_phases`` bounds the tune-in phase resolution.
+        """
+        if not sizes:
+            raise ValueError("fleet() needs at least one population size")
+        for n in sizes:
+            if not isinstance(n, int) or isinstance(n, bool) or n <= 0:
+                raise ValueError(f"fleet sizes must be positive ints, got {n!r}")
+        if max_phases is not None and max_phases < 1:
+            raise ValueError(f"max_phases must be at least 1, got {max_phases}")
+        self._fleet_seed = seed
+        self._fleet_max_phases = max_phases
+        if len(sizes) == 1:
+            self._fleet_n = sizes[0]
+            self._axes.pop("fleet", None)
+        else:
+            self._fleet_n = sizes[0]
+            self.sweep(fleet=list(sizes))
+        return self
+
     def sweep(self, **axes: Iterable[Any]) -> "Experiment":
         """Declare sweep axes; multiple axes form a cartesian product."""
         for name, values in axes.items():
@@ -296,10 +362,14 @@ class Experiment:
 
     def _config_at(self, params: Dict[str, Any]) -> SystemConfig:
         config = self._base_config
+        if self._channels_n is not None:
+            config = config.with_channels(self._channels_n)
         fields = {f.name for f in dataclasses.fields(SystemConfig)}
         for name, value in params.items():
             if name == "capacity":
                 config = config.with_capacity(value)
+            elif name == "channels":
+                config = config.with_channels(value)
             elif name in fields:
                 config = dataclasses.replace(config, **{name: value})
         return config
@@ -308,16 +378,23 @@ class Experiment:
         specs = self._specs if self._specs is not None else default_specs()
         return [spec for spec in specs if index_entry(spec.kind).is_supported(config)]
 
-    def _error_model_at(self, params: Dict[str, Any]) -> Optional[LinkErrorModel]:
-        if self._error_model is not None:
-            return self._error_model
+    def _error_settings_at(self, params: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """The seeded error parameters at one sweep point (None = lossless)."""
         if self._error_params is None and "theta" not in params:
             return None
         cfg = dict(self._error_params or {"theta": None, "scope": "index", "seed": None})
         theta = params.get("theta", cfg["theta"])
         if theta is None:
             return None
-        return LinkErrorModel(theta=theta, scope=cfg["scope"], seed=cfg["seed"])
+        return {"theta": theta, "scope": cfg["scope"], "seed": cfg["seed"]}
+
+    def _error_model_at(self, params: Dict[str, Any]) -> Optional[LinkErrorModel]:
+        if self._error_model is not None:
+            return self._error_model
+        settings = self._error_settings_at(params)
+        if settings is None:
+            return None
+        return LinkErrorModel(**settings)
 
     def _row_extras(self, params: Dict[str, Any]) -> "OrderedDict[str, Any]":
         extras: "OrderedDict[str, Any]" = OrderedDict()
@@ -337,12 +414,34 @@ class Experiment:
         """Every axis must actually vary something -- a silently inert axis
         would label rows with values that were never applied."""
         fields = {f.name for f in dataclasses.fields(SystemConfig)}
-        known = {"capacity", "theta", *fields, *_WINDOW_PARAMS, *_KNN_PARAMS}
+        known = {"capacity", "channels", "fleet", "theta", *fields, *_WINDOW_PARAMS, *_KNN_PARAMS}
         unknown = [a for a in self._axes if a not in known]
         if unknown:
             raise ValueError(
                 f"unknown sweep axes {unknown}; axes must name a SystemConfig "
-                "field (or 'capacity'), a workload parameter, or 'theta'"
+                "field (or 'capacity'/'channels'), a workload parameter, "
+                "'fleet', or 'theta'"
+            )
+        if "fleet" in self._axes and self._fleet_n is None:
+            raise ValueError(
+                "a 'fleet' sweep axis needs fleet mode; declare the sizes "
+                "with .fleet(...) instead of sweep(fleet=...)"
+            )
+        # Axis values declared through raw sweep() get the same up-front
+        # validation as the .fleet()/.channels() declarations, so a bad size
+        # fails here instead of deep inside a forked point worker.
+        for axis, check, noun in (
+            ("fleet", lambda v: v > 0, "positive ints"),
+            ("channels", lambda v: v >= 1, "ints >= 1"),
+        ):
+            for value in self._axes.get(axis, ()):
+                if not isinstance(value, int) or isinstance(value, bool) or not check(value):
+                    raise ValueError(f"{axis} axis values must be {noun}, got {value!r}")
+        if self._fleet_n is not None and self._error_model is not None:
+            raise ValueError(
+                "fleet runs derive one seeded error model per (query, phase) "
+                "execution; declare errors(theta=..., scope=..., seed=...) "
+                "instead of a shared LinkErrorModel instance"
             )
         if "theta" in self._axes and self._error_model is not None:
             raise ValueError(
@@ -357,7 +456,7 @@ class Experiment:
             elif decl.kind == "knn":
                 accepted.update(_KNN_PARAMS)
         for axis in self._axes:
-            if axis in ("capacity", "theta") or axis in fields:
+            if axis in ("capacity", "channels", "fleet", "theta") or axis in fields:
                 continue
             if axis not in accepted:
                 raise ValueError(
@@ -374,9 +473,15 @@ def _run_point(experiment: Experiment, params: Dict[str, Any]) -> PointResult:
     config = experiment._config_at(params)
     point = PointResult(params=params, config=config)
     specs = experiment._specs_at(config)
-    error_model = experiment._error_model_at(params)
     extras = experiment._row_extras(params)
     multi = len(experiment._workloads) > 1
+    fleet_n = (
+        params.get("fleet", experiment._fleet_n)
+        if experiment._fleet_n is not None
+        else None
+    )
+    # Fleet cells derive per-execution seeded models themselves.
+    error_model = None if fleet_n is not None else experiment._error_model_at(params)
     # One build per spec per point, even with several workloads and the
     # cache off (building is the dominant cost the build cache exists for).
     built = {
@@ -387,23 +492,72 @@ def _run_point(experiment: Experiment, params: Dict[str, Any]) -> PointResult:
         workload = decl.realise(params)
         for spec in specs:
             index = built[spec]
-            result = run_workload(
-                index,
-                experiment.dataset,
-                config,
-                workload,
-                error_model=error_model,
-                verify=experiment._verify,
-                knn_strategy=spec.knn_strategy,
-                label=spec.display_name,
-            )
-            point.records.append(RunRecord(workload=decl.label, spec=spec, result=result))
             row: Dict[str, Any] = {"index": spec.display_name}
             if multi:
                 row["workload"] = decl.label
             row.update(extras)
-            row["latency_bytes"] = result.mean_latency_bytes
-            row["tuning_bytes"] = result.mean_tuning_bytes
-            row["accuracy"] = result.accuracy
+            if fleet_n is not None:
+                result = _run_fleet_cell(
+                    experiment, params, index, config, workload, spec, fleet_n, row
+                )
+            else:
+                result = run_workload(
+                    index,
+                    experiment.dataset,
+                    config,
+                    workload,
+                    error_model=error_model,
+                    verify=experiment._verify,
+                    knn_strategy=spec.knn_strategy,
+                    label=spec.display_name,
+                )
+                row["latency_bytes"] = result.mean_latency_bytes
+                row["tuning_bytes"] = result.mean_tuning_bytes
+                row["accuracy"] = result.accuracy
+            point.records.append(RunRecord(workload=decl.label, spec=spec, result=result))
             point.rows.append(row)
     return point
+
+
+def _run_fleet_cell(
+    experiment: Experiment,
+    params: Dict[str, Any],
+    index: Any,
+    config: SystemConfig,
+    workload: Workload,
+    spec: IndexSpec,
+    fleet_n: int,
+    row: Dict[str, Any],
+):
+    """One (workload, index) cell of a fleet-mode sweep point."""
+    from ..sim.fleet import DEFAULT_MAX_PHASES, run_fleet
+
+    errors = experiment._error_settings_at(params)
+    fleet_result = run_fleet(
+        index,
+        experiment.dataset,
+        config,
+        workload,
+        fleet_n,
+        seed=experiment._fleet_seed,
+        max_phases=(
+            DEFAULT_MAX_PHASES
+            if experiment._fleet_max_phases is None
+            else experiment._fleet_max_phases
+        ),
+        error_theta=None if errors is None else errors["theta"],
+        error_scope="index" if errors is None else errors["scope"],
+        error_seed=0 if errors is None or errors["seed"] is None else errors["seed"],
+        verify=experiment._verify,
+        knn_strategy=spec.knn_strategy,
+        label=spec.display_name,
+    )
+    fleet_row = fleet_result.as_row()
+    # Rows must be bit-identical between serial and parallel runs; throughput
+    # is wall-clock and stays on the FleetResult.
+    for key in ("index", "workload", "clients_per_sec"):
+        fleet_row.pop(key, None)
+    row.update(fleet_row)
+    if not experiment._verify:
+        row.pop("accuracy", None)
+    return fleet_result.result

@@ -224,7 +224,9 @@ def _cache_key(entry: IndexEntry, spec: IndexSpec, dataset: SpatialDataset, conf
         params = entry.param_key(spec)
     else:
         params = (spec.dsi_params, spec.options)
-    return (dataset.fingerprint, config, kind, params)
+    # Channel topology slices the air layout *after* the build, so configs
+    # differing only in it share one cached build (see SystemConfig.air_equivalent).
+    return (dataset.fingerprint, config.air_equivalent(), kind, params)
 
 
 def build_index(

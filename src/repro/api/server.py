@@ -18,6 +18,7 @@ from typing import Any, Dict, Optional, Union
 
 from ..broadcast.config import DEFAULT_CONFIG, SystemConfig
 from ..broadcast.errors import LinkErrorModel
+from ..broadcast.schedule import BroadcastSchedule
 from ..spatial.datasets import SpatialDataset
 from .protocol import ensure_air_index
 from .registry import IndexSpec, build_index, resolve_spec
@@ -32,6 +33,11 @@ class BroadcastServer:
     an :class:`~repro.api.registry.IndexSpec`, or an already-built index
     instance satisfying the :class:`~repro.api.protocol.AirIndex` protocol.
     Builds go through the registry's build cache by default.
+
+    ``channels`` overrides the configuration's channel topology: 1 airs the
+    classic single flat cycle, ``k >= 2`` airs the index on a fast control
+    channel and stripes data frames across ``k - 1`` data channels (see
+    :class:`~repro.broadcast.schedule.BroadcastSchedule`).
     """
 
     def __init__(
@@ -40,28 +46,45 @@ class BroadcastServer:
         config: Optional[SystemConfig] = None,
         index: Union[str, IndexSpec, Any] = "dsi",
         *,
+        channels: Optional[int] = None,
         use_cache: bool = True,
     ) -> None:
         self.dataset = dataset
         self.config = config if config is not None else DEFAULT_CONFIG
+        if channels is not None:
+            self.config = self.config.with_channels(channels)
         if isinstance(index, (str, IndexSpec)):
             self.spec: Optional[IndexSpec] = resolve_spec(index)
             self.index = build_index(self.spec, dataset, self.config, use_cache=use_cache)
         else:
             self.spec = None
             self.index = ensure_air_index(index)
+        self.schedule = BroadcastSchedule.for_config(self.index.program, self.config)
 
     # -- the aired program -----------------------------------------------------
 
     @property
     def program(self):
-        """The broadcast program (packet cycle) this server airs."""
+        """The flat broadcast program (packet cycle) this server airs.
+
+        With a multi-channel schedule this is still the logical base cycle;
+        :attr:`schedule` holds the per-channel layout.
+        """
         return self.index.program
+
+    @property
+    def n_channels(self) -> int:
+        return self.schedule.n_channels
 
     @property
     def cycle_packets(self) -> int:
         """Length of one broadcast cycle, in packets."""
         return self.program.cycle_packets
+
+    @property
+    def tune_cycle_packets(self) -> int:
+        """Range of distinct tune-in positions (the longest channel cycle)."""
+        return self.schedule.cycle_packets
 
     @property
     def cycle_bytes(self) -> int:
@@ -76,7 +99,7 @@ class BroadcastServer:
 
     def stats(self) -> Dict[str, object]:
         """Program-level statistics of the aired cycle."""
-        return {
+        stats: Dict[str, object] = {
             "index": getattr(self.index, "name", type(self.index).__name__),
             "dataset": self.dataset.name,
             "n_objects": len(self.dataset),
@@ -84,6 +107,9 @@ class BroadcastServer:
             "cycle_bytes": self.cycle_bytes,
             "index_overhead": self.program.index_overhead_fraction(),
         }
+        if not self.schedule.is_single:
+            stats["channels"] = self.schedule.describe()
+        return stats
 
     # -- clients ---------------------------------------------------------------
 
@@ -102,9 +128,20 @@ class BroadcastServer:
 
         return MobileClient(self, error_model=error_model, seed=seed)
 
+    def fleet(self, n_clients: int, **kwargs: Any):
+        """A population-scale client fleet tuned to this server's channels.
+
+        See :class:`repro.sim.fleet.ClientFleet`; keyword arguments are
+        forwarded (``workload=``, ``seed=``, ``max_phases=``...).
+        """
+        from ..sim.fleet import ClientFleet
+
+        return ClientFleet(self, n_clients=n_clients, **kwargs)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self.index, "name", type(self.index).__name__)
+        channels = "" if self.schedule.is_single else f", channels={self.n_channels}"
         return (
             f"BroadcastServer(index={name!r}, dataset={self.dataset.name!r}, "
-            f"cycle_packets={self.cycle_packets})"
+            f"cycle_packets={self.cycle_packets}{channels})"
         )

@@ -7,6 +7,8 @@ from .config import (
     SystemConfig,
 )
 from .program import BroadcastProgram, Bucket, BucketKind
+from .channel import Channel, ChannelRole
+from .schedule import BroadcastSchedule, ScheduleView
 from .errors import NO_ERRORS, LinkErrorModel
 from .client import AccessMetrics, ClientSession, ReadResult
 
@@ -18,6 +20,10 @@ __all__ = [
     "BroadcastProgram",
     "Bucket",
     "BucketKind",
+    "Channel",
+    "ChannelRole",
+    "BroadcastSchedule",
+    "ScheduleView",
     "LinkErrorModel",
     "NO_ERRORS",
     "ClientSession",

@@ -1,0 +1,77 @@
+"""Broadcast channels: one physical carrier of a multi-channel schedule.
+
+A :class:`Channel` is one parallel carrier of a
+:class:`~repro.broadcast.schedule.BroadcastSchedule`.  All channels of a
+schedule tick the same global packet clock (packet ``t`` occupies the same
+wall-clock slot on every channel); a client listens to exactly one channel
+at a time and may retune to another, paying the configured switch latency.
+
+Channel roles follow the classic multi-channel air-indexing layout:
+
+* ``CONTROL`` -- the fast channel carrying navigation information (index
+  tables, tree nodes, replicated control indexes).  Its cycle is short, so
+  a freshly tuned-in client reaches index information quickly.
+* ``DATA`` -- a channel carrying data frames (data objects plus the
+  intra-frame directories that travel with them).
+* ``HYBRID`` -- the single-channel special case: one channel carrying the
+  whole legacy cycle, exactly as :class:`~repro.broadcast.program
+  .BroadcastProgram` always did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+from .program import BroadcastProgram
+
+
+class ChannelRole(Enum):
+    """What a channel of a broadcast schedule carries."""
+
+    CONTROL = "control"  # navigation buckets only (index tables, tree nodes)
+    DATA = "data"        # data frames (objects + intra-frame directories)
+    HYBRID = "hybrid"    # the whole cycle (single-channel schedules)
+
+    @property
+    def carries_index(self) -> bool:
+        return self is not ChannelRole.DATA
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One carrier of a broadcast schedule.
+
+    ``program`` is the channel's own packet cycle; ``global_ids[i]`` is the
+    index that the channel's ``i``-th bucket has in the schedule's flat
+    (single-channel) base program, which is how the query algorithms keep
+    addressing buckets by their legacy ids regardless of the channel layout.
+    """
+
+    cid: int
+    role: ChannelRole
+    program: BroadcastProgram
+    global_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.cid < 0:
+            raise ValueError("channel id must be non-negative")
+        if len(self.global_ids) != len(self.program):
+            raise ValueError(
+                "global_ids must map every bucket of the channel program "
+                f"({len(self.global_ids)} ids for {len(self.program)} buckets)"
+            )
+
+    def __len__(self) -> int:
+        return len(self.program)
+
+    @property
+    def cycle_packets(self) -> int:
+        return self.program.cycle_packets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel(cid={self.cid}, role={self.role.value!r}, "
+            f"buckets={len(self.program)}, cycle_packets={self.cycle_packets})"
+        )

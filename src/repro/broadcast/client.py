@@ -71,6 +71,16 @@ class ClientSession:
         self.reads_by_kind: Dict[BucketKind, int] = {}
         self.lost_reads = 0
         self._probed = False
+        # Multi-channel schedules (see repro.broadcast.schedule) expose the
+        # same read surface plus a channel dimension; the session then tracks
+        # which channel its radio is parked on and pays the configured switch
+        # latency when it retunes.  A plain single-channel program leaves
+        # ``channel`` at None and every code path below is the legacy one.
+        self.channel: Optional[int] = getattr(program, "home_channel", None)
+        self.channel_switches = 0
+        self._switch = (
+            getattr(config, "channel_switch_packets", 0) if self.channel is not None else 0
+        )
 
     # -- channel primitives ----------------------------------------------------
 
@@ -85,15 +95,39 @@ class ClientSession:
             self.tuning_packets += 1
             self.clock += 1
             self._probed = True
-        return self.program.next_bucket_after(self.clock)
+        return self.peek_next()
 
     def peek_next(self) -> Tuple[int, int]:
-        """Next bucket boundary at or after the current clock (no cost)."""
-        return self.program.next_bucket_after(self.clock)
+        """Next bucket boundary at or after the current clock (no cost).
+
+        On a multi-channel schedule this is the next boundary on the channel
+        the radio is parked on (the control channel at tune-in).
+        """
+        if self.channel is None:
+            return self.program.next_bucket_after(self.clock)
+        return self.program.next_bucket_after(self.clock, channel=self.channel)
+
+    def next_arrival(self, bucket_index: int, not_before: Optional[int] = None) -> int:
+        """Earliest *receivable* start of a bucket from the session's state.
+
+        This is the planning counterpart of :meth:`read_bucket`: on a
+        multi-channel schedule it accounts for the retune latency to the
+        bucket's channel, so search strategies rank candidate buckets by the
+        same arrival times the reads will actually achieve.  ``not_before``
+        plans past a future position (never before the current clock).
+        """
+        earliest = self.clock if not_before is None else max(self.clock, not_before)
+        if self.channel is not None and self.program.channel_of(bucket_index) != self.channel:
+            earliest = max(earliest, self.clock + self._switch)
+        return self.program.next_occurrence(bucket_index, earliest)
 
     def read_bucket(self, bucket_index: int, not_before: Optional[int] = None) -> ReadResult:
         """Doze until the next occurrence of ``bucket_index`` and receive it."""
         earliest = self.clock if not_before is None else max(self.clock, not_before)
+        if self.channel is not None and self.program.channel_of(bucket_index) != self.channel:
+            # The retune starts now and must finish before receiving; it can
+            # overlap a longer doze.
+            earliest = max(earliest, self.clock + self._switch)
         start = self.program.next_occurrence(bucket_index, earliest)
         return self._receive(bucket_index, start)
 
@@ -114,13 +148,35 @@ class ClientSession:
         if kind is not None:
             if predicate is not None:
                 raise ValueError("pass either predicate or kind, not both")
-            idx, start = self.program.next_occurrence_of_kind(kind, self.clock)
+            if self.channel is None:
+                idx, start = self.program.next_occurrence_of_kind(kind, self.clock)
+            else:
+                idx, start = self.program.next_occurrence_of_kind(
+                    kind, self.clock,
+                    from_channel=self.channel, switch_packets=self._switch,
+                )
             return self._receive(idx, start)
-        for idx, start in self.program.iter_from(self.clock):
+        if self.channel is None:
+            scan = self.program.iter_from(self.clock)
+        else:
+            # A predicate scan is a radio parked on its channel, listening.
+            scan = self.program.iter_from(self.clock, channel=self.channel)
+        # One full cycle of the scanned channel covers every bucket it airs;
+        # past that the predicate can never match (e.g. asking a control
+        # channel for data buckets) and looping on would never terminate.
+        limit = len(self.program.buckets) + 1
+        for idx, start in scan:
             bucket = self.program.buckets[idx]
             if predicate is None or predicate(bucket):
                 return self._receive(idx, start)
-        raise RuntimeError("unreachable: broadcast iteration is infinite")
+            limit -= 1
+            if limit == 0:
+                break
+        where = "the broadcast" if self.channel is None else f"channel {self.channel}"
+        raise RuntimeError(
+            f"no bucket matching the predicate airs on {where}; "
+            "use kind=... to seek across channels"
+        )
 
     def doze_until(self, position: int) -> None:
         """Advance the clock without receiving anything."""
@@ -137,6 +193,11 @@ class ClientSession:
         self.clock = start + bucket.n_packets
         self.tuning_packets += bucket.n_packets
         self.reads_by_kind[bucket.kind] = self.reads_by_kind.get(bucket.kind, 0) + 1
+        if self.channel is not None:
+            target = self.program.channel_of(bucket_index)
+            if target != self.channel:
+                self.channel_switches += 1
+                self.channel = target
         lost = self.error_model.is_lost(bucket)
         if lost:
             self.lost_reads += 1
@@ -170,6 +231,7 @@ class ClientSession:
             latency_packets=self.latency_packets,
             tuning_packets=self.tuning_packets,
             lost_reads=self.lost_reads,
+            channel_switches=self.channel_switches,
         )
 
 
@@ -182,6 +244,7 @@ class AccessMetrics:
     latency_packets: int
     tuning_packets: int
     lost_reads: int = 0
+    channel_switches: int = 0
 
     def __post_init__(self) -> None:
         if self.tuning_packets > self.latency_packets + 1:

@@ -20,13 +20,27 @@ from dataclasses import dataclass, replace
 
 @dataclass(frozen=True)
 class SystemConfig:
-    """Immutable bundle of the broadcast system parameters."""
+    """Immutable bundle of the broadcast system parameters.
+
+    ``n_channels``/``channel_switch_packets`` describe the channel topology
+    (PR 3): 1 is the paper's single broadcast channel; ``n >= 2`` airs the
+    index on a fast control channel and stripes data frames across the
+    ``n - 1`` remaining data channels (see
+    :class:`~repro.broadcast.schedule.BroadcastSchedule`).  Retuning the
+    radio to another channel costs ``channel_switch_packets`` packets of
+    access latency (no tuning time -- the radio is not receiving while it
+    retunes).  Neither field affects how an index is *built*: the air
+    layout is sliced into channels after the fact, which is why the build
+    cache keys on :meth:`air_equivalent`.
+    """
 
     packet_capacity: int = 64
     object_size: int = 1024
     coord_size: int = 16
     hc_value_size: int = 16
     pointer_size: int = 2
+    n_channels: int = 1
+    channel_switch_packets: int = 0
 
     def __post_init__(self) -> None:
         if self.packet_capacity < 8:
@@ -36,6 +50,10 @@ class SystemConfig:
         for name in ("coord_size", "hc_value_size", "pointer_size"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be positive")
+        if self.n_channels < 1:
+            raise ValueError("n_channels must be at least 1")
+        if self.channel_switch_packets < 0:
+            raise ValueError("channel_switch_packets must be non-negative")
 
     # -- derived sizes -------------------------------------------------------
 
@@ -71,6 +89,27 @@ class SystemConfig:
     def with_capacity(self, packet_capacity: int) -> "SystemConfig":
         """A copy of this configuration with a different packet capacity."""
         return replace(self, packet_capacity=packet_capacity)
+
+    def with_channels(
+        self, n_channels: int, channel_switch_packets: int | None = None
+    ) -> "SystemConfig":
+        """A copy of this configuration with a different channel topology."""
+        if channel_switch_packets is None:
+            channel_switch_packets = self.channel_switch_packets
+        return replace(
+            self, n_channels=n_channels, channel_switch_packets=channel_switch_packets
+        )
+
+    def air_equivalent(self) -> "SystemConfig":
+        """The topology-free core of this configuration.
+
+        Two configurations differing only in channel topology produce the
+        same *built* index (channels slice the air layout afterwards), so
+        the index-build cache keys on this normal form.
+        """
+        if self.n_channels == 1 and self.channel_switch_packets == 0:
+            return self
+        return replace(self, n_channels=1, channel_switch_packets=0)
 
 
 #: Packet capacities evaluated in the paper's figures.

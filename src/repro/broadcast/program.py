@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 
 class BucketKind(Enum):
     """What a bucket on the broadcast channel contains."""
@@ -88,6 +90,7 @@ class BroadcastProgram:
         self.cycle_packets = pos
         for kind, idxs in self._kind_buckets.items():
             self._kind_starts[kind] = [self._starts[i] for i in idxs]
+        self._kind_starts_np: Dict[BucketKind, np.ndarray] = {}
         self._index_packets = sum(
             packets for kind, packets in self._packets_by_kind.items() if kind.is_index
         )
@@ -167,6 +170,30 @@ class BroadcastProgram:
         if j == len(starts):
             return idxs[0], base + cycle + starts[0]
         return idxs[j], base + starts[j]
+
+    def next_occurrences_of_kind(self, kind: BucketKind, positions) -> np.ndarray:
+        """Vectorised :meth:`next_occurrence_of_kind` start positions.
+
+        ``positions`` is an integer array-like of unwrapped packet
+        positions; the result is the ``int64`` array of the earliest start
+        at/after each position of a bucket of ``kind`` -- the same binary
+        search as the scalar path, run as one ``np.searchsorted`` batch.
+        Only the starts are returned (population-scale statistics need the
+        waits, not the bucket identities).
+        """
+        starts = self._kind_starts.get(kind)
+        if not starts:
+            raise KeyError(f"program {self.name!r} broadcasts no {kind.value} bucket")
+        arr = self._kind_starts_np.get(kind)
+        if arr is None:
+            arr = np.asarray(starts, dtype=np.int64)
+            self._kind_starts_np[kind] = arr
+        pos = np.maximum(np.asarray(positions, dtype=np.int64), 0)
+        cycle = self.cycle_packets
+        base = (pos // cycle) * cycle
+        j = np.searchsorted(arr, pos - base, side="left")
+        wrapped = j == len(arr)
+        return base + arr[np.where(wrapped, 0, j)] + wrapped * cycle
 
     def iter_from(self, position: int) -> Iterator[Tuple[int, int]]:
         """Iterate buckets in broadcast order starting at/after ``position``.

@@ -178,11 +178,23 @@ class TreeOnAir:
 
     # -- client-side helpers ------------------------------------------------------
 
-    def next_node_occurrence(self, node_id: int, not_before: int) -> Tuple[int, int]:
-        """Earliest upcoming ``(bucket_index, start)`` of any copy of a node."""
+    def next_node_occurrence(
+        self, node_id: int, not_before: int, session: Optional[ClientSession] = None
+    ) -> Tuple[int, int]:
+        """Earliest upcoming ``(bucket_index, start)`` of any copy of a node.
+
+        With a ``session``, arrivals are computed from the session's state
+        (its schedule view and parked channel, including retune latency), so
+        planning ranks copies by the times a read will actually achieve;
+        without one, the tree's own single-channel program is used.
+        """
+        if session is not None:
+            arrival = lambda b: session.next_arrival(b, not_before)
+        else:
+            arrival = lambda b: self.program.next_occurrence(b, not_before)
         best: Optional[Tuple[int, int]] = None
         for bucket_index in self.node_buckets[node_id]:
-            start = self.program.next_occurrence(bucket_index, not_before)
+            start = arrival(bucket_index)
             if best is None or start < best[1]:
                 best = (bucket_index, start)
         if best is None:
@@ -194,6 +206,7 @@ class TreeOnAir:
         clock: int,
         node_ids: Iterable[int],
         oids: Iterable[int] = (),
+        session: Optional[ClientSession] = None,
     ) -> Optional[Tuple[str, int, int]]:
         """Earliest upcoming pending bucket: ``("node"|"data", id, bucket_index)``.
 
@@ -204,15 +217,19 @@ class TreeOnAir:
         bucket-by-bucket channel scan of the naive sweep while visiting the
         very same buckets in the very same arrival order.
         """
+        if session is not None:
+            arrival = lambda b: session.next_arrival(b, clock)
+        else:
+            arrival = lambda b: self.program.next_occurrence(b, clock)
         best_start: Optional[int] = None
         best: Optional[Tuple[str, int, int]] = None
         for node_id in node_ids:
-            bucket_index, start = self.next_node_occurrence(node_id, clock)
+            bucket_index, start = self.next_node_occurrence(node_id, clock, session)
             if best_start is None or start < best_start:
                 best_start, best = start, ("node", node_id, bucket_index)
         for oid in oids:
             bucket_index = self.object_bucket[oid]
-            start = self.program.next_occurrence(bucket_index, clock)
+            start = arrival(bucket_index)
             if best_start is None or start < best_start:
                 best_start, best = start, ("data", oid, bucket_index)
         return best
@@ -227,7 +244,7 @@ class TreeOnAir:
         """
         attempts = 0
         while True:
-            bucket_index, _ = self.next_node_occurrence(node_id, session.clock)
+            bucket_index, _ = self.next_node_occurrence(node_id, session.clock, session)
             result = session.read_bucket(bucket_index)
             attempts += 1
             if result.ok:

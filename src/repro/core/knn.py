@@ -219,7 +219,7 @@ def _choose_rank(
 
     def arrival(rank: int) -> int:
         bucket = view.table_bucket(knowledge.pos_of_rank(rank))
-        return view.program.next_occurrence(bucket, session.clock)
+        return session.next_arrival(bucket)
 
     if strategy == "aggressive" and len(space.retrieved) < space.k:
         # While the search space is still wide open, jump straight towards the

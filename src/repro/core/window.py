@@ -154,4 +154,6 @@ def _table_arrival(
 ) -> int:
     """Unwrapped arrival time of the index table of the frame at ``rank``."""
     bucket = view.table_bucket(knowledge.pos_of_rank(rank))
-    return view.program.next_occurrence(bucket, session.clock)
+    # Arrivals come from the session (its schedule view, parked channel and
+    # retune latency), so ranking matches what the reads actually achieve.
+    return session.next_arrival(bucket)

@@ -168,7 +168,8 @@ class HciAirIndex(AirIndex):
             if steps > guard:
                 break
             kind, ident, bucket_index = self.air.next_pending_event(
-                session.clock, pending_nodes, pending_objects if collect_data else ()
+                session.clock, pending_nodes, pending_objects if collect_data else (),
+                session=session,
             )
             result = session.read_bucket(bucket_index)
             if not result.ok:
@@ -201,7 +202,7 @@ class HciAirIndex(AirIndex):
             if steps > guard:
                 break
             _kind, ident, bucket_index = self.air.next_pending_event(
-                session.clock, pending_nodes
+                session.clock, pending_nodes, session=session
             )
             result = session.read_bucket(bucket_index)
             if not result.ok:

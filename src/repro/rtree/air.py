@@ -98,7 +98,7 @@ class RTreeAirIndex(AirIndex):
             if steps > guard:
                 break
             kind, ident, bucket_index = self.air.next_pending_event(
-                session.clock, pending_nodes, pending_objects
+                session.clock, pending_nodes, pending_objects, session=session
             )
             result = session.read_bucket(bucket_index)
             if not result.ok:
@@ -150,7 +150,7 @@ class RTreeAirIndex(AirIndex):
             if steps > guard:
                 break
             event = self.air.next_pending_event(
-                session.clock, state.pending_nodes, state.pending_data
+                session.clock, state.pending_nodes, state.pending_data, session=session
             )
             if event is None:
                 break  # nothing pending; missing answers are fetched below

@@ -1,6 +1,7 @@
-"""Simulation harness: experiment runner, sweeps and reporting."""
+"""Simulation harness: experiment runner, fleets, sweeps and reporting."""
 
-from .metrics import ExperimentResult, MetricSummary, deterioration
+from .metrics import DEFAULT_QUANTILES, ExperimentResult, MetricSummary, deterioration
+from .fleet import ClientFleet, FleetResult, FleetSpec, run_fleet
 from .parallel import default_processes, parallel_map
 from .runner import (
     INDEX_NAMES,
@@ -9,10 +10,12 @@ from .runner import (
     clear_index_cache,
     compare_indexes,
     default_specs,
+    execute_query,
     index_cache_stats,
     run_workload,
 )
 from .sweep import (
+    fleet_channel_sweep,
     knn_capacity_sweep,
     knn_k_sweep,
     link_error_table,
@@ -20,17 +23,23 @@ from .sweep import (
     window_capacity_sweep,
     window_ratio_sweep,
 )
-from .report import figure_report, format_table, pivot_metric
+from .report import figure_report, format_table, metric_columns, pivot_metric
 
 __all__ = [
+    "DEFAULT_QUANTILES",
     "ExperimentResult",
     "MetricSummary",
     "deterioration",
+    "ClientFleet",
+    "FleetResult",
+    "FleetSpec",
+    "run_fleet",
     "IndexSpec",
     "INDEX_NAMES",
     "build_index",
     "clear_index_cache",
     "index_cache_stats",
+    "execute_query",
     "run_workload",
     "compare_indexes",
     "default_specs",
@@ -42,7 +51,9 @@ __all__ = [
     "knn_capacity_sweep",
     "knn_k_sweep",
     "link_error_table",
+    "fleet_channel_sweep",
     "figure_report",
     "format_table",
+    "metric_columns",
     "pivot_metric",
 ]

@@ -1,0 +1,502 @@
+"""Population-scale client fleets: millions of tune-ins in O(1) memory.
+
+The paper's model is one server airing a cycle to an unbounded audience of
+independent tuners.  :class:`ClientFleet` simulates that audience at
+population scale: ``n_clients`` seeded clients, each assigned one query of
+a workload and one tune-in position, run in batch instead of as per-client
+Python objects.
+
+Two facts make this fast without changing the physics:
+
+* **Broadcast determinism.**  A lossless broadcast is one-way: a client's
+  outcome is a pure function of (query, tune-in packet).  A fleet of a
+  million clients over ``Q`` queries therefore collapses onto at most
+  ``Q x cycle`` distinct executions; the fleet simulates each *distinct*
+  (query, phase) pair once with the real :class:`ClientSession` machinery
+  and scatters the outcome to every client that drew it.  Link errors stay
+  compatible with the dedup because every execution carries its own
+  deterministically seeded
+  :class:`~repro.broadcast.errors.LinkErrorModel`: clients sharing a query
+  *and* a tune-in phase -- the unit the dedup collapses -- experience the
+  same loss realisation, while distinct executions draw independent noise.
+* **Vectorised seek arithmetic.**  Client draws, phase bucketing and the
+  population's first-hop statistics (how long until the next index bucket
+  after tune-in) run as numpy array operations over the O(log n) occurrence
+  machinery (``next_occurrences_of_kind``), never per-client Python.
+
+When the cycle is longer than ``max_phases``, tune-in positions are
+quantised to ``max_phases`` evenly spaced phases per query -- a controlled
+approximation (phase spacing ``cycle / max_phases`` packets bounds the
+tune-in rounding) that keeps the number of distinct executions independent
+of both fleet size and cycle length.  With ``cycle <= max_phases`` the
+simulation is exact per packet.
+
+Metrics stream through :meth:`MetricSummary.add_many` (Welford + P²), so
+memory stays O(unique executions + tracked quantiles) -- constant in
+``n_clients``.  The per-execution histogram is kept on the result for
+exact cross-checks (:meth:`FleetResult.exact_mean` /
+:meth:`FleetResult.exact_percentile`).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..broadcast.client import ClientSession
+from ..broadcast.config import SystemConfig
+from ..broadcast.errors import LinkErrorModel
+from ..broadcast.schedule import BroadcastSchedule
+from ..queries.ground_truth import matches
+from ..queries.workload import Workload
+from ..spatial.datasets import SpatialDataset
+from .metrics import ExperimentResult, MetricSummary
+from .parallel import parallel_map
+
+__all__ = ["ClientFleet", "FleetResult", "FleetSpec", "run_fleet", "DEFAULT_MAX_PHASES"]
+
+#: Default tune-in phase resolution per query (exact when the cycle is
+#: shorter; see module docstring).
+DEFAULT_MAX_PHASES = 256
+
+#: Clients are drawn and scattered in fixed-size batches so the random
+#: stream (and thus the fleet) is independent of parallelism and of
+#: ``n_clients`` prefixes.
+_DRAW_BATCH = 1 << 16
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Validated fleet parameters (fail fast, not deep in the batch loop).
+
+    ``tune_in`` optionally pins every client's tune-in fraction (one float
+    in ``[0, 1)`` per client); ``client_seeds`` instead derives each
+    client's fraction from its own seed -- duplicate seeds are rejected
+    because identical streams would silently correlate "independent"
+    clients.  At most one of the two may be given.
+    """
+
+    n_clients: int
+    seed: int = 0
+    max_phases: int = DEFAULT_MAX_PHASES
+    tune_in: Optional[Tuple[float, ...]] = None
+    client_seeds: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.n_clients, int) or isinstance(self.n_clients, bool):
+            raise TypeError(f"n_clients must be an int, got {type(self.n_clients).__name__}")
+        if self.n_clients <= 0:
+            raise ValueError(f"n_clients must be positive, got {self.n_clients}")
+        if self.max_phases < 1:
+            raise ValueError(f"max_phases must be at least 1, got {self.max_phases}")
+        if self.tune_in is not None and self.client_seeds is not None:
+            raise ValueError("pass either tune_in or client_seeds, not both")
+        if self.tune_in is not None:
+            fracs = np.asarray(self.tune_in, dtype=np.float64)
+            if fracs.shape != (self.n_clients,):
+                raise ValueError(
+                    f"tune_in must provide one fraction per client "
+                    f"({self.n_clients}), got shape {fracs.shape}"
+                )
+            if not np.all(np.isfinite(fracs)):
+                bad = int(np.flatnonzero(~np.isfinite(fracs))[0])
+                raise ValueError(
+                    f"tune_in fractions must be finite; client {bad} has "
+                    f"{self.tune_in[bad]!r}"
+                )
+            if fracs.size and (fracs.min() < 0.0 or fracs.max() >= 1.0):
+                raise ValueError("tune_in fractions must lie in [0, 1)")
+        if self.client_seeds is not None:
+            seeds = np.asarray(self.client_seeds, dtype=np.int64)
+            if seeds.shape != (self.n_clients,):
+                raise ValueError(
+                    f"client_seeds must provide one seed per client "
+                    f"({self.n_clients}), got shape {seeds.shape}"
+                )
+            uniq, counts = np.unique(seeds, return_counts=True)
+            if uniq.size != seeds.size:
+                i = int(np.argmax(counts > 1))
+                raise ValueError(
+                    f"client_seeds must be unique (seed {int(uniq[i])} appears "
+                    f"{int(counts[i])} times); duplicate seeds would make "
+                    "supposedly independent clients draw identical streams"
+                )
+
+    def fractions(self) -> Optional[np.ndarray]:
+        """The pinned per-client tune-in fractions, if any."""
+        if self.tune_in is not None:
+            return np.asarray(self.tune_in, dtype=np.float64)
+        if self.client_seeds is not None:
+            # One value from each client's own stream: O(n) but only on the
+            # explicitly seeded path, which is meant for modest fleets.
+            return np.array(
+                [np.random.default_rng(s).random() for s in self.client_seeds],
+                dtype=np.float64,
+            )
+        return None
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one fleet run.
+
+    ``result`` carries the streaming latency/tuning summaries (an
+    :class:`ExperimentResult` built via :meth:`ExperimentResult.streaming`);
+    ``first_index_wait`` is the population's exact per-client wait (bytes)
+    from tune-in to the first navigation bucket, computed vectorised.  The
+    per-execution histogram (``unique_latency`` / ``unique_tuning`` /
+    ``unique_counts``) supports exact cross-checks in O(executions) memory.
+    """
+
+    result: ExperimentResult
+    n_clients: int
+    n_executions: int
+    n_phases: int
+    cycle_packets: int
+    quantized: bool
+    elapsed_s: float
+    first_index_wait: MetricSummary
+    unique_latency: np.ndarray = field(repr=False)
+    unique_tuning: np.ndarray = field(repr=False)
+    unique_counts: np.ndarray = field(repr=False)
+
+    @property
+    def clients_per_sec(self) -> float:
+        return self.n_clients / self.elapsed_s if self.elapsed_s > 0 else math.inf
+
+    # -- exact cross-checks ----------------------------------------------------
+
+    def _exact(self, metric: str) -> Tuple[np.ndarray, np.ndarray]:
+        values = self.unique_latency if metric == "latency" else self.unique_tuning
+        return values, self.unique_counts
+
+    def exact_mean(self, metric: str = "latency") -> float:
+        """Exact population mean from the per-execution histogram."""
+        values, counts = self._exact(metric)
+        return float(np.dot(values, counts) / counts.sum())
+
+    def exact_percentile(self, q: float, metric: str = "latency") -> float:
+        """Exact population percentile (same interpolation as exact summaries)."""
+        from .metrics import _weighted_percentile
+
+        if not (0.0 <= q <= 100.0):
+            raise ValueError("q must be within [0, 100]")
+        values, counts = self._exact(metric)
+        hist: Dict[float, int] = {}
+        for value, count in zip(values.tolist(), counts.tolist()):
+            hist[value] = hist.get(value, 0) + int(count)
+        return _weighted_percentile(hist, int(counts.sum()), q)
+
+    def as_row(self) -> Dict[str, Any]:
+        from .report import metric_columns
+
+        row: Dict[str, Any] = {
+            "index": self.result.index_name,
+            "workload": self.result.workload_name,
+            "n_clients": self.n_clients,
+        }
+        row.update(metric_columns(self.result.latency, "latency"))
+        row.update(metric_columns(self.result.tuning, "tuning"))
+        checked = self.result.correct_trials + self.result.incorrect_trials
+        if checked:
+            row["accuracy"] = self.result.accuracy
+        row["clients_per_sec"] = self.clients_per_sec
+        return row
+
+
+# ---------------------------------------------------------------------------
+# Unique-execution simulation (fork-shared context, picklable chunk worker)
+# ---------------------------------------------------------------------------
+
+#: Handoff to worker processes: set in the parent right before the fan-out,
+#: inherited by fork (the task tuples themselves stay tiny).
+_SIM_CTX: Dict[str, Any] = {}
+
+
+def _simulate_one(
+    index: Any,
+    dataset: SpatialDataset,
+    config: SystemConfig,
+    view: Any,
+    trial: Any,
+    start_packet: int,
+    error_model: Optional[LinkErrorModel],
+    verify: bool,
+    knn_strategy: str,
+) -> Tuple[int, int, int]:
+    """One distinct (query, phase) execution -> (latency, tuning, correct)."""
+    from .runner import execute_query
+
+    session = ClientSession(view, config, start_packet=start_packet, error_model=error_model)
+    query = trial.query
+    outcome = execute_query(index, query, session, knn_strategy=knn_strategy)
+    correct = -1
+    if verify:
+        correct = int(matches(dataset, query, outcome.objects))
+    return outcome.metrics.latency_bytes, outcome.metrics.tuning_bytes, correct
+
+
+def _simulate_chunk(keys: Sequence[int]) -> List[Tuple[int, int, int]]:
+    """Simulate a chunk of distinct executions (module-level: picklable)."""
+    ctx = _SIM_CTX
+    index = ctx["index"]
+    dataset = ctx["dataset"]
+    config = ctx["config"]
+    view = ctx["view"]
+    trials = ctx["trials"]
+    n_phases = ctx["n_phases"]
+    cycle = ctx["cycle"]
+    theta = ctx["error_theta"]
+    scope = ctx["error_scope"]
+    error_seed = ctx["error_seed"]
+    verify = ctx["verify"]
+    knn_strategy = ctx["knn_strategy"]
+    out: List[Tuple[int, int, int]] = []
+    for key in keys:
+        qid, phase = divmod(int(key), n_phases)
+        start_packet = (phase * cycle) // n_phases
+        error_model = None
+        if theta is not None:
+            # Every client sharing this (query, phase) execution experiences
+            # the same loss realisation; distinct executions are independent.
+            error_model = LinkErrorModel(
+                theta=theta, scope=scope, seed=(error_seed * 1_000_003 + int(key)) & 0x7FFFFFFF
+            )
+        out.append(
+            _simulate_one(
+                index, dataset, config, view, trials[qid], start_packet,
+                error_model, verify, knn_strategy,
+            )
+        )
+    return out
+
+
+def run_fleet(
+    index: Any,
+    dataset: SpatialDataset,
+    config: SystemConfig,
+    workload: Workload,
+    n_clients: int,
+    *,
+    seed: int = 0,
+    tune_in: Optional[Sequence[float]] = None,
+    client_seeds: Optional[Sequence[int]] = None,
+    max_phases: int = DEFAULT_MAX_PHASES,
+    error_theta: Optional[float] = None,
+    error_scope: str = "index",
+    error_seed: int = 0,
+    verify: bool = False,
+    knn_strategy: str = "conservative",
+    label: Optional[str] = None,
+    parallel: bool = False,
+    processes: Optional[int] = None,
+) -> FleetResult:
+    """Run ``n_clients`` seeded tune-ins of ``workload`` against ``index``.
+
+    The channel topology comes from ``config`` (the schedule the runner
+    would air); serial and parallel runs produce identical results.  See
+    the module docstring for the simulation model.
+    """
+    spec = FleetSpec(
+        n_clients=n_clients,
+        seed=seed,
+        max_phases=max_phases,
+        tune_in=None if tune_in is None else tuple(float(v) for v in tune_in),
+        client_seeds=None if client_seeds is None else tuple(int(s) for s in client_seeds),
+    )
+    trials = list(workload)
+    if not trials:
+        raise ValueError(f"workload {workload.name!r} has no trials to assign to clients")
+    if error_theta is not None and not (0.0 <= error_theta <= 1.0):
+        raise ValueError("error_theta must be within [0, 1]")
+
+    t0 = time.perf_counter()
+    schedule = BroadcastSchedule.for_config(index.program, config)
+    view = schedule.view()
+    cycle = view.cycle_packets
+    n_q = len(trials)
+    n_phases = min(cycle, spec.max_phases)
+    quantized = n_phases < cycle
+
+    # -- draw clients and bucket them onto (query, phase) keys, batch-wise ----
+    rng = np.random.default_rng(spec.seed)
+    pinned = spec.fractions()
+    counts = np.zeros(n_q * n_phases, dtype=np.int64)
+    wait_summary = MetricSummary(exact=False)
+    nav_kinds = [k for k in index.program.count_by_kind() if k.is_navigation]
+    capacity = config.packet_capacity
+    done = 0
+    while done < spec.n_clients:
+        m = min(_DRAW_BATCH, spec.n_clients - done)
+        qids = rng.integers(0, n_q, size=m, dtype=np.int64)
+        if pinned is None:
+            fracs = rng.random(m)
+        else:
+            fracs = pinned[done:done + m]
+        phases = (fracs * n_phases).astype(np.int64)
+        counts += np.bincount(qids * n_phases + phases, minlength=n_q * n_phases)
+        # Exact first-hop statistics for every client, fully vectorised over
+        # the per-kind occurrence machinery (no phase quantisation here).
+        positions = (fracs * cycle).astype(np.int64)
+        first = None
+        for kind in nav_kinds:
+            starts = view.next_occurrences_of_kind(kind, positions)
+            first = starts if first is None else np.minimum(first, starts)
+        if first is not None:
+            wait_summary.add_many((first - positions) * capacity)
+        done += m
+
+    # -- simulate each distinct execution once ---------------------------------
+    keys = np.flatnonzero(counts)
+    task_counts = counts[keys]
+    _SIM_CTX.update(
+        index=index, dataset=dataset, config=config, view=view, trials=trials,
+        n_phases=n_phases, cycle=cycle, error_theta=error_theta,
+        error_scope=error_scope, error_seed=error_seed, verify=verify,
+        knn_strategy=knn_strategy,
+    )
+    try:
+        if parallel and len(keys) > 1:
+            n_chunks = max(1, min(len(keys), 4 * (processes or 8)))
+            chunks = np.array_split(keys, n_chunks)
+            outs = parallel_map(
+                _simulate_chunk,
+                [(chunk.tolist(),) for chunk in chunks],
+                processes=processes,
+            )
+            sims = [t for out in outs for t in out]
+        else:
+            sims = _simulate_chunk(keys.tolist())
+    finally:
+        _SIM_CTX.clear()
+
+    uniq_lat = np.array([s[0] for s in sims], dtype=np.float64)
+    uniq_tun = np.array([s[1] for s in sims], dtype=np.float64)
+
+    # -- stream the population through the summaries ---------------------------
+    # Replaying the seeded client stream (same generator, same seed) maps each
+    # client back to its execution's outcome *in draw order* -- the i.i.d.
+    # arrival order the P2 estimators are calibrated for (feeding the
+    # histogram key by key would hand them sorted runs and skew the markers).
+    lat_by_key = np.zeros(n_q * n_phases, dtype=np.float64)
+    tun_by_key = np.zeros(n_q * n_phases, dtype=np.float64)
+    lat_by_key[keys] = uniq_lat
+    tun_by_key[keys] = uniq_tun
+    result = ExperimentResult.streaming(
+        index_name=label or getattr(index, "name", type(index).__name__),
+        workload_name=workload.name,
+    )
+    rng = np.random.default_rng(spec.seed)
+    done = 0
+    while done < spec.n_clients:
+        m = min(_DRAW_BATCH, spec.n_clients - done)
+        qids = rng.integers(0, n_q, size=m, dtype=np.int64)
+        if pinned is None:
+            fracs = rng.random(m)
+        else:
+            fracs = pinned[done:done + m]
+        key = qids * n_phases + (fracs * n_phases).astype(np.int64)
+        result.latency.add_many(lat_by_key[key])
+        result.tuning.add_many(tun_by_key[key])
+        done += m
+    if verify:
+        corrects = np.array([s[2] for s in sims], dtype=np.int64)
+        result.correct_trials = int(task_counts[corrects == 1].sum())
+        result.incorrect_trials = int(task_counts[corrects == 0].sum())
+
+    return FleetResult(
+        result=result,
+        n_clients=spec.n_clients,
+        n_executions=len(keys),
+        n_phases=n_phases,
+        cycle_packets=cycle,
+        quantized=quantized,
+        elapsed_s=time.perf_counter() - t0,
+        first_index_wait=wait_summary,
+        unique_latency=uniq_lat,
+        unique_tuning=uniq_tun,
+        unique_counts=task_counts,
+    )
+
+
+class ClientFleet:
+    """A population of clients attached to a :class:`BroadcastServer`.
+
+    The object-level face of :func:`run_fleet`::
+
+        server = BroadcastServer(dataset, config, index="dsi", channels=4)
+        fleet = server.fleet(100_000, workload=window_workload(20, seed=7))
+        result = fleet.run(parallel=True)
+        result.result.latency.percentile(95)
+
+    Parameters are validated up front (:class:`FleetSpec`); ``workload``
+    defaults to a small seeded window workload over the server's dataset.
+    """
+
+    def __init__(
+        self,
+        server: Any,
+        n_clients: int,
+        *,
+        workload: Optional[Workload] = None,
+        seed: int = 0,
+        tune_in: Optional[Sequence[float]] = None,
+        client_seeds: Optional[Sequence[int]] = None,
+        max_phases: int = DEFAULT_MAX_PHASES,
+        error_theta: Optional[float] = None,
+        error_scope: str = "index",
+        error_seed: int = 0,
+        verify: bool = False,
+    ) -> None:
+        from ..queries.workload import window_workload
+
+        self.server = server
+        self.workload = workload if workload is not None else window_workload(
+            n_queries=20, seed=seed + 1
+        )
+        # Validate now -- a bad fleet declaration should fail at declaration.
+        self.spec = FleetSpec(
+            n_clients=n_clients,
+            seed=seed,
+            max_phases=max_phases,
+            tune_in=None if tune_in is None else tuple(float(v) for v in tune_in),
+            client_seeds=None if client_seeds is None else tuple(int(s) for s in client_seeds),
+        )
+        self.error_theta = error_theta
+        self.error_scope = error_scope
+        self.error_seed = error_seed
+        self.verify = verify
+
+    def run(self, parallel: bool = False, processes: Optional[int] = None) -> FleetResult:
+        knn_strategy = "conservative"
+        if self.server.spec is not None:
+            knn_strategy = self.server.spec.knn_strategy
+        return run_fleet(
+            self.server.index,
+            self.server.dataset,
+            self.server.config,
+            self.workload,
+            self.spec.n_clients,
+            seed=self.spec.seed,
+            tune_in=self.spec.tune_in,
+            client_seeds=self.spec.client_seeds,
+            max_phases=self.spec.max_phases,
+            error_theta=self.error_theta,
+            error_scope=self.error_scope,
+            error_seed=self.error_seed,
+            verify=self.verify,
+            knn_strategy=knn_strategy,
+            label=getattr(self.server.index, "name", None),
+            parallel=parallel,
+            processes=processes,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClientFleet(n_clients={self.spec.n_clients}, "
+            f"workload={self.workload.name!r}, server={self.server!r})"
+        )

@@ -1,65 +1,410 @@
-"""Aggregation of per-trial access metrics into experiment statistics."""
+"""Aggregation of per-trial access metrics into experiment statistics.
+
+:class:`MetricSummary` aggregates one metric (latency or tuning, in bytes)
+across trials.  Two modes share the same ``count`` / ``mean`` / ``minimum``
+/ ``maximum`` / ``variance`` / ``percentile`` surface:
+
+* **streaming** (the default): O(1) memory in the number of samples.  The
+  mean is an exact running sum, variance comes from Welford's online
+  update, and percentiles from a bank of P² quantile estimators (Jain &
+  Chlamtac 1985) -- the form population-scale fleet runs need, where a
+  summary may absorb millions of samples.
+* **exact** (``exact=True``): every sample is retained, percentiles are
+  exact order statistics over a sorted copy that is *cached* between adds
+  (the seed re-sorted on every ``percentile`` call).  The figure and table
+  benchmarks use this mode, so their rows stay bit-identical.
+
+For samples ingested one by one through :meth:`add`, both modes produce
+bit-identical means for the same sequence (the running sum accumulates in
+arrival order exactly like ``sum(list)`` did -- this is what keeps the
+figure rows stable).  Streaming ``add_many`` batches sum via numpy
+(pairwise summation), trading that last-ulp reproducibility for speed.
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..broadcast.client import AccessMetrics
 
+__all__ = [
+    "DEFAULT_QUANTILES",
+    "ExperimentResult",
+    "MetricSummary",
+    "deterioration",
+]
 
-@dataclass
+#: Quantiles (in percent) tracked by streaming summaries.  ``percentile``
+#: answers tracked values directly and interpolates between neighbours
+#: (anchored at the exact minimum and maximum) for anything else.
+DEFAULT_QUANTILES: Tuple[float, ...] = (5.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0)
+
+#: Streaming summaries keep an exact value->count histogram while the
+#: metric's value domain stays at most this wide (broadcast metrics are
+#: packet-quantised, so whole fleet runs often fit); beyond it, percentile
+#: queries fall back to the P² markers that tracked every sample all along.
+DEFAULT_HISTOGRAM_LIMIT = 4096
+
+
+class _P2Quantile:
+    """One P² estimator: a single quantile in O(1) memory.
+
+    The classic five-marker algorithm: marker heights chase the desired
+    quantile positions, adjusted by a piecewise-parabolic (hence P²)
+    interpolation as samples stream in.  Exact until five samples have
+    arrived (the markers are then the sorted sample itself).
+    """
+
+    __slots__ = ("p", "q", "n", "np_", "dn")
+
+    def __init__(self, p: float) -> None:
+        self.p = p  # quantile in (0, 1)
+        self.q: List[float] = []       # marker heights
+        self.n = [0, 1, 2, 3, 4]       # marker positions (0-based)
+        self.np_ = [0.0, 0.0, 0.0, 0.0, 0.0]  # desired positions
+        self.dn = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def update(self, x: float) -> None:
+        q, n = self.q, self.n
+        if len(q) < 5:
+            q.append(x)
+            if len(q) == 5:
+                q.sort()
+                self.np_ = [0.0, 2.0 * self.p, 4.0 * self.p, 2.0 + 2.0 * self.p, 4.0]
+            return
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1
+        np_, dn = self.np_, self.dn
+        for i in range(5):
+            np_[i] += dn[i]
+        for i in (1, 2, 3):
+            d = np_[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1) or (d <= -1.0 and n[i - 1] - n[i] < -1):
+                sign = 1 if d >= 0 else -1
+                # Piecewise-parabolic prediction of the adjusted height.
+                qp = q[i] + sign / (n[i + 1] - n[i - 1]) * (
+                    (n[i] - n[i - 1] + sign) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                    + (n[i + 1] - n[i] - sign) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+                )
+                if q[i - 1] < qp < q[i + 1]:
+                    q[i] = qp
+                else:  # parabolic left the bracket: fall back to linear
+                    q[i] = q[i] + sign * (q[i + sign] - q[i]) / (n[i + sign] - n[i])
+                n[i] += sign
+
+    def value(self) -> float:
+        q = self.q
+        if not q:
+            return math.nan
+        if len(q) < 5:  # still exact: interpolate the sorted buffer
+            return _sorted_percentile(sorted(q), self.p * 100.0)
+        return q[2]
+
+
+def _sorted_percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an ascending sequence."""
+    pos = (len(ordered) - 1) * q / 100.0
+    lower = int(math.floor(pos))
+    upper = int(math.ceil(pos))
+    if lower == upper:
+        return ordered[lower]
+    frac = pos - lower
+    return ordered[lower] * (1 - frac) + ordered[upper] * frac
+
+
+def _weighted_percentile(hist: Dict[float, int], n: int, q: float) -> float:
+    """Exact percentile of a value->count histogram (same interpolation as
+    :func:`_sorted_percentile` over the expanded multiset)."""
+    items = sorted(hist.items())
+    pos = (n - 1) * q / 100.0
+    lower = int(math.floor(pos))
+    upper = int(math.ceil(pos))
+
+    def value_at(k: int) -> float:
+        seen = 0
+        for value, count in items:
+            seen += count
+            if k < seen:
+                return value
+        return items[-1][0]
+
+    if lower == upper:
+        return value_at(lower)
+    frac = pos - lower
+    return value_at(lower) * (1 - frac) + value_at(upper) * frac
+
+
 class MetricSummary:
-    """Mean/percentile summary of one metric across trials (in bytes)."""
+    """Mean/variance/percentile summary of one metric across trials.
 
-    values: List[float] = field(default_factory=list)
+    ``exact=True`` retains every sample (exact percentiles, ``values``
+    readable); the default streams in O(1) memory.  ``quantiles`` selects
+    the percentiles tracked in streaming mode.  Constructing with
+    ``values=[...]`` seeds an exact summary (backward compatible with the
+    old list-backed dataclass).
+    """
+
+    __slots__ = (
+        "exact",
+        "_values",
+        "_sorted",
+        "_count",
+        "_total",
+        "_min",
+        "_max",
+        "_w_mean",
+        "_w_m2",
+        "_quantiles",
+        "_estimators",
+        "_hist",
+        "_hist_limit",
+    )
+
+    def __init__(
+        self,
+        values: Optional[Sequence[float]] = None,
+        exact: Optional[bool] = None,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+        histogram_limit: int = DEFAULT_HISTOGRAM_LIMIT,
+    ) -> None:
+        if exact is None:
+            exact = values is not None
+        self.exact = bool(exact)
+        self._values: Optional[List[float]] = [] if self.exact else None
+        self._sorted: Optional[List[float]] = None
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._w_mean = 0.0
+        self._w_m2 = 0.0
+        qs = tuple(float(q) for q in quantiles)
+        if any(not 0.0 < q < 100.0 for q in qs):
+            raise ValueError("tracked quantiles must be strictly inside (0, 100)")
+        self._quantiles = qs
+        self._estimators: Optional[List[_P2Quantile]] = (
+            None if self.exact else [_P2Quantile(q / 100.0) for q in qs]
+        )
+        self._hist_limit = max(0, int(histogram_limit))
+        self._hist: Optional[Dict[float, int]] = (
+            {} if not self.exact and self._hist_limit > 0 else None
+        )
+        if values is not None:
+            for v in values:
+                self.add(v)
+
+    # -- ingestion ------------------------------------------------------------
 
     def add(self, value: float) -> None:
-        self.values.append(float(value))
+        value = float(value)
+        self._count += 1
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        delta = value - self._w_mean
+        self._w_mean += delta / self._count
+        self._w_m2 += delta * (value - self._w_mean)
+        if self.exact:
+            self._values.append(value)
+            self._sorted = None
+        else:
+            for est in self._estimators:
+                est.update(value)
+            hist = self._hist
+            if hist is not None:
+                hist[value] = hist.get(value, 0) + 1
+                if len(hist) > self._hist_limit:
+                    self._hist = None  # domain too wide: the P2 markers take over
+
+    def add_many(self, values) -> None:
+        """Absorb a batch of samples (array-like) in one call.
+
+        Equivalent to ``add`` in a loop; the batch form vectorises the
+        moment updates (Chan's parallel Welford merge) so fleet runs can
+        stream millions of samples cheaply.  Means stay bit-identical to
+        sequential adds only in exact mode; streaming batches trade that
+        for speed (documented accuracy bounds are unaffected).
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return
+        flat = arr.ravel()
+        if self.exact:
+            for v in flat.tolist():
+                self.add(v)
+            return
+        n_b = flat.size
+        mean_b = float(flat.mean())
+        m2_b = float(((flat - mean_b) ** 2).sum())
+        n_a = self._count
+        delta = mean_b - self._w_mean
+        n = n_a + n_b
+        self._w_mean += delta * n_b / n
+        self._w_m2 += m2_b + delta * delta * n_a * n_b / n
+        self._count = n
+        self._total += float(flat.sum())
+        self._min = min(self._min, float(flat.min()))
+        self._max = max(self._max, float(flat.max()))
+        for est in self._estimators:
+            update = est.update
+            for v in flat.tolist():
+                update(v)
+        hist = self._hist
+        if hist is not None:
+            uniq, cnt = np.unique(flat, return_counts=True)
+            for v, c in zip(uniq.tolist(), cnt.tolist()):
+                hist[v] = hist.get(v, 0) + c
+            if len(hist) > self._hist_limit:
+                self._hist = None
+
+    # -- the summary surface ---------------------------------------------------
+
+    @property
+    def values(self) -> List[float]:
+        """A copy of the retained samples (exact mode only).
+
+        A copy, because appending to the internal list directly (possible
+        with the old public-dataclass field) would silently desynchronise
+        the running statistics -- new samples go through :meth:`add`.
+        """
+        if self._values is None:
+            raise AttributeError(
+                "a streaming MetricSummary does not retain samples; construct "
+                "with exact=True to keep them"
+            )
+        return list(self._values)
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._count
 
     @property
     def mean(self) -> float:
-        return sum(self.values) / len(self.values) if self.values else math.nan
+        return self._total / self._count if self._count else math.nan
 
     @property
     def minimum(self) -> float:
-        return min(self.values) if self.values else math.nan
+        return self._min if self._count else math.nan
 
     @property
     def maximum(self) -> float:
-        return max(self.values) if self.values else math.nan
+        return self._max if self._count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (Welford / Chan), ``nan`` below two samples."""
+        return self._w_m2 / (self._count - 1) if self._count > 1 else math.nan
+
+    @property
+    def stddev(self) -> float:
+        var = self.variance
+        return math.sqrt(var) if not math.isnan(var) else math.nan
+
+    @property
+    def tracked_quantiles(self) -> Tuple[float, ...]:
+        return self._quantiles
 
     def percentile(self, q: float) -> float:
-        if not self.values:
-            return math.nan
+        """The ``q``-th percentile (exact, or P²-estimated when streaming).
+
+        Streaming summaries answer tracked quantiles directly and linearly
+        interpolate between the nearest tracked neighbours -- anchored at
+        the exact minimum (q=0) and maximum (q=100) -- for anything else.
+        """
         if not (0.0 <= q <= 100.0):
             raise ValueError("q must be within [0, 100]")
-        ordered = sorted(self.values)
-        pos = (len(ordered) - 1) * q / 100.0
-        lower = int(math.floor(pos))
-        upper = int(math.ceil(pos))
-        if lower == upper:
-            return ordered[lower]
-        frac = pos - lower
-        return ordered[lower] * (1 - frac) + ordered[upper] * frac
+        if not self._count:
+            return math.nan
+        if self.exact:
+            if self._sorted is None:
+                self._sorted = sorted(self._values)
+            return _sorted_percentile(self._sorted, q)
+        if q == 0.0:
+            return self._min
+        if q == 100.0:
+            return self._max
+        if self._hist is not None:
+            # The value domain never outgrew the compact histogram: the
+            # percentile is exact (ties and all -- where pure P2 drifts).
+            return _weighted_percentile(self._hist, self._count, q)
+        # Below five samples every estimator still buffers the exact sample
+        # set; interpolate it directly.  (With no tracked quantiles at all,
+        # fall through to the min/max-anchored interpolation below.)
+        if self._count < 5 and self._estimators:
+            return _sorted_percentile(sorted(self._estimators[0].q), q)
+        lo_q, lo_v = 0.0, self._min
+        hi_q, hi_v = 100.0, self._max
+        for tracked, est in zip(self._quantiles, self._estimators):
+            if abs(tracked - q) < 1e-9:
+                return est.value()
+            if tracked < q and tracked > lo_q:
+                lo_q, lo_v = tracked, est.value()
+            elif tracked > q and tracked < hi_q:
+                hi_q, hi_v = tracked, est.value()
+        frac = (q - lo_q) / (hi_q - lo_q)
+        return lo_v * (1 - frac) + hi_v * frac
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "exact" if self.exact else "streaming"
+        if not self._count:
+            return f"MetricSummary({mode}, empty)"
+        return (
+            f"MetricSummary({mode}, n={self._count}, mean={self.mean:.6g}, "
+            f"range=[{self._min:.6g}, {self._max:.6g}])"
+        )
+
+
+def _exact_summary() -> MetricSummary:
+    return MetricSummary(exact=True)
 
 
 @dataclass
 class ExperimentResult:
-    """Aggregated outcome of running one workload against one index."""
+    """Aggregated outcome of running one workload against one index.
+
+    Defaults to **exact** summaries (the figure benchmarks read order
+    statistics and the perf tests compare raw sample lists); population
+    runs construct via :meth:`streaming` to stay O(1) in trial count.
+    """
 
     index_name: str
     workload_name: str
-    latency: MetricSummary = field(default_factory=MetricSummary)
-    tuning: MetricSummary = field(default_factory=MetricSummary)
+    latency: MetricSummary = field(default_factory=_exact_summary)
+    tuning: MetricSummary = field(default_factory=_exact_summary)
     correct_trials: int = 0
     incorrect_trials: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def streaming(
+        cls,
+        index_name: str,
+        workload_name: str,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ) -> "ExperimentResult":
+        """A result whose summaries stream in O(1) memory (fleet runs)."""
+        return cls(
+            index_name=index_name,
+            workload_name=workload_name,
+            latency=MetricSummary(exact=False, quantiles=quantiles),
+            tuning=MetricSummary(exact=False, quantiles=quantiles),
+        )
 
     def record(self, metrics: AccessMetrics, correct: Optional[bool] = None) -> None:
         self.latency.add(metrics.latency_bytes)

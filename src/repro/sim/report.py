@@ -2,7 +2,27 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def metric_columns(
+    summary,
+    prefix: str,
+    percentiles: Sequence[float] = (50.0, 95.0),
+) -> "OrderedDict[str, float]":
+    """Row columns for one :class:`~repro.sim.metrics.MetricSummary`.
+
+    Works for exact and streaming summaries alike (the mean column keeps
+    the historical ``{prefix}_bytes`` name so fleet rows line up with
+    figure rows; percentile columns are ``{prefix}_p{q}_bytes``).
+    """
+    columns: "OrderedDict[str, float]" = OrderedDict()
+    columns[f"{prefix}_bytes"] = summary.mean
+    for q in percentiles:
+        key = f"{prefix}_p{q:g}_bytes"
+        columns[key] = summary.percentile(q)
+    return columns
 
 
 def format_table(

@@ -26,6 +26,7 @@ from ..api.registry import (
 from ..broadcast.client import ClientSession
 from ..broadcast.config import SystemConfig
 from ..broadcast.errors import LinkErrorModel
+from ..broadcast.schedule import BroadcastSchedule
 from ..core.structure import DsiIndex
 from ..hci.air import HciAirIndex
 from ..queries.ground_truth import matches
@@ -50,6 +51,27 @@ def index_cache_stats() -> Dict[str, int]:
     return cache_stats()
 
 
+def execute_query(
+    index: AnyIndex,
+    query: Union[WindowQuery, KnnQuery],
+    session: ClientSession,
+    knn_strategy: str = "conservative",
+):
+    """Run one query through one session (the per-trial dispatch).
+
+    Shared by the per-trial workload replay below and the fleet simulator's
+    unique-execution path, so both produce identical outcomes for the same
+    (query, session) pair.  ``knn_strategy`` applies to DSI only.
+    """
+    if isinstance(query, WindowQuery):
+        return index.window_query(query.window, session)
+    if isinstance(query, KnnQuery):
+        if isinstance(index, DsiIndex):
+            return index.knn_query(query.point, query.k, session, strategy=knn_strategy)
+        return index.knn_query(query.point, query.k, session)
+    raise TypeError(f"unsupported query type {type(query)!r}")
+
+
 def run_workload(
     index: AnyIndex,
     dataset: SpatialDataset,
@@ -60,27 +82,25 @@ def run_workload(
     knn_strategy: str = "conservative",
     label: Optional[str] = None,
 ) -> ExperimentResult:
-    """Replay every trial of ``workload`` against ``index``."""
+    """Replay every trial of ``workload`` against ``index``.
+
+    The index's packet cycle is aired as the channel schedule
+    ``config.n_channels`` asks for; with one channel (the default) the
+    schedule view *is* the legacy program, packet for packet.
+    """
     result = ExperimentResult(
         index_name=label or getattr(index, "name", type(index).__name__),
         workload_name=workload.name,
     )
-    cycle = index.program.cycle_packets
+    view = BroadcastSchedule.for_config(index.program, config).view()
+    cycle = view.cycle_packets
     for trial in workload:
         start = int(trial.tune_in_fraction * cycle) % cycle
         session = ClientSession(
-            index.program, config, start_packet=start, error_model=error_model
+            view, config, start_packet=start, error_model=error_model
         )
         query = trial.query
-        if isinstance(query, WindowQuery):
-            outcome = index.window_query(query.window, session)
-        elif isinstance(query, KnnQuery):
-            if isinstance(index, DsiIndex):
-                outcome = index.knn_query(query.point, query.k, session, strategy=knn_strategy)
-            else:
-                outcome = index.knn_query(query.point, query.k, session)
-        else:
-            raise TypeError(f"unsupported query type {type(query)!r}")
+        outcome = execute_query(index, query, session, knn_strategy=knn_strategy)
         correct = matches(dataset, query, outcome.objects) if verify else None
         result.record(outcome.metrics, correct)
     return result

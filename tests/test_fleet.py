@@ -1,0 +1,299 @@
+"""Population-scale client fleets: validation, exactness, composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import BroadcastServer, Experiment
+from repro.broadcast import ClientSession, SystemConfig
+from repro.queries.workload import window_workload
+from repro.sim.fleet import ClientFleet, FleetSpec, run_fleet
+from repro.sim.runner import build_index
+
+
+@pytest.fixture(scope="module")
+def config64():
+    return SystemConfig(packet_capacity=64)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    from repro.spatial import uniform_dataset
+
+    return uniform_dataset(200, seed=3)
+
+
+@pytest.fixture(scope="module")
+def dsi(dataset, config64):
+    return build_index("dsi", dataset, config64, use_cache=True)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return window_workload(6, 0.1, seed=5)
+
+
+class TestFleetSpecValidation:
+    def test_rejects_nonpositive_populations(self):
+        with pytest.raises(ValueError, match="n_clients must be positive"):
+            FleetSpec(n_clients=0)
+        with pytest.raises(ValueError, match="n_clients must be positive"):
+            FleetSpec(n_clients=-5)
+        with pytest.raises(TypeError, match="must be an int"):
+            FleetSpec(n_clients=2.5)
+
+    def test_rejects_bad_tune_in_fractions(self):
+        with pytest.raises(ValueError, match="finite"):
+            FleetSpec(n_clients=3, tune_in=(0.1, float("nan"), 0.2))
+        with pytest.raises(ValueError, match="finite"):
+            FleetSpec(n_clients=3, tune_in=(0.1, float("inf"), 0.2))
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            FleetSpec(n_clients=2, tune_in=(0.0, 1.0))
+        with pytest.raises(ValueError, match="one fraction per client"):
+            FleetSpec(n_clients=3, tune_in=(0.1, 0.2))
+
+    def test_rejects_duplicate_client_seeds(self):
+        with pytest.raises(ValueError, match="seed 7 appears 2 times"):
+            FleetSpec(n_clients=3, client_seeds=(7, 9, 7))
+        FleetSpec(n_clients=3, client_seeds=(7, 9, 11))  # unique is fine
+
+    def test_rejects_both_tune_in_and_seeds(self):
+        with pytest.raises(ValueError, match="not both"):
+            FleetSpec(n_clients=2, tune_in=(0.1, 0.2), client_seeds=(1, 2))
+
+    def test_rejects_bad_phases_and_theta(self, dsi, dataset, config64, workload):
+        with pytest.raises(ValueError, match="max_phases"):
+            FleetSpec(n_clients=1, max_phases=0)
+        with pytest.raises(ValueError, match="error_theta"):
+            run_fleet(dsi, dataset, config64, workload, 10, error_theta=1.5)
+
+    def test_validation_happens_at_declaration(self, dataset, config64):
+        server = BroadcastServer(dataset, config64, index="dsi")
+        with pytest.raises(ValueError, match="n_clients must be positive"):
+            ClientFleet(server, n_clients=0)
+
+
+class TestFleetExactness:
+    def test_pinned_phases_match_per_client_sessions(self, dsi, dataset, config64):
+        """With every packet phase pinned and one query, the fleet must equal
+        a per-client ClientSession sweep exactly (the cycle is shorter than
+        max_phases, so no quantisation is involved)."""
+        workload = window_workload(1, 0.15, seed=2)
+        cycle = dsi.program.cycle_packets
+        sample = min(cycle, 400)
+        fractions = tuple((p + 0.5) / cycle for p in range(0, sample))
+        fleet = run_fleet(
+            dsi, dataset, config64, workload, len(fractions),
+            tune_in=fractions, max_phases=cycle,
+        )
+        trial = workload.trials[0]
+        expected = []
+        for p in range(0, sample):
+            session = ClientSession(dsi.program, config64, start_packet=p)
+            outcome = dsi.window_query(trial.query.window, session)
+            expected.append(outcome.metrics.latency_bytes)
+        assert fleet.exact_mean("latency") == pytest.approx(np.mean(expected))
+        assert fleet.result.latency.mean == pytest.approx(np.mean(expected))
+        assert fleet.result.latency.count == len(fractions)
+
+    def test_streaming_within_bounds_of_exact(self, dsi, dataset, config64, workload):
+        """The acceptance bound: streaming mean within 1% and P95 within 2%
+        of the exact histogram on a 10k-client cross-check."""
+        fleet = run_fleet(dsi, dataset, config64, workload, 10_000, seed=7)
+        for metric in ("latency", "tuning"):
+            summary = getattr(fleet.result, metric)
+            assert summary.count == 10_000
+            assert summary.mean == pytest.approx(fleet.exact_mean(metric), rel=0.01)
+            assert summary.percentile(95) == pytest.approx(
+                fleet.exact_percentile(95, metric), rel=0.02
+            )
+
+    def test_memory_is_constant_in_fleet_size(self, dsi, dataset, config64, workload):
+        small = run_fleet(dsi, dataset, config64, workload, 1_000, seed=7)
+        large = run_fleet(dsi, dataset, config64, workload, 50_000, seed=7)
+        # the retained state is the per-execution histogram, whose size is
+        # bounded by queries x phases -- not by the population
+        bound = len(workload) * small.n_phases
+        assert small.n_executions <= bound
+        assert large.n_executions <= bound
+        assert large.unique_counts.sum() == 50_000
+
+    def test_serial_parallel_identical(self, dsi, dataset, config64, workload):
+        kw = dict(seed=11, max_phases=64)
+        a = run_fleet(dsi, dataset, config64, workload, 5_000, parallel=False, **kw)
+        b = run_fleet(dsi, dataset, config64, workload, 5_000, parallel=True, processes=4, **kw)
+        assert a.result.latency.mean == b.result.latency.mean
+        assert a.result.latency.percentile(95) == b.result.latency.percentile(95)
+        assert np.array_equal(a.unique_latency, b.unique_latency)
+        assert np.array_equal(a.unique_counts, b.unique_counts)
+
+    def test_error_model_deterministic_and_harmful(self, dsi, dataset, config64, workload):
+        clean = run_fleet(dsi, dataset, config64, workload, 2_000, seed=3, max_phases=64)
+        noisy1 = run_fleet(
+            dsi, dataset, config64, workload, 2_000, seed=3, max_phases=64,
+            error_theta=0.2, error_seed=9,
+        )
+        noisy2 = run_fleet(
+            dsi, dataset, config64, workload, 2_000, seed=3, max_phases=64,
+            error_theta=0.2, error_seed=9,
+        )
+        assert noisy1.result.latency.mean == noisy2.result.latency.mean
+        assert noisy1.result.latency.mean > clean.result.latency.mean
+
+    def test_first_index_wait_covers_every_client(self, dsi, dataset, config64, workload):
+        fleet = run_fleet(dsi, dataset, config64, workload, 3_000, seed=1)
+        wait = fleet.first_index_wait
+        assert wait.count == 3_000
+        assert wait.minimum >= 0
+        # a table is never further than a cycle away
+        assert wait.maximum <= dsi.program.cycle_packets * config64.packet_capacity
+
+    def test_verify_counts_weighted_by_population(self, dsi, dataset, config64):
+        workload = window_workload(3, 0.1, seed=2)
+        fleet = run_fleet(dsi, dataset, config64, workload, 2_000, seed=1, verify=True)
+        assert fleet.result.correct_trials + fleet.result.incorrect_trials == 2_000
+        assert fleet.result.accuracy == 1.0
+
+    def test_multi_channel_fleet(self, dataset, workload):
+        from repro.broadcast import BroadcastSchedule
+
+        config = SystemConfig(packet_capacity=64, n_channels=4)
+        index = build_index("dsi", dataset, config, use_cache=True)
+        fleet = run_fleet(index, dataset, config, workload, 2_000, seed=1)
+        schedule = BroadcastSchedule.for_config(index.program, config)
+        assert fleet.result.latency.count == 2_000
+        assert fleet.cycle_packets == schedule.cycle_packets
+
+
+class TestExperimentComposition:
+    def test_fleet_and_channels_axes_compose(self, dataset):
+        make = lambda: (
+            Experiment(dataset)
+            .indexes("dsi")
+            .window_workload(n_queries=4, seed=5)
+            .fleet(2_000, seed=1, max_phases=64)
+            .channels(1, 2)
+            .sweep(capacity=[64, 128])
+        )
+        rows_serial = make().run(parallel=False).rows
+        rows_parallel = make().run(parallel=True).rows
+        assert rows_serial == rows_parallel
+        assert len(rows_serial) == 4
+        assert {(r["channels"], r["capacity"]) for r in rows_serial} == {
+            (1, 64), (1, 128), (2, 64), (2, 128)
+        }
+        for row in rows_serial:
+            assert row["n_clients"] == 2_000
+            assert row["latency_p95_bytes"] >= row["latency_p50_bytes"]
+
+    def test_fleet_axis_sweeps_population(self, dataset):
+        rows = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .window_workload(n_queries=4, seed=5)
+            .fleet(500, 2_000, seed=1, max_phases=32)
+            .run(parallel=False)
+            .rows
+        )
+        assert [r["n_clients"] for r in rows] == [500, 2_000]
+
+    def test_fleet_composes_with_theta(self, dataset):
+        rows = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .window_workload(n_queries=4, seed=5)
+            .fleet(1_000, seed=1, max_phases=32)
+            .errors(theta=0.1, seed=3)
+            .sweep(theta=[0.0, 0.3])
+            .run(parallel=False)
+            .rows
+        )
+        assert rows[1]["latency_bytes"] > rows[0]["latency_bytes"]
+
+    def test_fleet_rejects_shared_error_model_instance(self, dataset):
+        from repro.broadcast import LinkErrorModel
+
+        experiment = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .window_workload(n_queries=4, seed=5)
+            .fleet(100, seed=1)
+            .errors(LinkErrorModel(theta=0.1, seed=1))
+        )
+        with pytest.raises(ValueError, match="seeded error model"):
+            experiment.run(parallel=False)
+
+    def test_sweep_fleet_requires_fleet_mode(self, dataset):
+        experiment = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .window_workload(n_queries=4, seed=5)
+            .sweep(fleet=[10, 20])
+        )
+        with pytest.raises(ValueError, match=r"\.fleet\("):
+            experiment.run(parallel=False)
+
+    def test_raw_sweep_axis_values_validated_up_front(self, dataset):
+        """sweep(fleet=...)/sweep(channels=...) get the same fail-fast checks
+        as the .fleet()/.channels() declarations -- not a crash mid-sweep."""
+        bad_fleet = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .window_workload(n_queries=4, seed=5)
+            .fleet(10)
+            .sweep(fleet=[1_000, 0])
+        )
+        with pytest.raises(ValueError, match="fleet axis values"):
+            bad_fleet.run(parallel=False)
+        bad_channels = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .window_workload(n_queries=4, seed=5)
+            .sweep(channels=[1, 0])
+        )
+        with pytest.raises(ValueError, match="channels axis values"):
+            bad_channels.run(parallel=False)
+
+    def test_channels_argument_validation(self, dataset):
+        with pytest.raises(ValueError, match="at least one channel"):
+            Experiment(dataset).channels()
+        with pytest.raises(ValueError, match="positive ints"):
+            Experiment(dataset).channels(0)
+        with pytest.raises(ValueError, match="positive ints"):
+            Experiment(dataset).channels(2, True)
+        with pytest.raises(ValueError, match="at least one population"):
+            Experiment(dataset).fleet()
+
+    def test_channels_declaration_survives_later_config(self, dataset, config64):
+        """.channels(k).config(...) must not silently revert to one channel."""
+        experiment = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .channels(4)
+            .config(config64)
+            .window_workload(n_queries=4, seed=5)
+        )
+        assert experiment._config_at({}).n_channels == 4
+        # and the axis form still overrides the fixed declaration per point
+        assert experiment._config_at({"channels": 2}).n_channels == 2
+
+    def test_non_fleet_channels_sweep_still_per_trial(self, dataset):
+        rows = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .window_workload(n_queries=4, seed=5)
+            .channels(1, 4)
+            .run(parallel=False)
+            .rows
+        )
+        assert [r["channels"] for r in rows] == [1, 4]
+        assert all("n_clients" not in r for r in rows)
+
+    def test_server_fleet_entry_point(self, dataset, config64, workload):
+        server = BroadcastServer(dataset, config64, index="dsi", channels=2)
+        result = server.fleet(1_500, workload=workload, seed=4).run()
+        assert result.n_clients == 1_500
+        assert result.result.latency.count == 1_500
+        row = result.as_row()
+        assert row["n_clients"] == 1_500 and "clients_per_sec" in row

@@ -1,0 +1,147 @@
+"""Streaming MetricSummary: Welford moments, P² percentiles, exact hatch."""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import DEFAULT_QUANTILES, ExperimentResult, MetricSummary
+
+
+@pytest.fixture(scope="module")
+def lognormal():
+    return np.random.default_rng(5).lognormal(3.0, 0.8, 20_000)
+
+
+class TestStreamingMode:
+    def test_mean_is_bit_identical_to_running_sum(self, lognormal):
+        s = MetricSummary()
+        for v in lognormal:
+            s.add(v)
+        assert s.mean == sum(lognormal.tolist()) / len(lognormal)
+
+    def test_moments_and_extremes(self, lognormal):
+        s = MetricSummary()
+        for chunk in np.array_split(lognormal, 13):
+            s.add_many(chunk)
+        assert s.count == len(lognormal)
+        assert s.minimum == lognormal.min()
+        assert s.maximum == lognormal.max()
+        assert s.variance == pytest.approx(np.var(lognormal, ddof=1), rel=1e-9)
+        assert s.stddev == pytest.approx(np.std(lognormal, ddof=1), rel=1e-9)
+
+    @pytest.mark.parametrize("q", [25, 50, 75, 90, 95, 99])
+    def test_p2_percentiles_within_bounds(self, lognormal, q):
+        """Pure P² (histogram disabled) stays within 2% on tracked quantiles
+        of a continuous heavy-tailed distribution."""
+        s = MetricSummary(histogram_limit=0)
+        for chunk in np.array_split(lognormal, 13):
+            s.add_many(chunk)
+        exact = float(np.percentile(lognormal, q))
+        assert s.percentile(q) == pytest.approx(exact, rel=0.02)
+
+    def test_histogram_keeps_discrete_metrics_exact(self):
+        """Packet-quantised metrics (heavy ties -- where raw P² drifts) stay
+        exact while the value domain fits the compact histogram."""
+        data = np.random.default_rng(3).integers(0, 50, 30_000) * 64.0
+        s, e = MetricSummary(), MetricSummary(exact=True)
+        s.add_many(data)
+        for v in data:
+            e.add(v)
+        for q in (10, 50, 90, 95):
+            assert s.percentile(q) == e.percentile(q)
+
+    def test_small_samples_are_exact(self):
+        s = MetricSummary()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            s.add(v)
+        assert s.percentile(50) == pytest.approx(2.5)
+        assert s.percentile(0) == 1.0 and s.percentile(100) == 4.0
+
+    def test_add_many_matches_add_loop(self, lognormal):
+        a, b = MetricSummary(histogram_limit=0), MetricSummary(histogram_limit=0)
+        for v in lognormal[:2_000]:
+            a.add(v)
+        b.add_many(lognormal[:2_000])
+        assert a.count == b.count and a.minimum == b.minimum and a.maximum == b.maximum
+        assert a.mean == pytest.approx(b.mean, rel=1e-12)
+        assert a.variance == pytest.approx(b.variance, rel=1e-9)
+        # identical sample order -> identical P2 marker states
+        assert a.percentile(95) == b.percentile(95)
+
+    def test_values_are_not_retained(self):
+        s = MetricSummary()
+        s.add(1.0)
+        with pytest.raises(AttributeError, match="exact=True"):
+            s.values
+
+    def test_empty(self):
+        s = MetricSummary()
+        assert math.isnan(s.mean) and math.isnan(s.minimum) and math.isnan(s.percentile(50))
+        assert math.isnan(s.variance)
+
+    def test_invalid_quantiles(self):
+        with pytest.raises(ValueError, match="q must be within"):
+            MetricSummary().percentile(120)
+        with pytest.raises(ValueError, match="inside"):
+            MetricSummary(quantiles=(0.0, 50.0))
+
+    def test_no_tracked_quantiles_degrades_to_range_interpolation(self):
+        """An estimator-free streaming summary (no quantiles, no histogram)
+        still answers percentile() from its min/max anchors."""
+        s = MetricSummary(quantiles=(), histogram_limit=0)
+        s.add(1.0)
+        s.add(3.0)
+        assert s.percentile(50) == pytest.approx(2.0)
+        s.add_many(np.full(100, 3.0))
+        assert s.percentile(0) == 1.0 and s.percentile(100) == 3.0
+
+    def test_pickles_across_processes(self, lognormal):
+        s = MetricSummary()
+        s.add_many(lognormal[:5_000])
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone.count == s.count
+        assert clone.percentile(95) == s.percentile(95)
+        clone.add(1.0)  # and keeps streaming
+
+    def test_tracked_quantiles_exposed(self):
+        assert MetricSummary().tracked_quantiles == DEFAULT_QUANTILES
+
+
+class TestExactMode:
+    def test_percentile_cache_invalidated_by_add(self):
+        e = MetricSummary(exact=True)
+        for v in (5.0, 1.0, 3.0):
+            e.add(v)
+        assert e.percentile(50) == 3.0  # builds the sorted cache
+        e.add(100.0)
+        assert e.percentile(100) == 100.0  # cache rebuilt, not stale
+        assert e.percentile(0) == 1.0
+
+    def test_values_retained_and_legacy_ctor(self):
+        e = MetricSummary(values=[2.0, 1.0])
+        assert e.exact
+        assert e.values == [2.0, 1.0]
+        assert e.mean == 1.5
+
+    def test_matches_numpy_interpolation(self):
+        data = np.random.default_rng(11).random(501)
+        e = MetricSummary(exact=True)
+        for v in data:
+            e.add(v)
+        for q in (0, 12.5, 50, 97.3, 100):
+            assert e.percentile(q) == pytest.approx(float(np.percentile(data, q)), abs=1e-12)
+
+
+class TestExperimentResult:
+    def test_defaults_to_exact_summaries(self):
+        r = ExperimentResult("dsi", "w")
+        assert r.latency.exact and r.tuning.exact
+
+    def test_streaming_factory(self):
+        r = ExperimentResult.streaming("dsi", "w")
+        assert not r.latency.exact and not r.tuning.exact
+        assert math.isnan(r.accuracy)

@@ -83,6 +83,23 @@ class AirIndex(ABC):
     def knn_query(self, point: "Point", k: int, session: "ClientSession", **kwargs: Any) -> Any:
         """Answer a kNN query by reading buckets through ``session``."""
 
+    def entry_landmark(self, view: Any, position: int, switch_packets: int = 0) -> Any:
+        """Identity of the first index-structure read from a tune-in position.
+
+        Every built-in query algorithm starts the same way: an initial
+        probe, then a seek to the next *entry structure* on air (a DSI index
+        table, the next copy of a tree root).  Two error-free executions of
+        the same query whose seeks land on the same entry read produce
+        identical absolute traces -- only the tune-in offset differs in
+        access latency.  The fleet simulator exploits that to collapse
+        phase sweeps onto distinct landmarks (see ``repro.sim.fleet``).
+
+        Returns a hashable key -- ``(bucket_index, unwrapped_start)`` for
+        the built-ins -- or ``None`` to declare the index's traces
+        non-collapsible (the safe default for third-party strategies).
+        """
+        return None
+
     @classmethod
     def __subclasshook__(cls, subclass: type) -> Any:
         if cls is not AirIndex:

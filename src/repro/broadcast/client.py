@@ -23,9 +23,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+import numpy as np
+
 from .config import SystemConfig
 from .errors import LinkErrorModel, NO_ERRORS
 from .program import BroadcastProgram, Bucket, BucketKind
+from .timeline import timeline_of
+
+#: Kind order used by the session's flat per-kind read counters.
+_KINDS = tuple(BucketKind)
 
 
 @dataclass(slots=True)
@@ -65,10 +71,13 @@ class ClientSession:
         self.program = program
         self.config = config
         self.error_model = error_model if error_model is not None else NO_ERRORS
+        # Loss-free sessions (the overwhelming majority at fleet scale) skip
+        # the per-read error-model dispatch entirely.
+        self._lossless = self.error_model.theta == 0.0 or self.error_model.scope == "none"
         self.start_clock = start_packet
         self.clock = start_packet
         self.tuning_packets = 0
-        self.reads_by_kind: Dict[BucketKind, int] = {}
+        self._kind_counts = [0] * len(_KINDS)
         self.lost_reads = 0
         self._probed = False
         # Multi-channel schedules (see repro.broadcast.schedule) expose the
@@ -81,6 +90,11 @@ class ClientSession:
         self._switch = (
             getattr(config, "channel_switch_packets", 0) if self.channel is not None else 0
         )
+        # The compiled timeline answers *batched* occurrence questions (see
+        # next_arrivals); scalar reads keep driving the program's own O(1)
+        # arithmetic.  Compiled lazily so bare program stand-ins in tests
+        # never pay for (or need to support) compilation.
+        self._timeline = None
 
     # -- channel primitives ----------------------------------------------------
 
@@ -120,6 +134,36 @@ class ClientSession:
         if self.channel is not None and self.program.channel_of(bucket_index) != self.channel:
             earliest = max(earliest, self.clock + self._switch)
         return self.program.next_occurrence(bucket_index, earliest)
+
+    def next_arrivals(self, bucket_ids, not_before: Optional[int] = None):
+        """Vectorised :meth:`next_arrival`: earliest receivable starts of many
+        candidate buckets in one array operation over the compiled timeline.
+
+        Search strategies rank whole candidate sets with this (the arrivals
+        are the very same integers the scalar path computes, including the
+        retune latency to off-channel buckets).  Program stand-ins the
+        compiler cannot read (duck-typed test doubles without the real
+        program internals) degrade to a loop of scalar arrivals.
+        """
+        timeline = self._timeline
+        if timeline is None:
+            try:
+                timeline = timeline_of(self.program)
+            except (AttributeError, TypeError):
+                timeline = False  # uncompilable: remember and stay scalar
+            self._timeline = timeline
+        if timeline is False:
+            return np.array(
+                [self.next_arrival(b, not_before) for b in bucket_ids],
+                dtype=np.int64,
+            )
+        return timeline.arrivals(
+            bucket_ids,
+            self.clock,
+            not_before=not_before,
+            channel=self.channel,
+            switch_packets=self._switch,
+        )
 
     def read_bucket(self, bucket_index: int, not_before: Optional[int] = None) -> ReadResult:
         """Doze until the next occurrence of ``bucket_index`` and receive it."""
@@ -192,13 +236,13 @@ class ClientSession:
         bucket = self.program.buckets[bucket_index]
         self.clock = start + bucket.n_packets
         self.tuning_packets += bucket.n_packets
-        self.reads_by_kind[bucket.kind] = self.reads_by_kind.get(bucket.kind, 0) + 1
+        self._kind_counts[bucket.kind.ordinal] += 1
         if self.channel is not None:
             target = self.program.channel_of(bucket_index)
             if target != self.channel:
                 self.channel_switches += 1
                 self.channel = target
-        lost = self.error_model.is_lost(bucket)
+        lost = False if self._lossless else self.error_model.is_lost(bucket)
         if lost:
             self.lost_reads += 1
         return ReadResult(
@@ -210,6 +254,13 @@ class ClientSession:
         )
 
     # -- metrics ----------------------------------------------------------------
+
+    @property
+    def reads_by_kind(self) -> Dict[BucketKind, int]:
+        """Buckets received so far, by kind (kinds never read are absent)."""
+        return {
+            kind: count for kind, count in zip(_KINDS, self._kind_counts) if count
+        }
 
     @property
     def latency_packets(self) -> int:

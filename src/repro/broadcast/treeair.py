@@ -27,9 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .client import ClientSession, ReadResult
 from .config import SystemConfig
 from .program import BroadcastProgram, Bucket, BucketKind
+from .timeline import timeline_of
 from ..spatial.datasets import DataObject
 
 
@@ -201,6 +204,25 @@ class TreeOnAir:
             raise KeyError(f"node {node_id} is not broadcast")
         return best
 
+    def entry_landmark(self, view, position: int, switch_packets: int = 0):
+        """First root-copy read from ``position`` (fleet trace collapse).
+
+        Mirrors :meth:`next_node_occurrence` for a freshly tuned-in session
+        (clock at ``position``, radio on the home channel): executions whose
+        first root read is the same ``(bucket, start)`` share their whole
+        absolute trace.
+        """
+        home = getattr(view, "home_channel", None)
+        best = None
+        for bucket_index in self.node_buckets[self.root_id]:
+            earliest = position
+            if home is not None and view.channel_of(bucket_index) != home:
+                earliest = position + switch_packets
+            start = view.next_occurrence(bucket_index, earliest)
+            if best is None or start < best[1]:
+                best = (bucket_index, start)
+        return best
+
     def next_pending_event(
         self,
         clock: int,
@@ -212,27 +234,44 @@ class TreeOnAir:
 
         The search algorithms keep *pending sets* of node ids and object ids
         they still need; the next relevant bucket on the channel is simply
-        the pending bucket with the earliest next occurrence.  Computing it
-        arithmetically (O(pending) occurrence lookups) replaces the
-        bucket-by-bucket channel scan of the naive sweep while visiting the
-        very same buckets in the very same arrival order.
+        the pending bucket with the earliest next occurrence.  All candidate
+        buckets (every copy of every pending node, every pending object) are
+        ranked in one batched timeline lookup -- the same buckets, in the
+        very same arrival order, as the scalar occurrence sweep computed.
         """
-        if session is not None:
-            arrival = lambda b: session.next_arrival(b, clock)
-        else:
-            arrival = lambda b: self.program.next_occurrence(b, clock)
-        best_start: Optional[int] = None
-        best: Optional[Tuple[str, int, int]] = None
+        buckets: List[int] = []
+        events: List[Tuple[str, int]] = []
+        firsts: List[int] = []
         for node_id in node_ids:
-            bucket_index, start = self.next_node_occurrence(node_id, clock, session)
-            if best_start is None or start < best_start:
-                best_start, best = start, ("node", node_id, bucket_index)
+            copies = self.node_buckets[node_id]
+            firsts.append(len(buckets))
+            buckets.extend(copies)
+            events.append(("node", node_id))
         for oid in oids:
-            bucket_index = self.object_bucket[oid]
-            start = arrival(bucket_index)
-            if best_start is None or start < best_start:
-                best_start, best = start, ("data", oid, bucket_index)
-        return best
+            firsts.append(len(buckets))
+            buckets.append(self.object_bucket[oid])
+            events.append(("data", oid))
+        if not buckets:
+            return None
+        if session is not None:
+            starts = session.next_arrivals(buckets, not_before=clock)
+        else:
+            timeline = timeline_of(self.program)
+            starts = timeline.next_occurrences(
+                np.asarray(buckets, dtype=np.int64), clock if clock > 0 else 0
+            )
+        # Segment minima per event (a node's copies form one segment), then
+        # the first event attaining the global minimum and its first
+        # minimal copy -- identical tie-breaking to the scalar sweep's
+        # strictly-first-minimum updates.
+        firsts.append(len(buckets))
+        bounds = np.asarray(firsts, dtype=np.int64)
+        mins = np.minimum.reduceat(starts, bounds[:-1])
+        e = int(np.argmin(mins))
+        lo, hi = int(bounds[e]), int(bounds[e + 1])
+        at = lo + (int(np.argmin(starts[lo:hi])) if hi - lo > 1 else 0)
+        kind, ident = events[e]
+        return kind, ident, buckets[at]
 
     def read_node(
         self, session: ClientSession, node_id: int, max_attempts: int = 48

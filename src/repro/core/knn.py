@@ -34,7 +34,9 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set
+
+import numpy as np
 
 from ..broadcast.client import AccessMetrics, ClientSession
 from ..spatial.datasets import DataObject
@@ -80,6 +82,11 @@ class _SearchSpace:
         self.lost_objects = 0
         self._est_memo: Dict[int, float] = {}       # hc -> distance (memoised)
         self._radius: Optional[float] = None        # invalidated on updates
+        # Cover of the current search circle, keyed by the exact radius it
+        # was derived for: consecutive planner iterations whose radius did
+        # not move (no new candidates learned) reuse it verbatim.
+        self._cover_radius: Optional[float] = None
+        self._cover: Optional[np.ndarray] = None  # (n, 2) int64 HC ranges
 
     def estimate_distance(self, hc: int) -> float:
         d = self._est_memo.get(hc)
@@ -94,6 +101,29 @@ class _SearchSpace:
         self.estimates[hc] = self.estimate_distance(hc)
         self._radius = None
 
+    def add_estimates(self, hcs: Iterable[int]) -> None:
+        """Batch :meth:`add_estimate`: one decode batch, one invalidation.
+
+        The representative points of all new HC values are decoded in one
+        vectorised pass (the per-value cost of estimation), then the memo
+        is read back scalar -- identical floats, one radius invalidation
+        instead of one per value.
+        """
+        fresh = [
+            hc
+            for hc in dict.fromkeys(hcs)
+            if hc not in self.estimates and hc not in self.retrieved_hcs
+        ]
+        if not fresh:
+            return
+        memo = self._est_memo
+        self.view.curve.warm_representative_points(
+            [hc for hc in fresh if hc not in memo]
+        )
+        for hc in fresh:
+            self.estimates[hc] = self.estimate_distance(hc)
+        self._radius = None
+
     def add_object(self, obj: DataObject) -> None:
         if obj.oid in self.retrieved:
             return
@@ -106,19 +136,29 @@ class _SearchSpace:
         self._radius = None
 
     def learn_table(self, table: DsiTable) -> None:
-        self.add_estimate(table.own_min_hc)
-        for entry in table.entries:
-            self.add_estimate(entry.hc)
+        self.add_estimates(
+            itertools.chain((table.own_min_hc,), (e.hc for e in table.entries))
+        )
 
     def radius(self) -> float:
         """Distance to the k-th best candidate (inf while fewer than k known).
 
-        The value is cached between candidate updates; the k smallest of the
-        known distances are found with a bounded heap instead of a full sort.
+        The value is cached between candidate updates; the k-th smallest of
+        the known distances comes from an introselect partition over one
+        flat array (a bounded heap below the numpy-worthwhile size) -- both
+        produce the identical order statistic.
         """
         if self._radius is None:
-            if len(self.exact) + len(self.estimates) < self.k:
+            n = len(self.exact) + len(self.estimates)
+            if n < self.k:
                 self._radius = math.inf
+            elif n > 48:
+                values = np.fromiter(
+                    itertools.chain(self.exact.values(), self.estimates.values()),
+                    dtype=np.float64,
+                    count=n,
+                )
+                self._radius = float(np.partition(values, self.k - 1)[self.k - 1])
             else:
                 smallest = heapq.nsmallest(
                     self.k, itertools.chain(self.exact.values(), self.estimates.values())
@@ -167,7 +207,7 @@ def knn_query(
     while iterations < safety:
         iterations += 1
         needed = _needed_ranks(view, knowledge, space, q, max_ranges)
-        if not needed:
+        if not needed.size:
             break
         rank = _choose_rank(view, session, knowledge, space, needed, strategy)
         pos = knowledge.pos_of_rank(rank)
@@ -197,14 +237,17 @@ def _needed_ranks(
     space: _SearchSpace,
     q: Point,
     max_ranges: int,
-) -> List[int]:
-    """Ranks of frames that may still contain a query answer."""
+) -> np.ndarray:
+    """Ranks of frames that may still contain a query answer (sorted array)."""
     r = space.prune_radius()
-    if math.isinf(r):
-        ranges: List[HCRange] = [(0, view.curve.max_value - 1)]
-    else:
-        ranges = view.curve.ranges_for_circle(q, r, max_ranges=max_ranges)
-    return knowledge.candidate_ranks(ranges, skip_examined=True)
+    if r != space._cover_radius:
+        if math.isinf(r):
+            ranges: List[HCRange] = [(0, view.curve.max_value - 1)]
+        else:
+            ranges = view.curve.ranges_for_circle(q, r, max_ranges=max_ranges)
+        space._cover = np.asarray(ranges, dtype=np.int64).reshape(-1, 2)
+        space._cover_radius = r
+    return knowledge.candidate_rank_array(space._cover, skip_examined=True)
 
 
 def _choose_rank(
@@ -212,15 +255,16 @@ def _choose_rank(
     session: ClientSession,
     knowledge: ClientKnowledge,
     space: _SearchSpace,
-    needed: List[int],
+    needed: np.ndarray,
     strategy: str,
 ) -> int:
-    """Pick the next frame to visit according to the search strategy."""
+    """Pick the next frame to visit according to the search strategy.
 
-    def arrival(rank: int) -> int:
-        bucket = view.table_bucket(knowledge.pos_of_rank(rank))
-        return session.next_arrival(bucket)
-
+    Arrival times for the whole candidate set come from one batched
+    timeline lookup; ties resolve exactly as the scalar loops did (lowest
+    rank first -- ``needed`` is ascending and both ``argmin`` and stable
+    ``lexsort`` keep the first minimum).
+    """
     if strategy == "aggressive" and len(space.retrieved) < space.k:
         # While the search space is still wide open, jump straight towards the
         # frame closest to the query point (the paper's aggressive rule); the
@@ -228,16 +272,17 @@ def _choose_rank(
         # needs them, which is where the aggressive approach pays its extra
         # access latency.  Once k objects are in hand the circle is tight and
         # the remaining needed frames are simply taken in arrival order.
-        known = [rank for rank in needed if knowledge.known_min_of(rank) is not None]
-        if known:
-            return min(
-                known,
-                key=lambda rank: (
-                    space.estimate_distance(knowledge.known_min_of(rank)),
-                    arrival(rank),
-                ),
+        mins = knowledge.known_mins(needed)
+        known = needed[mins >= 0]
+        if known.size:
+            hcs = knowledge.known_mins(known)
+            distances = np.array(
+                [space.estimate_distance(int(hc)) for hc in hcs], dtype=np.float64
             )
-    return min(needed, key=arrival)
+            arrivals = session.next_arrivals(view.table_buckets_of_ranks(known))
+            return int(known[np.lexsort((arrivals, distances))[0]])
+    arrivals = session.next_arrivals(view.table_buckets_of_ranks(needed))
+    return int(needed[int(np.argmin(arrivals))])
 
 
 def _visit_frame(
@@ -253,8 +298,7 @@ def _visit_frame(
     slots = view.frame_object_buckets(frame_pos)
 
     if directory is not None:
-        for record in directory.records:
-            space.add_estimate(record.hc)
+        space.add_estimates(record.hc for record in directory.records)
         for record in directory.records:
             if record.oid in space.retrieved:
                 continue

@@ -22,6 +22,17 @@ and ``B`` is one less than the smallest known rank whose minimum is > ``hi``
 (see :meth:`ClientKnowledge.rank_interval_for`).  That interval arithmetic
 is what keeps the window and kNN algorithms cheap even for thousands of
 frames.
+
+Storage is a dense rank-indexed array (-1 = unknown), so learning is O(1);
+the sorted known-(rank, value) views that the interval arithmetic
+binary-searches -- including the sentinel-padded lookup tables the batch
+path indexes directly -- are rebuilt lazily, once per query burst rather
+than once per learned fact.  What one index table teaches is itself a pure
+function of the (static) table, so the unpacked ``(rank, value)`` pairs are
+stashed on the table object and shared by every session that reads it.
+The batch entry point :meth:`candidate_rank_array` answers *many* HC ranges
+in a handful of array operations; it is what the window and kNN planner
+loops drive (see DESIGN.md, "Compiled timelines").
 """
 
 from __future__ import annotations
@@ -29,12 +40,41 @@ from __future__ import annotations
 import bisect
 from typing import List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..spatial.hilbert import HCRange
 from .structure import DsiDirectory, DsiTable
+
+#: Sentinel for "minimum not known" in the dense rank -> min-HC storage
+#: (HC values are non-negative, so -1 can never collide).
+_UNKNOWN = -1
+
+_EMPTY_RANKS = np.empty(0, dtype=np.int64)
 
 
 class ClientKnowledge:
     """Partial knowledge of the frame/HC-value distribution."""
+
+    __slots__ = (
+        "n_frames",
+        "n_segments",
+        "hc_space",
+        "seg_size",
+        "examined",
+        "tables_read",
+        "_mins",
+        "_mins_np",
+        "_known",
+        "_not_examined",
+        "_dirty",
+        "_lists_dirty",
+        "_ranks",
+        "_values",
+        "_ranks_np",
+        "_values_np",
+        "_a_of_i",
+        "_b_of_j",
+    )
 
     def __init__(self, n_frames: int, n_segments: int, hc_space: int) -> None:
         if n_frames < 1:
@@ -45,13 +85,28 @@ class ClientKnowledge:
         self.n_segments = n_segments
         self.hc_space = hc_space          # exclusive upper bound of HC values
         self.seg_size = n_frames // n_segments
-        # Known (rank, min HC) samples kept sorted by rank; values are
-        # automatically sorted too because frame minima increase with rank.
-        self._ranks: List[int] = []
-        self._values: List[int] = []
+        # Dense rank -> known minimum HC (-1 = unknown); values are
+        # automatically in rank order because frame minima increase with
+        # rank.  Kept as a list (fast scalar writes) and a mirrored array
+        # (fast batch reads).
+        self._mins: List[int] = [_UNKNOWN] * n_frames
+        self._mins_np = np.full(n_frames, _UNKNOWN, dtype=np.int64)
+        self._known = 0
         #: ranks whose objects have been fully examined by the current query
         self.examined: Set[int] = set()
+        self._not_examined = np.ones(n_frames, dtype=bool)
         self.tables_read = 0
+        # Lazily rebuilt sorted views over the known samples: numpy arrays
+        # (plus sentinel-padded interval lookup tables) for the batch paths,
+        # plain lists for the scalar bisect paths.
+        self._dirty = False
+        self._lists_dirty = False
+        self._ranks: List[int] = []
+        self._values: List[int] = []
+        self._ranks_np = _EMPTY_RANKS
+        self._values_np = _EMPTY_RANKS
+        self._a_of_i = _EMPTY_RANKS
+        self._b_of_j = _EMPTY_RANKS
 
     # -- position <-> rank arithmetic -------------------------------------------
 
@@ -64,25 +119,49 @@ class ClientKnowledge:
     # -- learning ----------------------------------------------------------------
 
     def learn_min(self, rank: int, min_hc: int) -> None:
-        if not (0 <= rank < self.n_frames):
-            return
-        i = bisect.bisect_left(self._ranks, rank)
-        if i < len(self._ranks) and self._ranks[i] == rank:
-            return
-        self._ranks.insert(i, rank)
-        self._values.insert(i, min_hc)
+        if 0 <= rank < self.n_frames and self._mins[rank] == _UNKNOWN:
+            self._mins[rank] = min_hc
+            self._mins_np[rank] = min_hc
+            self._known += 1
+            self._dirty = self._lists_dirty = True
+
+    def _table_pairs(self, table: DsiTable) -> Tuple[Tuple[int, int], ...]:
+        layout = (self.n_frames, self.n_segments, self.hc_space)
+        cached = getattr(table, "_learn_pairs", None)
+        if cached is not None and cached[0] == layout:
+            return cached[1]
+        unpacked: List[Tuple[int, int]] = []
+        own_rank = self.rank_of_pos(table.frame_pos)
+        unpacked.append((own_rank, table.own_min_hc))
+        if own_rank + 1 < self.n_frames and table.next_hc_min < self.hc_space:
+            unpacked.append((own_rank + 1, table.next_hc_min))
+        for entry in table.entries:
+            unpacked.append((self.rank_of_pos(entry.frame_pos), entry.hc))
+        for seg, boundary in enumerate(table.segment_boundaries):
+            unpacked.append((seg * self.seg_size, boundary))
+        result = tuple(
+            (rank, value) for rank, value in unpacked if 0 <= rank < self.n_frames
+        )
+        # Tables are static, frozen index structures: stash what they teach
+        # directly on them (object.__setattr__ bypasses the frozen guard)
+        # so every later session reads it back as one attribute lookup.
+        object.__setattr__(table, "_learn_pairs", (layout, result))
+        return result
 
     def learn_table(self, table: DsiTable) -> None:
         """Absorb everything a DSI index table reveals."""
         self.tables_read += 1
-        own_rank = self.rank_of_pos(table.frame_pos)
-        self.learn_min(own_rank, table.own_min_hc)
-        if own_rank + 1 < self.n_frames and table.next_hc_min < self.hc_space:
-            self.learn_min(own_rank + 1, table.next_hc_min)
-        for entry in table.entries:
-            self.learn_min(self.rank_of_pos(entry.frame_pos), entry.hc)
-        for seg, boundary in enumerate(table.segment_boundaries):
-            self.learn_min(seg * self.seg_size, boundary)
+        mins = self._mins
+        mins_np = self._mins_np
+        learned = False
+        for rank, value in self._table_pairs(table):
+            if mins[rank] == _UNKNOWN:
+                mins[rank] = value
+                mins_np[rank] = value
+                self._known += 1
+                learned = True
+        if learned:
+            self._dirty = self._lists_dirty = True
 
     def learn_directory(self, directory: DsiDirectory) -> None:
         rank = self.rank_of_pos(directory.frame_pos)
@@ -92,23 +171,48 @@ class ClientKnowledge:
     def mark_examined(self, rank: int) -> None:
         if 0 <= rank < self.n_frames:
             self.examined.add(rank)
+            self._not_examined[rank] = False
+
+    def _refresh(self) -> None:
+        """Rebuild the sorted known views (and the sentinel-padded interval
+        lookup tables the batch path fancy-indexes) after new learning."""
+        ranks = np.flatnonzero(self._mins_np != _UNKNOWN)
+        self._ranks_np = ranks
+        self._values_np = self._mins_np[ranks]
+        # a = 0 when the searchsorted insertion point is 0, else ranks[i-1];
+        # b = ranks[j] - 1, or n_frames - 1 past the last known rank.
+        self._a_of_i = np.concatenate(([0], ranks))
+        self._b_of_j = np.concatenate((ranks, [self.n_frames])) - 1
+        self._dirty = False
+
+    def _refresh_lists(self) -> None:
+        """Rebuild the list mirrors the scalar bisect paths use."""
+        if self._dirty:
+            self._refresh()
+        self._ranks = self._ranks_np.tolist()
+        self._values = self._values_np.tolist()
+        self._lists_dirty = False
 
     # -- queries over knowledge ---------------------------------------------------
 
     @property
     def known_count(self) -> int:
-        return len(self._ranks)
+        return self._known
 
     @property
     def global_min_hc(self) -> Optional[int]:
-        if self._ranks and self._ranks[0] == 0:
-            return self._values[0]
-        return None
+        v = self._mins[0]
+        return v if v != _UNKNOWN else None
+
+    def known_mins(self, ranks: np.ndarray) -> np.ndarray:
+        """Known minima of many ranks at once (-1 where unknown)."""
+        return self._mins_np[ranks]
 
     def known_min_of(self, rank: int) -> Optional[int]:
-        i = bisect.bisect_left(self._ranks, rank)
-        if i < len(self._ranks) and self._ranks[i] == rank:
-            return self._values[i]
+        if 0 <= rank < self.n_frames:
+            v = self._mins[rank]
+            if v != _UNKNOWN:
+                return v
         return None
 
     def covering_rank_lower_bound(self, hc: int) -> int:
@@ -117,6 +221,8 @@ class ClientKnowledge:
         Because frame minima increase with rank, the true covering rank of
         ``hc`` is always >= this bound.
         """
+        if self._lists_dirty:
+            self._refresh_lists()
         i = bisect.bisect_right(self._values, hc)
         if i == 0:
             return 0
@@ -132,34 +238,93 @@ class ClientKnowledge:
         HC value inside ``[lo, hi]`` and every rank inside it might.
         An empty interval is signalled by ``A > B``.
         """
+        if self._lists_dirty:
+            self._refresh_lists()
         a = self.covering_rank_lower_bound(lo)
         j = bisect.bisect_right(self._values, hi)
         b = self._ranks[j] - 1 if j < len(self._ranks) else self.n_frames - 1
         return a, b
+
+    def neighbor_known_values(self, rank: int) -> Tuple[Optional[int], Optional[int]]:
+        """Known minima bracketing ``rank``: ``(value at largest known rank
+        <= rank, value at smallest known rank > rank)``, ``None`` where no
+        such rank is known.
+
+        This is the membership primitive behind the planners' incremental
+        candidate walks: ``rank`` may intersect an HC range ``[lo, hi]``
+        exactly when the next known minimum exceeds ``lo`` (else a later
+        frame already covers ``lo``) and the previous known minimum does
+        not exceed ``hi`` -- the scalar form of :meth:`rank_interval_for`
+        membership.  Implemented as an outward scan of the dense store
+        (expected O(1) once a few tables are known), so it never forces the
+        sorted views to rebuild mid-burst.
+        """
+        mins = self._mins
+        before = None
+        for k in range(rank, -1, -1):
+            v = mins[k]
+            if v != _UNKNOWN:
+                before = v
+                break
+        after = None
+        for k in range(rank + 1, self.n_frames):
+            v = mins[k]
+            if v != _UNKNOWN:
+                after = v
+                break
+        return before, after
 
     def may_intersect(self, rank: int, lo: int, hi: int) -> bool:
         """Whether the frame at ``rank`` may hold an object with HC in [lo, hi]."""
         a, b = self.rank_interval_for(lo, hi)
         return a <= rank <= b
 
+    def candidate_rank_array(
+        self, ranges: Sequence[HCRange], skip_examined: bool = True
+    ) -> np.ndarray:
+        """Ranks that may hold objects in any of the HC ``ranges`` (sorted).
+
+        The batch form of :meth:`rank_interval_for`: every range endpoint is
+        binary-searched in one call, the interval bounds come from the
+        sentinel-padded lookup tables, and the union of rank intervals is
+        materialised with one difference-array sweep -- no per-rank Python.
+        Returns an ``int64`` array (ascending).
+        """
+        if not len(ranges):
+            return _EMPTY_RANKS
+        if self._dirty:
+            self._refresh()
+        if isinstance(ranges, np.ndarray):
+            bounds = ranges
+        else:
+            bounds = np.asarray(ranges, dtype=np.int64).reshape(-1, 2)
+        if not len(self._ranks_np):
+            # No knowledge yet: every rank is a candidate for any range.
+            if skip_examined:
+                return np.flatnonzero(self._not_examined)
+            return np.arange(self.n_frames, dtype=np.int64)
+        ij = np.searchsorted(self._values_np, bounds.ravel(), side="right")
+        a = self._a_of_i[ij[0::2]]
+        b = self._b_of_j[ij[1::2]]
+        keep = a <= b
+        if not keep.all():
+            if not keep.any():
+                return _EMPTY_RANKS
+            a, b = a[keep], b[keep]
+        nf = self.n_frames
+        opens = np.bincount(a, minlength=nf)[:nf]
+        closes = np.bincount(b + 1, minlength=nf + 1)[:nf]
+        mask = np.cumsum(opens - closes) > 0
+        if skip_examined:
+            mask &= self._not_examined
+        return np.flatnonzero(mask)
+
     def candidate_ranks(
         self, ranges: Sequence[HCRange], skip_examined: bool = True
     ) -> List[int]:
         """Ranks that may hold objects in any of the HC ``ranges``."""
-        seen: Set[int] = set()
-        out: List[int] = []
-        for lo, hi in ranges:
-            a, b = self.rank_interval_for(lo, hi)
-            for rank in range(a, b + 1):
-                if rank in seen:
-                    continue
-                seen.add(rank)
-                if skip_examined and rank in self.examined:
-                    continue
-                out.append(rank)
-        out.sort()
-        return out
+        return self.candidate_rank_array(ranges, skip_examined=skip_examined).tolist()
 
     def known_fraction(self) -> float:
         """Fraction of frames whose minimum is known (diagnostics/tests)."""
-        return len(self._ranks) / self.n_frames
+        return self._known / self.n_frames

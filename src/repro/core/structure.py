@@ -29,6 +29,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..api.protocol import AirIndex
 from ..broadcast.config import SystemConfig
 from ..broadcast.program import BroadcastProgram, Bucket, BucketKind
@@ -341,6 +343,14 @@ class DsiIndex(AirIndex):
 
         reorg = f"-m{self.params.n_segments}" if self.params.n_segments > 1 else ""
         self.program = BroadcastProgram(buckets, name=f"dsi{reorg}-{self.dataset.name}")
+        # Rank -> table-bucket id, precompiled once so the planners can rank
+        # whole candidate sets with one fancy-indexing step (see
+        # repro.broadcast.timeline and DsiAirView.table_buckets_of_ranks).
+        self.table_bucket_by_rank = np.array(
+            [self.table_bucket[self.pos_of_rank(r)] for r in range(len(self.frames))],
+            dtype=np.int64,
+        )
+        self._air_view: Optional["DsiAirView"] = None
 
     def _directory_for(self, frame: DsiFrame) -> Optional[DsiDirectory]:
         if not self.params.use_directory or len(frame.objects) <= 1:
@@ -398,8 +408,14 @@ class DsiIndex(AirIndex):
         return lo, hi
 
     def air_view(self) -> "DsiAirView":
-        """The client-visible face of this index (see :class:`DsiAirView`)."""
-        return DsiAirView(self)
+        """The client-visible face of this index (see :class:`DsiAirView`).
+
+        Views are stateless, so one shared instance serves every query
+        (fleet runs ask for thousands).
+        """
+        if self._air_view is None:
+            self._air_view = DsiAirView(self)
+        return self._air_view
 
     # -- uniform query interface (shared with the R-tree and HCI baselines) ---
 
@@ -414,6 +430,22 @@ class DsiIndex(AirIndex):
         from .knn import knn_query as run
 
         return run(self.air_view(), session, q, k, strategy=strategy)
+
+    def entry_landmark(self, view, position: int, switch_packets: int = 0):
+        """First index-table read from ``position`` (fleet trace collapse).
+
+        Mirrors exactly the seek a fresh :class:`ClientSession` performs in
+        ``read_first_table`` -- ``read_next_bucket(kind=DSI_TABLE)`` from
+        the home channel -- so executions sharing the returned
+        ``(bucket, start)`` share their whole absolute trace.
+        """
+        home = getattr(view, "home_channel", None)
+        if home is None:
+            return view.next_occurrence_of_kind(BucketKind.DSI_TABLE, position)
+        return view.next_occurrence_of_kind(
+            BucketKind.DSI_TABLE, position,
+            from_channel=home, switch_packets=switch_packets,
+        )
 
     def describe(self) -> Dict[str, object]:
         """Small summary used by examples and reports."""
@@ -464,6 +496,10 @@ class DsiAirView:
 
     def table_bucket(self, frame_pos: int) -> int:
         return self._index.table_bucket[frame_pos]
+
+    def table_buckets_of_ranks(self, ranks: np.ndarray) -> np.ndarray:
+        """Table-bucket ids of many HC ranks at once (planner batch path)."""
+        return self._index.table_bucket_by_rank[ranks]
 
     def directory_bucket(self, frame_pos: int) -> Optional[int]:
         return self._index.directory_bucket[frame_pos]

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
+import numpy as np
+
 from ..broadcast.client import ClientSession
 from ..spatial.datasets import DataObject
 from ..spatial.hilbert import HCRange, ranges_contain
@@ -58,11 +60,14 @@ def visit_frame_for_ranges(
     frame_pos: int,
     table: DsiTable,
     ranges: Sequence[HCRange],
+    ranges_arr=None,
 ) -> FrameVisit:
     """Retrieve from ``frame_pos`` every object whose HC value lies in ``ranges``.
 
     The frame's objects are fully examined afterwards (the caller may mark
-    the frame's whole extent as processed).
+    the frame's whole extent as processed).  ``ranges_arr`` optionally
+    passes the caller's ``(n, 2)`` int64 mirror of ``ranges`` so the
+    directory filter skips the conversion.
     """
     visit = FrameVisit(frame_pos=frame_pos)
     if not ranges:
@@ -72,10 +77,11 @@ def visit_frame_for_ranges(
     directory = read_directory(session, view, frame_pos, knowledge)
     visit.directory = directory
     if directory is not None:
-        for record in directory.records:
-            if not ranges_contain(ranges, record.hc):
-                continue
-            obj = fetch_object(session, view, frame_pos, record.slot)
+        records = directory.records
+        if ranges_arr is None:
+            ranges_arr = np.asarray(ranges, dtype=np.int64).reshape(-1, 2)
+        for i in _qualified_record_indexes(directory, ranges_arr):
+            obj = fetch_object(session, view, frame_pos, records[i].slot)
             if obj is None:
                 visit.lost_objects += 1
             else:
@@ -85,6 +91,29 @@ def visit_frame_for_ranges(
 
     knowledge.mark_examined(knowledge.rank_of_pos(frame_pos))
     return visit
+
+
+#: Bound adjustment making inclusive [lo, hi] ranges half-open for parity
+#: membership tests.
+_HALF_OPEN = np.array([0, 1], dtype=np.int64)
+
+
+def _qualified_record_indexes(directory: DsiDirectory, bounds: np.ndarray):
+    """Indexes (ascending) of directory records whose HC value lies in ``bounds``.
+
+    One ``searchsorted`` of the frame's (static, stashed) HC-value array
+    against the flattened range bounds replaces a per-record binary search:
+    ``bounds`` rows are sorted and disjoint, so a value is covered exactly
+    when its insertion point into ``[lo0, hi0+1, lo1, hi1+1, ...]`` is odd.
+    """
+    records = directory.records
+    hcs = getattr(directory, "_hcs_np", None)
+    if hcs is None:
+        hcs = np.fromiter((r.hc for r in records), dtype=np.int64, count=len(records))
+        object.__setattr__(directory, "_hcs_np", hcs)
+    flat = (bounds + _HALF_OPEN).ravel()
+    inside = (np.searchsorted(flat, hcs, side="right") & 1) == 1
+    return np.flatnonzero(inside).tolist()
 
 
 def _scan_frame(

@@ -26,8 +26,11 @@ conservativeness of the HC cover never affects correctness.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
+
+import numpy as np
 
 from ..broadcast.client import AccessMetrics, ClientSession
 from ..broadcast.program import BucketKind
@@ -38,6 +41,13 @@ from .eef import read_table
 from .knowledge import ClientKnowledge
 from .structure import DsiAirView, DsiTable
 from .visit import visit_frame_for_ranges
+
+#: Arrival sentinel for candidates already walked within one hop.
+_NEVER = np.iinfo(np.int64).max
+
+#: Stale candidates tolerated per hop before the walk abandons the shrunken
+#: set and recomputes it in full.
+_MAX_STALE = 8
 
 
 @dataclass
@@ -98,6 +108,13 @@ def window_query(
     pending: List[HCRange] = [
         (max(lo, global_min), hi) for lo, hi in cover if hi >= global_min
     ]
+    # Mirrors of ``pending`` for the batched candidate sweep and the scalar
+    # membership test (ranges stay sorted and disjoint, so the ``hi`` list
+    # is itself the prefix maximum), rebuilt only when a processed frame's
+    # extent is subtracted.
+    pending_arr = np.asarray(pending, dtype=np.int64).reshape(-1, 2)
+    p_los = [lo for lo, _ in pending]
+    p_his = [hi for _, hi in pending]
 
     def frame_extent(frame_table: DsiTable) -> Tuple[int, int]:
         rank = knowledge.rank_of_pos(frame_table.frame_pos)
@@ -105,32 +122,86 @@ def window_query(
         return lo, frame_table.next_hc_min - 1
 
     def overlaps_pending(frame_table: DsiTable) -> bool:
+        # Pending ranges are sorted and disjoint, so overlap with [lo, hi]
+        # reduces to one bisect: some range starts at or before hi, and the
+        # last such range (his ascend with los) reaches lo.
         lo, hi = frame_extent(frame_table)
-        return any(not (r_hi < lo or r_lo > hi) for r_lo, r_hi in pending)
+        j = bisect.bisect_right(p_los, hi)
+        return j > 0 and p_his[j - 1] >= lo
 
     def process(frame_table: DsiTable) -> None:
-        nonlocal pending, frames_visited, lost_objects
+        nonlocal pending, pending_arr, p_los, p_his, frames_visited, lost_objects
         visit = visit_frame_for_ranges(
-            session, view, knowledge, frame_table.frame_pos, frame_table, pending
+            session, view, knowledge, frame_table.frame_pos, frame_table, pending,
+            ranges_arr=pending_arr,
         )
         frames_visited += 1
         retrieved.extend(visit.retrieved)
         lost_objects += visit.lost_objects
         lo, hi = frame_extent(frame_table)
         pending = subtract_range(pending, lo, hi)
+        pending_arr = np.asarray(pending, dtype=np.int64).reshape(-1, 2)
+        p_los = [r_lo for r_lo, _ in pending]
+        p_his = [r_hi for _, r_hi in pending]
 
     # Opportunistically process the frame we tuned into when it is relevant.
     if pending and overlaps_pending(table):
         process(table)
 
+    def is_candidate(rank: int) -> bool:
+        """Exact membership in the *current* candidate set (see knowledge)."""
+        if not pending:
+            return False
+        before, after = knowledge.neighbor_known_values(rank)
+        j = len(pending) if after is None else bisect.bisect_left(p_los, after)
+        if j == 0:
+            return False
+        return before is None or p_his[j - 1] >= before
+
     safety = 8 * view.n_frames + 64
     iterations = 0
+    # The candidate set only ever shrinks (knowledge grows, pending shrinks,
+    # examined grows), so it is computed in full once and then *walked*: each
+    # hop ranks the surviving candidates by the arrival times the session's
+    # reads would actually achieve and takes the first that still passes the
+    # exact membership test -- the same (lowest-rank on ties) frame a full
+    # recompute's argmin picks.  When many stale entries accumulate the set
+    # is recomputed outright.
+    candidates = knowledge.candidate_rank_array(pending_arr, skip_examined=True)
     while pending and iterations < safety:
         iterations += 1
-        candidates = knowledge.candidate_ranks(pending, skip_examined=True)
-        if not candidates:
+        rank = None
+        while True:
+            if not candidates.size:
+                break
+            # Arrivals are fixed for the duration of one hop (the clock only
+            # moves on reads), so stale entries are masked to +inf and the
+            # argmin retaken -- the same visit order as a stable sort.
+            arrivals = session.next_arrivals(view.table_buckets_of_ranks(candidates))
+            examined = knowledge.examined
+            stale: List[int] = []
+            while True:
+                at = int(np.argmin(arrivals))
+                if arrivals[at] == _NEVER:
+                    break  # walked the whole set without a survivor
+                r = int(candidates[at])
+                if r not in examined and is_candidate(r):
+                    rank = r
+                    break
+                stale.append(at)
+                arrivals[at] = _NEVER
+                if len(stale) > _MAX_STALE:
+                    break
+            if stale:
+                alive = np.ones(len(candidates), dtype=bool)
+                alive[stale] = False
+                candidates = candidates[alive]
+            if rank is not None or len(stale) <= _MAX_STALE:
+                break
+            # Too many stale entries: rebuild the set and retry the walk.
+            candidates = knowledge.candidate_rank_array(pending_arr, skip_examined=True)
+        if rank is None:
             break
-        rank = min(candidates, key=lambda r: _table_arrival(view, session, knowledge, r))
         _pos, table = read_table(session, view, knowledge, knowledge.pos_of_rank(rank))
         if overlaps_pending(table):
             process(table)
@@ -147,13 +218,3 @@ def window_query(
         tables_read=knowledge.tables_read,
         lost_objects=lost_objects,
     )
-
-
-def _table_arrival(
-    view: DsiAirView, session: ClientSession, knowledge: ClientKnowledge, rank: int
-) -> int:
-    """Unwrapped arrival time of the index table of the frame at ``rank``."""
-    bucket = view.table_bucket(knowledge.pos_of_rank(rank))
-    # Arrivals come from the session (its schedule view, parked channel and
-    # retune latency), so ranking matches what the reads actually achieve.
-    return session.next_arrival(bucket)

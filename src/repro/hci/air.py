@@ -76,6 +76,10 @@ class HciAirIndex(AirIndex):
         info.update({"index": self.name, "fanout": self.fanout, "n_objects": len(self.dataset)})
         return info
 
+    def entry_landmark(self, view, position: int, switch_packets: int = 0):
+        """Delegate to the on-air tree's root-copy seek (fleet trace collapse)."""
+        return self.air.entry_landmark(view, position, switch_packets)
+
     # -- window query -----------------------------------------------------------
 
     def window_query(self, window: Rect, session: ClientSession) -> TreeQueryResult:

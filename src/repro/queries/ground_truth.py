@@ -159,7 +159,18 @@ def matches(dataset: SpatialDataset, query: Query, result: Sequence[DataObject])
     nearest distances (ties between equidistant objects are accepted in
     either direction).
     """
-    truth = answer(dataset, query)
+    return matches_truth(query, answer(dataset, query), result)
+
+
+def matches_truth(
+    query: Query, truth: Sequence[DataObject], result: Sequence[DataObject]
+) -> bool:
+    """:func:`matches` against a precomputed exact ``truth``.
+
+    Callers replaying one query many times (the fleet simulator's
+    per-phase executions) compute the truth once and verify every outcome
+    against it.
+    """
     if isinstance(query, WindowQuery):
         return sorted(o.oid for o in result) == [o.oid for o in truth]
     truth_dists = sorted(o.distance_to(query.point) for o in truth)

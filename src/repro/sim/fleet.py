@@ -51,11 +51,12 @@ from ..broadcast.client import ClientSession
 from ..broadcast.config import SystemConfig
 from ..broadcast.errors import LinkErrorModel
 from ..broadcast.schedule import BroadcastSchedule
-from ..queries.ground_truth import matches
+from ..broadcast.timeline import timeline_of
+from ..queries.ground_truth import matches_truth
 from ..queries.workload import Workload
 from ..spatial.datasets import SpatialDataset
-from .metrics import ExperimentResult, MetricSummary
-from .parallel import parallel_map
+from .metrics import DEFAULT_HISTOGRAM_LIMIT, ExperimentResult, MetricSummary
+from .parallel import default_processes, parallel_map
 
 __all__ = ["ClientFleet", "FleetResult", "FleetSpec", "run_fleet", "DEFAULT_MAX_PHASES"]
 
@@ -163,6 +164,12 @@ class FleetResult:
     unique_latency: np.ndarray = field(repr=False)
     unique_tuning: np.ndarray = field(repr=False)
     unique_counts: np.ndarray = field(repr=False)
+    # Per-metric sorted (value, count) histograms derived from the execution
+    # arrays, built once and shared by every exact_percentile call (the
+    # arrays are immutable after the run).
+    _hist_cache: Dict[str, Tuple[List[Tuple[float, int]], int]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def clients_per_sec(self) -> float:
@@ -170,26 +177,32 @@ class FleetResult:
 
     # -- exact cross-checks ----------------------------------------------------
 
-    def _exact(self, metric: str) -> Tuple[np.ndarray, np.ndarray]:
-        values = self.unique_latency if metric == "latency" else self.unique_tuning
-        return values, self.unique_counts
+    def _exact(self, metric: str) -> Tuple[List[Tuple[float, int]], int]:
+        """The (cached) sorted exact histogram and population count of one
+        metric -- derived once per metric, reused by every percentile."""
+        cached = self._hist_cache.get(metric)
+        if cached is None:
+            values = self.unique_latency if metric == "latency" else self.unique_tuning
+            hist: Dict[float, int] = {}
+            for value, count in zip(values.tolist(), self.unique_counts.tolist()):
+                hist[value] = hist.get(value, 0) + int(count)
+            cached = (sorted(hist.items()), int(self.unique_counts.sum()))
+            self._hist_cache[metric] = cached
+        return cached
 
     def exact_mean(self, metric: str = "latency") -> float:
         """Exact population mean from the per-execution histogram."""
-        values, counts = self._exact(metric)
-        return float(np.dot(values, counts) / counts.sum())
+        values = self.unique_latency if metric == "latency" else self.unique_tuning
+        return float(np.dot(values, self.unique_counts) / self.unique_counts.sum())
 
     def exact_percentile(self, q: float, metric: str = "latency") -> float:
         """Exact population percentile (same interpolation as exact summaries)."""
-        from .metrics import _weighted_percentile
+        from .metrics import _weighted_percentile_sorted
 
         if not (0.0 <= q <= 100.0):
             raise ValueError("q must be within [0, 100]")
-        values, counts = self._exact(metric)
-        hist: Dict[float, int] = {}
-        for value, count in zip(values.tolist(), counts.tolist()):
-            hist[value] = hist.get(value, 0) + int(count)
-        return _weighted_percentile(hist, int(counts.sum()), q)
+        items, count = self._exact(metric)
+        return _weighted_percentile_sorted(items, count, q)
 
     def as_row(self) -> Dict[str, Any]:
         from .report import metric_columns
@@ -209,69 +222,102 @@ class FleetResult:
 
 
 # ---------------------------------------------------------------------------
-# Unique-execution simulation (fork-shared context, picklable chunk worker)
+# Unique-execution simulation (initializer-shared context, per-query batches)
 # ---------------------------------------------------------------------------
 
-#: Handoff to worker processes: set in the parent right before the fan-out,
-#: inherited by fork (the task tuples themselves stay tiny).
+#: Shared read-only simulation state, installed once per worker process by
+#: the pool initializer (and once in-process on the serial path).  The task
+#: tuples themselves carry only a query id and its phase keys.
 _SIM_CTX: Dict[str, Any] = {}
 
 
-def _simulate_one(
-    index: Any,
-    dataset: SpatialDataset,
-    config: SystemConfig,
-    view: Any,
-    trial: Any,
-    start_packet: int,
-    error_model: Optional[LinkErrorModel],
-    verify: bool,
-    knn_strategy: str,
-) -> Tuple[int, int, int]:
-    """One distinct (query, phase) execution -> (latency, tuning, correct)."""
+def _install_sim_ctx(ctx: Dict[str, Any]) -> None:
+    """Pool initializer: receive the shared state exactly once per worker.
+
+    Under the ``fork`` start method the pickle round-trip covers the
+    compiled timeline, index, dataset and trials a single time per worker
+    at pool start-up; every chunk after that ships integers only.
+    """
+    _SIM_CTX.clear()
+    _SIM_CTX.update(ctx)
+
+
+def _simulate_query_batch(qid: int, phases: Sequence[int]) -> List[Tuple[int, int, int]]:
+    """Simulate every requested phase of one query (module-level: picklable).
+
+    Batching by query keeps all per-query invariants -- the trial, its HC
+    cover memo, the exact ground-truth answer when verifying -- warm across
+    the whole phase sweep, and enables the *landmark collapse*: an
+    error-free execution's absolute trace is a pure function of its first
+    entry-structure read (see :meth:`repro.api.protocol.AirIndex.
+    entry_landmark`), so phases sharing a landmark are simulated once and
+    differ only by the tune-in offset in access latency.  Link errors draw
+    an independent loss realisation per (query, phase), so error runs keep
+    one full simulation per phase.
+    """
     from .runner import execute_query
 
-    session = ClientSession(view, config, start_packet=start_packet, error_model=error_model)
-    query = trial.query
-    outcome = execute_query(index, query, session, knn_strategy=knn_strategy)
-    correct = -1
-    if verify:
-        correct = int(matches(dataset, query, outcome.objects))
-    return outcome.metrics.latency_bytes, outcome.metrics.tuning_bytes, correct
-
-
-def _simulate_chunk(keys: Sequence[int]) -> List[Tuple[int, int, int]]:
-    """Simulate a chunk of distinct executions (module-level: picklable)."""
     ctx = _SIM_CTX
     index = ctx["index"]
-    dataset = ctx["dataset"]
     config = ctx["config"]
     view = ctx["view"]
-    trials = ctx["trials"]
     n_phases = ctx["n_phases"]
     cycle = ctx["cycle"]
     theta = ctx["error_theta"]
     scope = ctx["error_scope"]
     error_seed = ctx["error_seed"]
-    verify = ctx["verify"]
     knn_strategy = ctx["knn_strategy"]
+    capacity = config.packet_capacity
+    trial = ctx["trials"][qid]
+    query = trial.query
+    truth = None
+    if ctx["verify"]:
+        from ..queries.ground_truth import answer
+
+        truth = answer(ctx["dataset"], query)
+
+    def simulate(start_packet: int, error_model: Optional[LinkErrorModel]) -> Tuple[int, int, int]:
+        session = ClientSession(
+            view, config, start_packet=start_packet, error_model=error_model
+        )
+        outcome = execute_query(index, query, session, knn_strategy=knn_strategy)
+        correct = -1 if truth is None else int(matches_truth(query, truth, outcome.objects))
+        return outcome.metrics.latency_packets, outcome.metrics.tuning_bytes, correct
+
+    landmark = getattr(index, "entry_landmark", None)
+    switch = (
+        getattr(config, "channel_switch_packets", 0)
+        if getattr(view, "home_channel", None) is not None
+        else 0
+    )
     out: List[Tuple[int, int, int]] = []
-    for key in keys:
-        qid, phase = divmod(int(key), n_phases)
+    traces: Dict[Any, Tuple[int, int, int, int]] = {}  # landmark -> (p_rep, lat, tun, ok)
+    for phase in phases:
+        phase = int(phase)
         start_packet = (phase * cycle) // n_phases
-        error_model = None
         if theta is not None:
             # Every client sharing this (query, phase) execution experiences
             # the same loss realisation; distinct executions are independent.
+            key = qid * n_phases + phase
             error_model = LinkErrorModel(
-                theta=theta, scope=scope, seed=(error_seed * 1_000_003 + int(key)) & 0x7FFFFFFF
+                theta=theta, scope=scope, seed=(error_seed * 1_000_003 + key) & 0x7FFFFFFF
             )
-        out.append(
-            _simulate_one(
-                index, dataset, config, view, trials[qid], start_packet,
-                error_model, verify, knn_strategy,
-            )
-        )
+            lat_packets, tun_bytes, correct = simulate(start_packet, error_model)
+        else:
+            mark = None if landmark is None else landmark(view, start_packet + 1, switch)
+            if mark is None:
+                lat_packets, tun_bytes, correct = simulate(start_packet, None)
+            else:
+                trace = traces.get(mark)
+                if trace is None:
+                    lat_packets, tun_bytes, correct = simulate(start_packet, None)
+                    traces[mark] = (start_packet, lat_packets, tun_bytes, correct)
+                else:
+                    # Same absolute trace as the representative execution;
+                    # only the tune-in offset differs in latency.
+                    p_rep, rep_lat, tun_bytes, correct = trace
+                    lat_packets = rep_lat - (start_packet - p_rep)
+        out.append((lat_packets * capacity, tun_bytes, correct))
     return out
 
 
@@ -317,6 +363,7 @@ def run_fleet(
     t0 = time.perf_counter()
     schedule = BroadcastSchedule.for_config(index.program, config)
     view = schedule.view()
+    timeline = timeline_of(view)
     cycle = view.cycle_packets
     n_q = len(trials)
     n_phases = min(cycle, spec.max_phases)
@@ -326,8 +373,13 @@ def run_fleet(
     rng = np.random.default_rng(spec.seed)
     pinned = spec.fractions()
     counts = np.zeros(n_q * n_phases, dtype=np.int64)
-    wait_summary = MetricSummary(exact=False)
-    nav_kinds = [k for k in index.program.count_by_kind() if k.is_navigation]
+    # Broadcast metrics are packet-quantised: the wait domain is bounded by
+    # the cycle and the latency/tuning domains by the distinct executions,
+    # so sizing the exact histograms to those bounds keeps every percentile
+    # exact and the P2 estimators dormant (see MetricSummary).
+    wait_summary = MetricSummary(
+        exact=False, histogram_limit=max(DEFAULT_HISTOGRAM_LIMIT, min(cycle, 1 << 17))
+    )
     capacity = config.packet_capacity
     done = 0
     while done < spec.n_clients:
@@ -339,38 +391,51 @@ def run_fleet(
             fracs = pinned[done:done + m]
         phases = (fracs * n_phases).astype(np.int64)
         counts += np.bincount(qids * n_phases + phases, minlength=n_q * n_phases)
-        # Exact first-hop statistics for every client, fully vectorised over
-        # the per-kind occurrence machinery (no phase quantisation here).
+        # Exact first-hop statistics for every client: one merged-navigation
+        # searchsorted per channel on the compiled timeline (no phase
+        # quantisation here).
         positions = (fracs * cycle).astype(np.int64)
-        first = None
-        for kind in nav_kinds:
-            starts = view.next_occurrences_of_kind(kind, positions)
-            first = starts if first is None else np.minimum(first, starts)
+        try:
+            first = timeline.next_navigation_starts(positions)
+        except KeyError:
+            first = None
         if first is not None:
             wait_summary.add_many((first - positions) * capacity)
         done += m
 
-    # -- simulate each distinct execution once ---------------------------------
+    # -- simulate each distinct execution once, batched per query --------------
     keys = np.flatnonzero(counts)
     task_counts = counts[keys]
-    _SIM_CTX.update(
+    key_qids = keys // n_phases
+    key_phases = keys % n_phases
+    # One task per (query, phase-run): queries are contiguous in key order,
+    # and large phase runs are split so the pool has a few chunks per
+    # worker to balance -- each task pickles two ints and a phase list.
+    tasks: List[Tuple[int, List[int]]] = []
+    n_workers = processes if processes is not None else default_processes()
+    target_chunks = max(n_q, 2 * n_workers) if parallel else n_q
+    max_chunk = max(1, -(-len(keys) // max(target_chunks, 1)))
+    q_starts = np.flatnonzero(np.diff(key_qids, prepend=-1))
+    for i, start in enumerate(q_starts):
+        stop = q_starts[i + 1] if i + 1 < len(q_starts) else len(keys)
+        qid = int(key_qids[start])
+        for at in range(int(start), int(stop), max_chunk):
+            tasks.append((qid, key_phases[at:min(at + max_chunk, stop)].tolist()))
+    ctx = dict(
         index=index, dataset=dataset, config=config, view=view, trials=trials,
         n_phases=n_phases, cycle=cycle, error_theta=error_theta,
         error_scope=error_scope, error_seed=error_seed, verify=verify,
         knn_strategy=knn_strategy,
     )
     try:
-        if parallel and len(keys) > 1:
-            n_chunks = max(1, min(len(keys), 4 * (processes or 8)))
-            chunks = np.array_split(keys, n_chunks)
-            outs = parallel_map(
-                _simulate_chunk,
-                [(chunk.tolist(),) for chunk in chunks],
-                processes=processes,
-            )
-            sims = [t for out in outs for t in out]
-        else:
-            sims = _simulate_chunk(keys.tolist())
+        outs = parallel_map(
+            _simulate_query_batch,
+            tasks,
+            processes=processes if parallel else 1,
+            initializer=_install_sim_ctx,
+            initargs=(ctx,),
+        )
+        sims = [t for out in outs for t in out]
     finally:
         _SIM_CTX.clear()
 
@@ -389,6 +454,7 @@ def run_fleet(
     result = ExperimentResult.streaming(
         index_name=label or getattr(index, "name", type(index).__name__),
         workload_name=workload.name,
+        histogram_limit=max(DEFAULT_HISTOGRAM_LIMIT, n_q * n_phases),
     )
     rng = np.random.default_rng(spec.seed)
     done = 0

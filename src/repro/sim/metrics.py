@@ -32,6 +32,7 @@ import numpy as np
 from ..broadcast.client import AccessMetrics
 
 __all__ = [
+    "DEFAULT_HISTOGRAM_LIMIT",
     "DEFAULT_QUANTILES",
     "ExperimentResult",
     "MetricSummary",
@@ -129,7 +130,14 @@ def _sorted_percentile(ordered: Sequence[float], q: float) -> float:
 def _weighted_percentile(hist: Dict[float, int], n: int, q: float) -> float:
     """Exact percentile of a value->count histogram (same interpolation as
     :func:`_sorted_percentile` over the expanded multiset)."""
-    items = sorted(hist.items())
+    return _weighted_percentile_sorted(sorted(hist.items()), n, q)
+
+
+def _weighted_percentile_sorted(
+    items: Sequence[Tuple[float, int]], n: int, q: float
+) -> float:
+    """:func:`_weighted_percentile` over pre-sorted ``(value, count)`` pairs
+    (callers answering many percentiles sort once and reuse the list)."""
     pos = (n - 1) * q / 100.0
     lower = int(math.floor(pos))
     upper = int(math.ceil(pos))
@@ -224,13 +232,18 @@ class MetricSummary:
             self._values.append(value)
             self._sorted = None
         else:
-            for est in self._estimators:
-                est.update(value)
             hist = self._hist
             if hist is not None:
+                # The estimators are dormant while the exact histogram is
+                # alive (percentile() never consults them); they are seeded
+                # from it -- exactly -- if the domain ever outgrows it.
                 hist[value] = hist.get(value, 0) + 1
                 if len(hist) > self._hist_limit:
+                    self._seed_estimators_from_histogram()
                     self._hist = None  # domain too wide: the P2 markers take over
+            else:
+                for est in self._estimators:
+                    est.update(value)
 
     def add_many(self, values) -> None:
         """Absorb a batch of samples (array-like) in one call.
@@ -261,17 +274,66 @@ class MetricSummary:
         self._total += float(flat.sum())
         self._min = min(self._min, float(flat.min()))
         self._max = max(self._max, float(flat.max()))
-        for est in self._estimators:
-            update = est.update
-            for v in flat.tolist():
-                update(v)
         hist = self._hist
         if hist is not None:
+            # While the histogram holds the whole distribution the P2
+            # estimators stay dormant (see add()): a fleet-scale batch then
+            # costs one np.unique instead of len(batch) marker updates.
             uniq, cnt = np.unique(flat, return_counts=True)
             for v, c in zip(uniq.tolist(), cnt.tolist()):
                 hist[v] = hist.get(v, 0) + c
             if len(hist) > self._hist_limit:
+                self._seed_estimators_from_histogram()
                 self._hist = None
+        else:
+            for est in self._estimators:
+                update = est.update
+                for v in flat.tolist():
+                    update(v)
+
+    def _seed_estimators_from_histogram(self) -> None:
+        """Initialise the P² markers from the exact histogram it replaces.
+
+        Called exactly once, when the value domain outgrows the compact
+        histogram.  Each estimator's five markers are placed at the *exact*
+        order statistics of everything seen so far -- a strictly better
+        starting state than streaming the same samples through the classic
+        update rule -- and subsequent samples refine them per value.
+        """
+        if not self._estimators or self._count == 0:
+            return
+        hist = self._hist
+        items = sorted(hist.items())
+        values = [v for v, _ in items]
+        cum = np.cumsum([c for _, c in items])
+        n_total = self._count
+        if n_total < 5:
+            # Too few samples for the five-marker form: replay them (the
+            # expansion is tiny) so the estimators keep their exact buffer.
+            for est in self._estimators:
+                for value, count in items:
+                    for _ in range(count):
+                        est.update(value)
+            return
+        for est in self._estimators:
+            p = est.p
+            desired = [
+                0.0,
+                p * (n_total - 1) / 2.0,
+                p * (n_total - 1),
+                (1.0 + p) * (n_total - 1) / 2.0,
+                float(n_total - 1),
+            ]
+            marks = [int(round(x)) for x in desired]
+            marks[0], marks[4] = 0, n_total - 1
+            for i in (1, 2, 3):
+                marks[i] = max(marks[i], marks[i - 1] + 1)
+            for i in (3, 2, 1):
+                marks[i] = min(marks[i], marks[i + 1] - 1)
+            est.q = [values[int(np.searchsorted(cum, k, side="right"))] for k in marks]
+            est.n = marks
+            est.np_ = desired
+        return
 
     # -- the summary surface ---------------------------------------------------
 
@@ -397,13 +459,23 @@ class ExperimentResult:
         index_name: str,
         workload_name: str,
         quantiles: Sequence[float] = DEFAULT_QUANTILES,
+        histogram_limit: int = DEFAULT_HISTOGRAM_LIMIT,
     ) -> "ExperimentResult":
-        """A result whose summaries stream in O(1) memory (fleet runs)."""
+        """A result whose summaries stream in O(1) memory (fleet runs).
+
+        ``histogram_limit`` sizes the exact value->count histograms; a
+        caller that knows its metric domain bound (the fleet simulator's
+        distinct-execution count) passes it so percentiles stay exact.
+        """
         return cls(
             index_name=index_name,
             workload_name=workload_name,
-            latency=MetricSummary(exact=False, quantiles=quantiles),
-            tuning=MetricSummary(exact=False, quantiles=quantiles),
+            latency=MetricSummary(
+                exact=False, quantiles=quantiles, histogram_limit=histogram_limit
+            ),
+            tuning=MetricSummary(
+                exact=False, quantiles=quantiles, histogram_limit=histogram_limit
+            ),
         )
 
     def record(self, metrics: AccessMetrics, correct: Optional[bool] = None) -> None:

@@ -1,4 +1,4 @@
-"""Deterministic multiprocessing fan-out over sweep points.
+"""Deterministic multiprocessing fan-out over sweep points and fleet chunks.
 
 Every figure sweep is an embarrassingly parallel loop over independent
 points (capacities, window ratios, values of k): each point builds its own
@@ -8,18 +8,28 @@ randomness flows through explicit seeds carried in the task arguments --
 a parallel run produces bit-identical rows to a serial run, in the same
 order.
 
+Workloads with *shared read-only state* (the fleet simulator's compiled
+timeline, dataset and index) pass it once per worker through
+``initializer`` / ``initargs`` -- the :class:`~concurrent.futures.
+ProcessPoolExecutor` pickles the initargs a single time per worker at pool
+start-up, so the per-task tuples stay tiny (chunk keys only) instead of
+re-shipping the world with every chunk.
+
 The executor degrades gracefully: on a single-core box, when only one task
 is submitted, when ``REPRO_PROCESSES=1`` or when the platform offers no
 ``fork`` start method (pickling module-level workers plus their arguments
 is all that is required of the platform otherwise), the tasks simply run
 serially in-process -- which also keeps the per-process index-build cache
-effective.
+effective.  The serial path runs the initializer in-process; restoring any
+state it replaces afterwards is the caller's concern (the shipped state is
+read-only by contract).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 #: Environment variable overriding the worker count (``1`` forces serial).
@@ -46,22 +56,39 @@ def parallel_map(
     fn: Callable[..., Any],
     tasks: Sequence[Tuple],
     processes: Optional[int] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
 ) -> List[Any]:
     """Apply ``fn(*task)`` to every task, fanning out over processes.
 
-    ``fn`` must be a module-level callable (picklable); results are returned
-    in task order.  ``processes=None`` auto-detects via
+    ``fn`` (and ``initializer``) must be module-level callables (picklable);
+    results are returned in task order.  ``processes=None`` auto-detects via
     :func:`default_processes`; any value <= 1 (or a single task, or an
     unavailable ``fork`` start method) runs serially in-process.
+
+    ``initializer(*initargs)`` runs once per worker before any task (and
+    once in-process on the serial path), letting callers install shared
+    read-only state so the per-task tuples carry only keys.
     """
     tasks = list(tasks)
     if processes is None:
         processes = default_processes()
-    if processes <= 1 or len(tasks) <= 1:
+
+    def _serial() -> List[Any]:
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(*task) for task in tasks]
+
+    if processes <= 1 or len(tasks) <= 1:
+        return _serial()
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError:
-        return [fn(*task) for task in tasks]
-    with ctx.Pool(processes=min(processes, len(tasks))) as pool:
-        return pool.starmap(fn, tasks)
+        return _serial()
+    with ProcessPoolExecutor(
+        max_workers=min(processes, len(tasks)),
+        mp_context=ctx,
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
+        return list(pool.map(fn, *zip(*tasks)))

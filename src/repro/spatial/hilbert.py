@@ -156,6 +156,49 @@ _CHILD_STEPS: Tuple[Tuple[Tuple[int, int, int, int], ...], ...] = tuple(
 #: Entries kept per curve in the window-cover memo before it is reset.
 _COVER_CACHE_MAX = 8192
 
+# Array form of the child schedule for the level-wise cover sweep: offsets
+# and child states indexed by parent state, children in Hilbert-digit order
+# (the digits themselves are always 0..3 ascending).
+_CHILD_A = np.array([[c[1] for c in state] for state in _CHILD_STEPS], dtype=np.int64)
+_CHILD_B = np.array([[c[2] for c in state] for state in _CHILD_STEPS], dtype=np.int64)
+_CHILD_T = np.array([[c[3] for c in state] for state in _CHILD_STEPS], dtype=np.int64)
+
+#: Deepest multi-level step the cover sweep takes at once (64 descendants).
+_MAX_STEP = 3
+
+
+def _compose_step_tables():
+    """Descendant tables for multi-level cover steps.
+
+    ``A[k][t]`` / ``B[k][t]`` are the cell offsets (in units of the
+    descendant quadrant side) and ``T[k][t]`` the curve states of the
+    ``4**k`` level-``k`` descendants of a quadrant in state ``t``, in
+    Hilbert-digit order.  Composed from the one-level schedule, so a
+    ``k``-level step expands exactly the quadrants ``k`` single steps
+    would.
+    """
+    A = {1: _CHILD_A}
+    B = {1: _CHILD_B}
+    T = {1: _CHILD_T}
+    for k in range(2, _MAX_STEP + 1):
+        ak = np.empty((4, 4 ** k), dtype=np.int64)
+        bk = np.empty((4, 4 ** k), dtype=np.int64)
+        tk = np.empty((4, 4 ** k), dtype=np.int64)
+        block = 4 ** (k - 1)
+        for t in range(4):
+            for d in range(4):
+                child_t = int(_CHILD_T[t, d])
+                sl = slice(d * block, (d + 1) * block)
+                ak[t, sl] = (int(_CHILD_A[t, d]) << (k - 1)) + A[k - 1][child_t]
+                bk[t, sl] = (int(_CHILD_B[t, d]) << (k - 1)) + B[k - 1][child_t]
+                tk[t, sl] = T[k - 1][child_t]
+        A[k], B[k], T[k] = ak, bk, tk
+    return A, B, T
+
+
+_STEP_A, _STEP_B, _STEP_T = _compose_step_tables()
+_STEP_DIGITS = {k: np.arange(4 ** k, dtype=np.int64) for k in range(1, _MAX_STEP + 1)}
+
 
 class HilbertCurve:
     """A 2-D Hilbert curve of a given *order*.
@@ -238,6 +281,34 @@ class HilbertCurve:
             d = (d << (2 * k)) | (v >> 2)
             t = v & 3
         return d
+
+    def _quadrant_prefix_state(self, xc: int, yc: int, depth: int) -> Tuple[int, int]:
+        """HC digit prefix and curve state of one level-``depth`` quadrant.
+
+        ``(xc, yc)`` are quadrant coordinates (cell coordinates shifted
+        right by ``order - depth``).  By curve self-similarity this is the
+        table-driven :meth:`encode` run on a depth-``depth`` curve, and the
+        chunk tables additionally thread out the curve state the cover
+        sweep resumes from.
+        """
+        d = 0
+        t = 0
+        remaining = depth
+        first = depth % _MAX_CHUNK
+        schedule: List[Tuple[int, int]] = []
+        if first:
+            remaining -= first
+            schedule.append((first, remaining))
+        while remaining:
+            remaining -= _MAX_CHUNK
+            schedule.append((_MAX_CHUNK, remaining))
+        for k, shift in schedule:
+            mask = (1 << k) - 1
+            table = _ENC_LISTS[k]
+            v = table[(t << (2 * k)) | (((xc >> shift) & mask) << k) | ((yc >> shift) & mask)]
+            d = (d << (2 * k)) | (v >> 2)
+            t = v & 3
+        return d, t
 
     def decode(self, d: int) -> Tuple[int, int]:
         """Grid cell of HC value ``d`` (inverse of :meth:`encode`)."""
@@ -363,6 +434,24 @@ class HilbertCurve:
             self._rep_points[d] = p
         return p
 
+    def warm_representative_points(self, ds) -> None:
+        """Batch-populate the :meth:`representative_point` memo.
+
+        ``ds`` is an iterable of HC values; the uncached ones are decoded in
+        one :meth:`decode_many` batch.  The memoised points are the exact
+        objects the scalar path would build (same floats, same identity
+        semantics), so callers that loop ``representative_point`` afterwards
+        get pure dictionary hits.
+        """
+        rep = self._rep_points
+        missing = [d for d in dict.fromkeys(ds) if d not in rep]
+        if not missing:
+            return
+        xs, ys = self.decode_many(np.asarray(missing, dtype=np.int64))
+        w = 1.0 / self.side
+        for d, x, y in zip(missing, xs.tolist(), ys.tolist()):
+            rep[d] = Point((x + 0.5) * w, (y + 0.5) * w)
+
     def cell_diagonal(self) -> float:
         """Diagonal length of one grid cell (max representation error)."""
         return math.sqrt(2.0) / self.side
@@ -390,14 +479,18 @@ class HilbertCurve:
         most ``max_ranges`` ranges are returned (closest gaps are merged
         first when the limit is exceeded).
 
-        The recursion descends quadrants in Hilbert-digit order, threading
-        the curve state and HC prefix downwards, so each emitted quadrant's
-        range is pure integer arithmetic (no per-quadrant encode) and all
-        geometry tests are exact integer/scaled-float comparisons (scaling
-        by the power-of-two grid side is lossless).  Results are memoised
-        per curve: paired trials replay the same query windows against every
-        index variant, and the kNN search re-derives similar circle covers
-        across sweep points.
+        The decomposition sweeps the quadtree one level at a time with the
+        whole frontier held in flat arrays: pruning, containment tests and
+        child expansion are numpy operations over every surviving quadrant
+        at once, threading the curve state and HC prefix downwards so each
+        emitted quadrant's range is pure integer arithmetic (no per-quadrant
+        encode).  All geometry tests are exact integer/scaled-float
+        comparisons (scaling by the power-of-two grid side is lossless), and
+        the emitted quadrant set is exactly the recursive reference's -- the
+        final sort-and-merge normalises the level-order emission.  Results
+        are memoised per curve: paired trials replay the same query windows
+        against every index variant, and the kNN search re-derives similar
+        circle covers across sweep points.
         """
         rect = rect.clipped_to_unit()
         if rect.width < 0 or rect.height < 0:
@@ -405,11 +498,6 @@ class HilbertCurve:
         if max_depth is None:
             max_depth = min(self.order, 8)
         max_depth = max(1, min(max_depth, self.order))
-
-        cache_key = (rect, max_ranges, max_depth)
-        cached = self._cover_cache.get(cache_key)
-        if cached is not None:
-            return list(cached)
 
         order = self.order
         side = self.side
@@ -422,48 +510,117 @@ class HilbertCurve:
         ylo = rect.min_y * side
         yhi = rect.max_y * side
 
-        # Emitted ranges are sorted and disjoint by construction (children
-        # are visited in Hilbert-digit order), so merging is a single
-        # adjacency-collapsing pass at the end.
-        ranges: List[HCRange] = []
-        append = ranges.append
-        child_steps = _CHILD_STEPS
+        # Every geometry test below compares an integer cell coordinate
+        # against these bounds, so the cover is a pure function of their
+        # ceil/floor cell quantisation -- memoising on that integer key
+        # makes near-identical windows (e.g. the kNN search's slowly
+        # shrinking circles) hit the same cached cover exactly.
+        cache_key = (
+            math.ceil(xlo),
+            math.floor(xhi),
+            math.ceil(ylo),
+            math.floor(yhi),
+            max_ranges,
+            max_depth,
+        )
+        cached = self._cover_cache.get(cache_key)
+        if cached is not None:
+            return list(cached)
 
-        def visit(cx: int, cy: int, level: int, t: int, prefix: int) -> None:
-            """Visit the quadrant with lower-left cell (cx, cy), side
-            2**(order - level) cells, curve state ``t`` and HC digit prefix
-            ``prefix`` (the quadrant covers HC values ``prefix * cells`` to
-            ``(prefix + 1) * cells - 1``)."""
+        # Levels above the common ancestor of the window's corner cells keep
+        # a single-quadrant frontier and can never emit (the ancestor always
+        # overhangs the window when no scaled bound is cell-aligned), so the
+        # sweep may start directly at the ancestor.  Cell-aligned bounds
+        # admit boundary-touching sibling quadrants and fall back to the
+        # root.
+        start_level, start = 0, (0, 0, 0, 0)  # (cx, cy, state, prefix)
+        if (
+            xlo != math.floor(xlo)
+            and xhi != math.floor(xhi)
+            and ylo != math.floor(ylo)
+            and yhi != math.floor(yhi)
+        ):
+            cx0, cx1 = math.floor(xlo), math.floor(xhi)
+            cy0, cy1 = math.floor(ylo), math.floor(yhi)
+            depth = order - max(
+                (cx0 ^ cx1).bit_length(), (cy0 ^ cy1).bit_length()
+            )
+            depth = min(depth, max_depth)
+            if depth > 0:
+                shift = order - depth
+                prefix0, t0 = self._quadrant_prefix_state(
+                    cx0 >> shift, cy0 >> shift, depth
+                )
+                start_level = depth
+                start = (
+                    (cx0 >> shift) << shift,
+                    (cy0 >> shift) << shift,
+                    t0,
+                    prefix0,
+                )
+
+        # Frontier sweep over a (4, m) state matrix whose rows are the
+        # frontier quadrants' lower-left cell (cx, cy), curve state and HC
+        # digit prefix; a quadrant at ``level`` spans 2**(order - level)
+        # cells per side and covers HC values ``prefix * cells`` to
+        # ``(prefix + 1) * cells - 1``.  The sweep descends up to _MAX_STEP
+        # levels per iteration using the composed descendant tables: a
+        # fully-inside quadrant emitted "late" arrives as its descendants,
+        # whose ranges are contiguous by the curve's nesting and merge back
+        # to the identical cover in the final adjacency pass.
+        state = np.array([[start[0]], [start[1]], [start[2]], [start[3]]], dtype=np.int64)
+        emitted_lo: List[np.ndarray] = []
+        emitted_hi: List[np.ndarray] = []
+        level = start_level
+        while True:
             size = 1 << (order - level)
-            if cx > xhi or cx + size < xlo or cy > yhi or cy + size < ylo:
-                return
-            if (
-                level >= max_depth
-                or size == 1
-                or (xlo <= cx and ylo <= cy and cx + size <= xhi and cy + size <= yhi)
-            ):
-                shift = 2 * (order - level)
-                start = prefix << shift
-                append((start, start + (1 << shift) - 1))
-                return
-            half = size >> 1
-            base = prefix << 2
-            next_level = level + 1
-            for digit, a, b, t2 in child_steps[t]:
-                visit(cx + a * half, cy + b * half, next_level, t2, base | digit)
-
-        visit(0, 0, 0, 0, 0)
+            cx, cy = state[0], state[1]
+            cxe, cye = cx + size, cy + size
+            keep = (cx <= xhi) & (cxe >= xlo) & (cy <= yhi) & (cye >= ylo)
+            shift = 2 * (order - level)
+            if level >= max_depth or size == 1:
+                starts = state[3, keep] << shift
+                if starts.size:
+                    emitted_lo.append(starts)
+                    emitted_hi.append(starts + ((1 << shift) - 1))
+                break
+            inside = keep & (xlo <= cx) & (ylo <= cy) & (cxe <= xhi) & (cye <= yhi)
+            if inside.any():
+                starts = state[3, inside] << shift
+                emitted_lo.append(starts)
+                emitted_hi.append(starts + ((1 << shift) - 1))
+                keep &= ~inside
+            state = state[:, keep]
+            m = state.shape[1]
+            if not m:
+                break
+            step = min(_MAX_STEP, max_depth - level)
+            sub = size >> step
+            t = state[2]
+            children = np.empty((4, m, 4 ** step), dtype=np.int64)
+            children[0] = state[0, :, None] + _STEP_A[step][t] * sub
+            children[1] = state[1, :, None] + _STEP_B[step][t] * sub
+            children[2] = _STEP_T[step][t]
+            children[3] = (state[3] << (2 * step))[:, None] | _STEP_DIGITS[step]
+            state = children.reshape(4, -1)
+            level += step
 
         merged: List[HCRange] = []
-        if ranges:
-            last_lo, last_hi = ranges[0]
-            for lo, hi in ranges[1:]:
-                if lo == last_hi + 1:
-                    last_hi = hi
-                else:
-                    merged.append((last_lo, last_hi))
-                    last_lo, last_hi = lo, hi
-            merged.append((last_lo, last_hi))
+        if emitted_lo:
+            los = np.concatenate(emitted_lo)
+            his = np.concatenate(emitted_hi)
+            # Level-order emission is not curve order; quadrant ranges are
+            # disjoint, so sorting by start restores it exactly.
+            order_ix = np.argsort(los)
+            los, his = los[order_ix], his[order_ix]
+            # Collapse adjacent ranges (lo == previous hi + 1) in one pass.
+            starts_group = np.empty(los.size, dtype=bool)
+            starts_group[0] = True
+            np.not_equal(los[1:], his[:-1] + 1, out=starts_group[1:])
+            group_lo = los[starts_group]
+            ends_ix = np.flatnonzero(starts_group)
+            group_hi = his[np.append(ends_ix[1:] - 1, los.size - 1)]
+            merged = list(zip(group_lo.tolist(), group_hi.tolist()))
         result = coalesce_to_limit(merged, max_ranges)
 
         if len(self._cover_cache) >= _COVER_CACHE_MAX:
@@ -508,26 +665,24 @@ def coalesce_to_limit(ranges: List[HCRange], max_ranges: int) -> List[HCRange]:
     n = len(ranges)
     if n <= max_ranges:
         return list(ranges)
-    lo = [r[0] for r in ranges]
-    hi = [r[1] for r in ranges]
-    nxt = list(range(1, n)) + [-1]
-    alive = [True] * n
-    heap = [(lo[i + 1] - hi[i], i, i + 1) for i in range(n - 1)]
-    heapq.heapify(heap)
-    remaining = n
-    while remaining > max_ranges:
-        gap, i, j = heapq.heappop(heap)
-        # Skip stale entries: either endpoint already absorbed, or the gap
-        # changed because ``i`` absorbed an intermediate range.
-        if not alive[i] or not alive[j] or nxt[i] != j or lo[j] - hi[i] != gap:
-            continue
-        hi[i] = hi[j]
-        alive[j] = False
-        nxt[i] = nxt[j]
-        remaining -= 1
-        if nxt[i] != -1:
-            heapq.heappush(heap, (lo[nxt[i]] - hi[i], i, nxt[i]))
-    return [(lo[i], hi[i]) for i in range(n) if alive[i]]
+    # Gap values never change as ranges merge (each gap is a fixed pair of
+    # endpoint coordinates), so "absorb smallest-first, leftmost first among
+    # equals" selects exactly the n - max_ranges smallest gaps under a
+    # stable ascending sort -- no heap needed.  The surviving gaps separate
+    # the output ranges.
+    lo = np.fromiter((r[0] for r in ranges), dtype=np.int64, count=n)
+    hi = np.fromiter((r[1] for r in ranges), dtype=np.int64, count=n)
+    gaps = lo[1:] - hi[:-1]
+    absorb_order = np.argsort(gaps, kind="stable")
+    separators = np.ones(n - 1, dtype=bool)
+    separators[absorb_order[: n - max_ranges]] = False
+    heads = np.empty(n, dtype=bool)
+    heads[0] = True
+    heads[1:] = separators
+    head_ix = np.flatnonzero(heads)
+    out_lo = lo[head_ix]
+    out_hi = hi[np.append(head_ix[1:] - 1, n - 1)]
+    return list(zip(out_lo.tolist(), out_hi.tolist()))
 
 
 def ranges_contain(ranges: Sequence[HCRange], value: int) -> bool:

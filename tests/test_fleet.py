@@ -297,3 +297,31 @@ class TestExperimentComposition:
         assert result.result.latency.count == 1_500
         row = result.as_row()
         assert row["n_clients"] == 1_500 and "clients_per_sec" in row
+
+
+class TestExactHistogramCaching:
+    """FleetResult.exact_percentile derives each metric's sorted histogram
+    once and reuses it across every subsequent percentile (satellite of the
+    compiled-timeline PR: no per-call re-sorting)."""
+
+    def test_histogram_built_once_per_metric(self, dsi, dataset, config64, workload):
+        fleet = run_fleet(dsi, dataset, config64, workload, 2_000, seed=7)
+        assert fleet._hist_cache == {}
+        p50 = fleet.exact_percentile(50)
+        assert list(fleet._hist_cache) == ["latency"]
+        items, count = fleet._hist_cache["latency"]
+        assert count == 2_000
+        fleet.exact_percentile(95)
+        fleet.exact_percentile(99)
+        # same object: reused, not re-derived per call
+        assert fleet._hist_cache["latency"][0] is items
+        fleet.exact_percentile(50, metric="tuning")
+        assert set(fleet._hist_cache) == {"latency", "tuning"}
+        # the cached path answers identically to an exact summary fed the
+        # expanded population
+        expanded = np.repeat(fleet.unique_latency, fleet.unique_counts.astype(int))
+        from repro.sim.metrics import MetricSummary
+
+        exact = MetricSummary(values=expanded.tolist())
+        assert p50 == exact.percentile(50)
+        assert fleet.exact_percentile(95) == exact.percentile(95)

@@ -23,12 +23,20 @@ Usage::
 
     python benchmarks/compare_bench.py \
         [--fresh-perf BENCH_perf.json] [--fresh-fleet BENCH_fleet.json] \
+        [--fresh-mobility BENCH_mobility.json] \
         [--baseline-perf <committed>] [--baseline-fleet <committed>] \
+        [--baseline-mobility <committed>] \
         [--tolerance 0.5] [--warn-only]
 
 With no arguments the fresh files are read from the repository root and the
 baselines from ``git show HEAD:<file>`` -- i.e. "did my working tree make
 the benches worse than the last commit?".
+
+Fresh files produced in smoke mode are compared against the committed
+*smoke* baselines (``BENCH_*.smoke.json``) when those exist, so the CI
+perf-smoke job gates like-for-like; a smoke fresh file with only a
+full-scale baseline available degrades to an informational comparison (the
+scales are incommensurable by construction).
 """
 
 from __future__ import annotations
@@ -43,7 +51,10 @@ from typing import Dict, List, Optional, Tuple
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Stage-key suffix -> (direction, kind); direction +1 = higher is better.
-_EXACT_KEYS = ("executions", "n_clients", "n_objects", "n_queries", "n_encode", "bound")
+_EXACT_KEYS = (
+    "executions", "n_clients", "n_objects", "n_queries", "n_encode", "bound",
+    "n_journeys", "n_steps",
+)
 
 
 def _flatten(doc: Dict) -> Dict[str, float]:
@@ -87,6 +98,14 @@ def _git_baseline(name: str) -> Optional[Dict]:
     return json.loads(proc.stdout)
 
 
+def _sibling_time_key(key: str) -> Optional[str]:
+    """The ``*_s`` wall-clock stage a throughput stage was derived from."""
+    for suffix in ("_clients_per_sec", "_queries_per_sec"):
+        if key.endswith(suffix):
+            return key[: -len(suffix)] + "_s"
+    return None
+
+
 def compare(
     fresh: Dict[str, float],
     base: Dict[str, float],
@@ -97,7 +116,11 @@ def compare(
 
     Timing stages where both sides are below ``min_time`` seconds are
     reported but never fail: at that scale the numbers measure scheduler
-    noise, allocator luck and cache weather, not the code.
+    noise, allocator luck and cache weather, not the code.  The same floor
+    shields the throughput stages *derived from* such timings (a
+    clients-per-sec figure computed from a sub-noise wall clock is the same
+    noise, inverted), and speedup ratios -- quotients of two micro-timings
+    -- get twice the tolerance band.
     """
     rows: List[Tuple[str, str, float, float, str]] = []
     failures: List[str] = []
@@ -128,9 +151,17 @@ def compare(
                 verdict = f"faster x{b / max(f, 1e-12):.2f}"
         elif kind == "throughput" and b > 0:
             ratio = f / b
-            if ratio < 1.0 / (1.0 + tolerance):
-                verdict = f"REGRESSED x{1.0 / ratio:.2f}"
-                failures.append(f"{key}: {b:,.0f} -> {f:,.0f} (x{ratio:.2f})")
+            band = 2.0 * tolerance if "speedup" in key else tolerance
+            if ratio < 1.0 / (1.0 + band):
+                sibling = _sibling_time_key(key)
+                if sibling is not None and (
+                    base.get(sibling, min_time) < min_time
+                    and fresh.get(sibling, min_time) < min_time
+                ):
+                    verdict = f"noisy x{1.0 / ratio:.2f} (sub-{min_time:g}s basis)"
+                else:
+                    verdict = f"REGRESSED x{1.0 / ratio:.2f}"
+                    failures.append(f"{key}: {b:,.0f} -> {f:,.0f} (x{ratio:.2f})")
             elif ratio > 1.0:
                 verdict = f"better x{ratio:.2f}"
         rows.append((key, kind, b, f, verdict))
@@ -149,8 +180,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh-perf", default=None)
     parser.add_argument("--fresh-fleet", default=None)
+    parser.add_argument("--fresh-mobility", default=None)
     parser.add_argument("--baseline-perf", default=None)
     parser.add_argument("--baseline-fleet", default=None)
+    parser.add_argument("--baseline-mobility", default=None)
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -175,6 +208,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for label, fresh_arg, base_arg in (
         ("BENCH_perf.json", args.fresh_perf, args.baseline_perf),
         ("BENCH_fleet.json", args.fresh_fleet, args.baseline_fleet),
+        ("BENCH_mobility.json", args.fresh_mobility, args.baseline_mobility),
     ):
         fresh_path = Path(fresh_arg) if fresh_arg else REPO_ROOT / label
         if not fresh_path.exists():
@@ -187,6 +221,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             base_doc = _git_baseline(label)
             base_src = f"git HEAD:{label}"
+            if fresh_doc.get("smoke"):
+                # A smoke-mode fresh run gates against the committed smoke
+                # baseline when one exists (like for like).
+                smoke_name = label.replace(".json", ".smoke.json")
+                smoke_doc = _git_baseline(smoke_name)
+                if smoke_doc is not None:
+                    base_doc, base_src = smoke_doc, f"git HEAD:{smoke_name}"
             if base_doc is None:
                 print(f"{label}: no committed baseline -- skipped")
                 continue

@@ -14,8 +14,11 @@ be compared against the paper; EXPERIMENTS.md records that comparison.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict
 
 import pytest
 
@@ -91,3 +94,103 @@ def real(scale):
 def emit(title: str, text: str) -> None:
     """Print a figure report (pytest shows it with -s / on benchmark runs)."""
     print(f"\n{'=' * 78}\n{title}\n{'=' * 78}\n{text}\n")
+
+
+# ---------------------------------------------------------------------------
+# BENCH JSON writer: rounded stages, no pure-noise rewrites
+# ---------------------------------------------------------------------------
+
+#: Significant digits kept on float stages (raw perf counters carry ~15
+#: noise digits that churn the committed files on every run).
+_BENCH_SIG_DIGITS = 5
+
+#: Relative delta below which a float stage counts as measurement noise.
+_BENCH_REL_NOISE = 0.10
+
+
+def _round_floats(value):
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return float(f"{value:.{_BENCH_SIG_DIGITS}g}")
+    if isinstance(value, dict):
+        return {k: _round_floats(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_round_floats(v) for v in value]
+    return value
+
+
+def _non_numeric(value):
+    """The document with every numeric (non-bool) leaf dropped."""
+    if isinstance(value, dict):
+        out = {}
+        for key, sub in value.items():
+            if isinstance(sub, bool) or not isinstance(sub, (int, float)):
+                out[key] = _non_numeric(sub)
+        return out
+    return value
+
+
+def _within_noise(old: Dict, new: Dict, rel_noise: float, min_time: float) -> bool:
+    """Whether two BENCH documents differ only by measurement noise.
+
+    Classification mirrors ``compare_bench``: exact-count stages must match
+    exactly, timing stages where both sides sit below ``min_time`` seconds
+    are pure scheduler weather, and every other numeric stage may move by
+    ``rel_noise`` relative.  Non-numeric leaves must be equal.
+    """
+    import compare_bench
+
+    flat_old = compare_bench._flatten(old)
+    flat_new = compare_bench._flatten(new)
+    if set(flat_old) != set(flat_new):
+        return False
+    # Non-numeric leaves (smoke flag, labels) must agree exactly.
+    if _non_numeric(old) != _non_numeric(new):
+        return False
+    for key, old_value in flat_old.items():
+        new_value = flat_new[key]
+        kind = compare_bench._classify(key)
+        if kind == "exact":
+            if old_value != new_value:
+                return False
+        elif kind == "time" and old_value < min_time and new_value < min_time:
+            continue
+        else:
+            # Speedup ratios divide two micro-timings, so their run-to-run
+            # variance is far above the plain stages'; a wider floor stops
+            # them alone from churning the file (the benches assert hard
+            # minimum speedups separately).
+            floor = max(rel_noise, 0.5) if "speedup" in key else rel_noise
+            scale = max(abs(old_value), abs(new_value), 1e-12)
+            if abs(new_value - old_value) > floor * scale:
+                return False
+    return True
+
+
+def write_bench(
+    path: Path,
+    doc: Dict,
+    *,
+    rel_noise: float = _BENCH_REL_NOISE,
+    min_time: float = 0.2,
+) -> bool:
+    """Write a BENCH document, unless the change is pure measurement noise.
+
+    Float stages are rounded to ``_BENCH_SIG_DIGITS`` significant digits,
+    and when a committed file already exists whose stages all sit inside
+    the noise floor the write is skipped outright -- back-to-back commits
+    stop rewriting BENCH files with meaningless timing wiggle.  Returns
+    ``True`` when the file was (re)written.
+    """
+    rounded = _round_floats(doc)
+    if path.exists():
+        try:
+            old = json.loads(path.read_text())
+        except (ValueError, OSError):
+            old = None
+        if old is not None and _within_noise(old, rounded, rel_noise, min_time):
+            print(f"{path.name}: all stages within the noise floor -- not rewritten")
+            return False
+    path.write_text(json.dumps(rounded, indent=2, sort_keys=True) + "\n")
+    return True

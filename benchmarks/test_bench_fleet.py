@@ -26,7 +26,7 @@ from repro.sim.fleet import run_fleet
 from repro.sim.runner import build_index
 from repro.spatial.datasets import uniform_dataset
 
-from conftest import BENCH_SMOKE, emit
+from conftest import BENCH_SMOKE, emit, write_bench
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
 
@@ -89,7 +89,7 @@ def test_fleet_bench():
     stages["executions_bound"] = len(workload) * small.n_phases
     assert small.n_executions <= stages["executions_bound"]
 
-    BENCH_JSON.write_text(json.dumps(stages, indent=2, sort_keys=True) + "\n")
+    write_bench(BENCH_JSON, stages)
     emit(
         "BENCH fleet (clients/sec)",
         "\n".join(

@@ -25,7 +25,7 @@ from repro.sim.runner import build_index, clear_index_cache, index_cache_stats, 
 from repro.spatial.datasets import uniform_dataset
 from repro.spatial.geometry import Point, Rect
 
-from conftest import BENCH_SMOKE, emit
+from conftest import BENCH_SMOKE, emit, write_bench
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
@@ -132,7 +132,7 @@ def test_perf_microbench():
         "n_queries": N_QUERIES,
         "stages": stages,
     }
-    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    write_bench(BENCH_JSON, report)
     emit(
         "Perf microbench (per-stage wall clock)",
         "\n".join(f"{name:38s} {value:12.6f}" for name, value in stages.items())

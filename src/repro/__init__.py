@@ -15,8 +15,11 @@ The package is organised as:
 * :mod:`repro.rtree`, :mod:`repro.hci` -- the two baselines evaluated in the
   paper (STR-packed R-tree and Hilbert Curve Index);
 * :mod:`repro.queries` -- query types, workloads and ground truth;
-* :mod:`repro.sim` -- the experiment runner and the sweeps behind every
-  figure and table of the paper's evaluation.
+* :mod:`repro.mobility` -- moving clients: motion models, trajectory
+  workloads and the warm continuous-query engine;
+* :mod:`repro.sim` -- the experiment runner, the (stationary and moving)
+  client fleets and the sweeps behind every figure and table of the
+  paper's evaluation.
 
 Quickstart (see README.md for more)::
 

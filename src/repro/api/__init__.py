@@ -48,11 +48,28 @@ _EXPORTS = {
     "ExperimentRun": ".experiment",
     "PointResult": ".experiment",
     "RunRecord": ".experiment",
+    # mobility (motion models, trajectory workloads, journeys)
+    "MotionModel": "..mobility",
+    "RandomWaypoint": "..mobility",
+    "LinearDrift": "..mobility",
+    "Stationary": "..mobility",
+    "TrajectoryWorkload": "..mobility",
+    "trajectory_workload": "..mobility",
+    "JourneyResult": "..mobility",
 }
 
 __all__ = list(_EXPORTS)
 
 if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
+    from ..mobility import (
+        JourneyResult,
+        LinearDrift,
+        MotionModel,
+        RandomWaypoint,
+        Stationary,
+        TrajectoryWorkload,
+        trajectory_workload,
+    )
     from .client import MobileClient, QueryRecord
     from .experiment import Axis, Experiment, ExperimentRun, PointResult, RunRecord
     from .protocol import AirIndex, ensure_air_index, missing_members

@@ -61,6 +61,22 @@ class MobileClient:
 
     # -- tuning in -------------------------------------------------------------
 
+    def _start_packet(self, at: Optional[Union[int, float]]) -> int:
+        """Resolve a tune-in position: ``None`` = seeded random, ``int`` =
+        packet, ``float`` in [0, 1) = cycle fraction."""
+        cycle = self.server.tune_cycle_packets
+        if at is None:
+            return self._rng.randrange(cycle)
+        if isinstance(at, bool):
+            raise TypeError("at must be an int packet position or a float fraction")
+        if isinstance(at, int):
+            return at
+        if isinstance(at, float):
+            if not 0.0 <= at < 1.0:
+                raise ValueError("a fractional tune-in position must be in [0, 1)")
+            return int(at * cycle) % cycle
+        raise TypeError("at must be an int packet position or a float fraction")
+
     def tune_in(self, at: Optional[Union[int, float]] = None) -> ClientSession:
         """Open a session on the channel.
 
@@ -73,23 +89,10 @@ class MobileClient:
         and positions range over the longest channel cycle; with one channel
         (the default) this is exactly the legacy single-program session.
         """
-        cycle = self.server.tune_cycle_packets
-        if at is None:
-            start = self._rng.randrange(cycle)
-        elif isinstance(at, bool):
-            raise TypeError("at must be an int packet position or a float fraction")
-        elif isinstance(at, int):
-            start = at
-        elif isinstance(at, float):
-            if not 0.0 <= at < 1.0:
-                raise ValueError("a fractional tune-in position must be in [0, 1)")
-            start = int(at * cycle) % cycle
-        else:
-            raise TypeError("at must be an int packet position or a float fraction")
         return ClientSession(
             self.server.schedule.view(),
             self.config,
-            start_packet=start,
+            start_packet=self._start_packet(at),
             error_model=self.error_model,
         )
 
@@ -130,6 +133,69 @@ class MobileClient:
         if isinstance(query, KnnQuery):
             return self.knn_query(query.point, query.k, at=at)
         raise TypeError(f"unsupported query type {type(query)!r}")
+
+    # -- journeys ----------------------------------------------------------------
+
+    def travel(
+        self,
+        model: Any = None,
+        n_steps: int = 5,
+        *,
+        query: str = "window",
+        win_side_ratio: float = 0.1,
+        k: int = 10,
+        dwell_packets: Optional[int] = None,
+        at: Optional[Union[int, float]] = None,
+        seed: Optional[int] = None,
+    ) -> Any:
+        """Travel ``n_steps`` hops, querying *warm* from each position.
+
+        The moving-client scenario of the paper: the client tunes in once
+        (``at=``, same conventions as :meth:`tune_in`), then alternates
+        radio-off travel (``dwell_packets`` per hop, moving as ``model``
+        dictates -- a :class:`~repro.mobility.motion.MotionModel` instance
+        or a registered name like ``"waypoint"``/``"drift"``/
+        ``"stationary"``) with a query issued from the new position
+        (``query="window"`` centred on the client or ``query="knn"`` at
+        it).  One persistent session and one warm index state serve the
+        whole journey, so later hops reuse everything earlier hops paid
+        for.
+
+        ``seed`` fixes the trajectory (defaults to a draw from the
+        client's own stream).  Every hop is appended to :attr:`history`;
+        the returned :class:`~repro.mobility.continuous.JourneyResult`
+        carries per-hop records plus the journey metrics (cumulative
+        tuning energy, per-hop latency, spatial result staleness).
+        """
+        from ..mobility.continuous import ContinuousClient
+        from ..mobility.motion import resolve_motion_model
+        from ..mobility.trajectory import DEFAULT_DWELL_PACKETS, trajectory_workload
+
+        motion = resolve_motion_model(model)
+        if dwell_packets is None:
+            dwell_packets = DEFAULT_DWELL_PACKETS
+        journey_seed = seed if seed is not None else self._rng.randrange(1 << 31)
+        trajectory = trajectory_workload(
+            1, n_steps, motion,
+            query=query, win_side_ratio=win_side_ratio, k=k,
+            dwell_packets=dwell_packets, seed=journey_seed,
+        )
+        knn_strategy = "conservative"
+        if self.server.spec is not None:
+            knn_strategy = self.server.spec.knn_strategy
+        runner = ContinuousClient(
+            self.server.index,
+            self.server.schedule.view(),
+            self.config,
+            start_packet=self._start_packet(at),
+            error_model=self.error_model,
+            knn_strategy=knn_strategy,
+            speed=motion.speed,
+        )
+        for step in trajectory.journeys[0]:
+            record = runner.run(step.query, dwell_packets=step.dwell_packets)
+            self._record(step.query, record.outcome)
+        return runner.result()
 
     # -- batched execution -------------------------------------------------------
 

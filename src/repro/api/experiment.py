@@ -180,6 +180,8 @@ class Experiment:
         self._fleet_seed: int = 0
         self._fleet_max_phases: Optional[int] = None
         self._channels_n: Optional[int] = None
+        self._mobility: Optional[Dict[str, Any]] = None
+        self._mobility_steps: Optional[int] = None
 
     # -- declaration -----------------------------------------------------------
 
@@ -313,6 +315,57 @@ class Experiment:
             self.sweep(fleet=list(sizes))
         return self
 
+    def mobility(
+        self,
+        *steps: int,
+        model: Any = None,
+        n_journeys: int = 16,
+        query: str = "window",
+        win_side_ratio: float = 0.1,
+        k: int = 10,
+        dwell_packets: Optional[int] = None,
+        seed: int = 42,
+    ) -> "Experiment":
+        """Make every cell a *moving* fleet of journey-scale clients.
+
+        ``mobility(5)`` fixes the journey length at five hops;
+        ``mobility(2, 5, 10)`` declares a ``steps`` sweep axis.  Cells then
+        draw their queries from a seeded
+        :class:`~repro.mobility.trajectory.TrajectoryWorkload`
+        (``n_journeys`` distinct journeys under ``model`` -- a
+        :class:`~repro.mobility.motion.MotionModel` or a registered name --
+        with ``query``/``win_side_ratio``/``k`` shaping the per-hop
+        queries) instead of declared workloads, and run through
+        :func:`repro.sim.fleet.run_mobile_fleet`; rows gain journey
+        columns (``journey_latency_bytes``, ``journey_tuning_bytes``,
+        ``hop_latency_bytes``, ``staleness``).  Requires fleet mode
+        (:meth:`fleet`).
+        """
+        from ..mobility.trajectory import DEFAULT_DWELL_PACKETS
+
+        if not steps:
+            raise ValueError("mobility() needs at least one journey length")
+        for n in steps:
+            if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+                raise ValueError(f"journey lengths must be positive ints, got {n!r}")
+        self._mobility = {
+            "model": model,
+            "n_journeys": n_journeys,
+            "query": query,
+            "win_side_ratio": win_side_ratio,
+            "k": k,
+            "dwell_packets": (
+                DEFAULT_DWELL_PACKETS if dwell_packets is None else dwell_packets
+            ),
+            "seed": seed,
+        }
+        self._mobility_steps = steps[0]
+        if len(steps) == 1:
+            self._axes.pop("steps", None)
+        else:
+            self.sweep(steps=list(steps))
+        return self
+
     def sweep(self, **axes: Iterable[Any]) -> "Experiment":
         """Declare sweep axes; multiple axes form a cartesian product."""
         for name, values in axes.items():
@@ -336,8 +389,8 @@ class Experiment:
         :func:`repro.sim.parallel.parallel_map` (``parallel=False`` or
         ``processes=1`` force a serial run); rows are identical either way.
         """
-        if not self._workloads:
-            raise ValueError("declare at least one workload before run()")
+        if not self._workloads and self._mobility is None:
+            raise ValueError("declare at least one workload (or mobility) before run()")
         self._validate_axes()
         points = self._expand_points()
         if self._error_model is not None and len(points) > 1:
@@ -414,19 +467,43 @@ class Experiment:
         """Every axis must actually vary something -- a silently inert axis
         would label rows with values that were never applied."""
         fields = {f.name for f in dataclasses.fields(SystemConfig)}
-        known = {"capacity", "channels", "fleet", "theta", *fields, *_WINDOW_PARAMS, *_KNN_PARAMS}
+        known = {
+            "capacity", "channels", "fleet", "theta", "steps",
+            *fields, *_WINDOW_PARAMS, *_KNN_PARAMS,
+        }
         unknown = [a for a in self._axes if a not in known]
         if unknown:
             raise ValueError(
                 f"unknown sweep axes {unknown}; axes must name a SystemConfig "
                 "field (or 'capacity'/'channels'), a workload parameter, "
-                "'fleet', or 'theta'"
+                "'fleet', 'steps', or 'theta'"
             )
         if "fleet" in self._axes and self._fleet_n is None:
             raise ValueError(
                 "a 'fleet' sweep axis needs fleet mode; declare the sizes "
                 "with .fleet(...) instead of sweep(fleet=...)"
             )
+        if "steps" in self._axes and self._mobility is None:
+            raise ValueError(
+                "a 'steps' sweep axis needs mobility mode; declare the journey "
+                "lengths with .mobility(...) instead of sweep(steps=...)"
+            )
+        if self._mobility is not None:
+            if self._fleet_n is None:
+                raise ValueError(
+                    "mobility cells run as moving fleets; declare the "
+                    "population with .fleet(...) before .mobility(...)"
+                )
+            if self._workloads:
+                raise ValueError(
+                    "mobility cells derive their queries from the trajectory "
+                    "workload; do not declare workloads alongside .mobility(...)"
+                )
+            for value in self._axes.get("steps", ()):
+                if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                    raise ValueError(
+                        f"steps axis values must be positive ints, got {value!r}"
+                    )
         # Axis values declared through raw sweep() get the same up-front
         # validation as the .fleet()/.channels() declarations, so a bad size
         # fails here instead of deep inside a forked point worker.
@@ -456,7 +533,7 @@ class Experiment:
             elif decl.kind == "knn":
                 accepted.update(_KNN_PARAMS)
         for axis in self._axes:
-            if axis in ("capacity", "channels", "fleet", "theta") or axis in fields:
+            if axis in ("capacity", "channels", "fleet", "theta", "steps") or axis in fields:
                 continue
             if axis not in accepted:
                 raise ValueError(
@@ -488,6 +565,9 @@ def _run_point(experiment: Experiment, params: Dict[str, Any]) -> PointResult:
         spec: build_index(spec, experiment.dataset, config, use_cache=experiment._use_cache)
         for spec in specs
     }
+    if experiment._mobility is not None and fleet_n is not None:
+        _run_mobility_point(experiment, params, point, specs, built, config, fleet_n, extras)
+        return point
     for decl in experiment._workloads:
         workload = decl.realise(params)
         for spec in specs:
@@ -517,6 +597,71 @@ def _run_point(experiment: Experiment, params: Dict[str, Any]) -> PointResult:
             point.records.append(RunRecord(workload=decl.label, spec=spec, result=result))
             point.rows.append(row)
     return point
+
+
+def _run_mobility_point(
+    experiment: Experiment,
+    params: Dict[str, Any],
+    point: PointResult,
+    specs: Sequence[IndexSpec],
+    built: Dict[IndexSpec, Any],
+    config: SystemConfig,
+    fleet_n: int,
+    extras: "OrderedDict[str, Any]",
+) -> None:
+    """Run one sweep point in mobility mode (moving fleets per index)."""
+    from ..mobility.trajectory import trajectory_workload
+    from ..sim.fleet import DEFAULT_MAX_PHASES, run_mobile_fleet
+
+    decl = experiment._mobility
+    n_steps = params.get("steps", experiment._mobility_steps)
+    trajectories = trajectory_workload(
+        n_journeys=decl["n_journeys"],
+        n_steps=n_steps,
+        model=decl["model"],
+        query=decl["query"],
+        win_side_ratio=decl["win_side_ratio"],
+        k=decl["k"],
+        dwell_packets=decl["dwell_packets"],
+        seed=decl["seed"],
+    )
+    errors = experiment._error_settings_at(params)
+    for spec in specs:
+        fleet_result = run_mobile_fleet(
+            built[spec],
+            experiment.dataset,
+            config,
+            trajectories,
+            fleet_n,
+            seed=experiment._fleet_seed,
+            max_phases=(
+                DEFAULT_MAX_PHASES
+                if experiment._fleet_max_phases is None
+                else experiment._fleet_max_phases
+            ),
+            error_theta=None if errors is None else errors["theta"],
+            error_scope="index" if errors is None else errors["scope"],
+            error_seed=0 if errors is None or errors["seed"] is None else errors["seed"],
+            verify=experiment._verify,
+            knn_strategy=spec.knn_strategy,
+            label=spec.display_name,
+        )
+        row: Dict[str, Any] = {"index": spec.display_name}
+        row.update(extras)
+        fleet_row = fleet_result.as_row()
+        # Rows must be bit-identical between serial and parallel runs;
+        # throughput is wall-clock and stays on the MobileFleetResult.
+        for key in ("index", "workload", "clients_per_sec"):
+            fleet_row.pop(key, None)
+        if "steps" in experiment._axes:
+            fleet_row.pop("steps", None)  # already present via the axis extras
+        row.update(fleet_row)
+        if not experiment._verify:
+            row.pop("accuracy", None)
+        point.records.append(
+            RunRecord(workload=trajectories.name, spec=spec, result=fleet_result.result)
+        )
+        point.rows.append(row)
 
 
 def _run_fleet_cell(

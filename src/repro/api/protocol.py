@@ -83,6 +83,20 @@ class AirIndex(ABC):
     def knn_query(self, point: "Point", k: int, session: "ClientSession", **kwargs: Any) -> Any:
         """Answer a kNN query by reading buckets through ``session``."""
 
+    def new_client_state(self) -> Any:
+        """Fresh warm-session state for a *continuous* client, or ``None``.
+
+        A moving client re-queries the same broadcast many times; whatever
+        it has legitimately learned from paid bucket reads -- DSI index
+        knowledge, received tree nodes -- stays valid because the broadcast
+        content is static.  Indexes that support warm continuation return a
+        new empty state object here; each query then receives it via the
+        ``state=`` keyword of :meth:`window_query` / :meth:`knn_query` and
+        mutates it in place.  ``None`` (the default) declares the index
+        stateless: every query runs cold, which is always correct.
+        """
+        return None
+
     def entry_landmark(self, view: Any, position: int, switch_packets: int = 0) -> Any:
         """Identity of the first index-structure read from a tune-in position.
 

@@ -138,6 +138,27 @@ class BroadcastServer:
 
         return ClientFleet(self, n_clients=n_clients, **kwargs)
 
+    def mobile_fleet(self, n_clients: int, trajectories: Optional[Any] = None, **kwargs: Any):
+        """Run a population of *moving* clients against this server.
+
+        ``trajectories`` is a
+        :class:`~repro.mobility.trajectory.TrajectoryWorkload` (defaults to
+        a small seeded random-waypoint workload); remaining keywords are
+        forwarded to :func:`repro.sim.fleet.run_mobile_fleet` (``seed=``,
+        ``max_phases=``, ``error_theta=``, ``parallel=``...).  Returns the
+        :class:`~repro.sim.fleet.MobileFleetResult`.
+        """
+        from ..mobility.trajectory import trajectory_workload
+        from ..sim.fleet import run_mobile_fleet
+
+        if trajectories is None:
+            trajectories = trajectory_workload(seed=kwargs.get("seed", 0) + 1)
+        if "knn_strategy" not in kwargs and self.spec is not None:
+            kwargs["knn_strategy"] = self.spec.knn_strategy
+        return run_mobile_fleet(
+            self.index, self.dataset, self.config, trajectories, n_clients, **kwargs
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self.index, "name", type(self.index).__name__)
         channels = "" if self.schedule.is_single else f", channels={self.n_channels}"

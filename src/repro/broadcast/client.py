@@ -16,6 +16,15 @@ R-tree and HCI all drive it through the same three primitives:
   and receive it (possibly corrupted, see :mod:`repro.broadcast.errors`);
 * :meth:`read_next_bucket` -- receive whatever bucket comes next on the
   channel (used when scanning sequentially).
+
+A session is not restricted to one query: :meth:`next_query` advances the
+clock through a radio-off *dwell* (the client travelling between query
+positions) and re-arms the initial probe, so a moving client can keep one
+session -- one unwrapped clock, one parked channel -- across a whole
+journey of continuous queries.  All metric accessors report the *current*
+query (the counters snapshot at each :meth:`next_query`), which keeps the
+paper's per-query latency/tuning semantics intact; cumulative journey
+totals live with the caller (see :mod:`repro.mobility`).
 """
 
 from __future__ import annotations
@@ -80,6 +89,12 @@ class ClientSession:
         self._kind_counts = [0] * len(_KINDS)
         self.lost_reads = 0
         self._probed = False
+        # Per-query counter snapshots: zero for a fresh session, reset by
+        # next_query() so every metric accessor reports the current query.
+        self.queries_started = 1
+        self._q_tuning0 = 0
+        self._q_lost0 = 0
+        self._q_switches0 = 0
         # Multi-channel schedules (see repro.broadcast.schedule) expose the
         # same read surface plus a channel dimension; the session then tracks
         # which channel its radio is parked on and pays the configured switch
@@ -95,6 +110,30 @@ class ClientSession:
         # arithmetic.  Compiled lazily so bare program stand-ins in tests
         # never pay for (or need to support) compilation.
         self._timeline = None
+
+    # -- session continuity ----------------------------------------------------
+
+    def next_query(self, dwell_packets: int = 0) -> None:
+        """Start the session's next query after a radio-off dwell.
+
+        The clock advances ``dwell_packets`` without any tuning cost (the
+        client is travelling, radio off), the initial probe is re-armed (a
+        re-tuning client must resynchronise with the packet stream exactly
+        like a fresh one), and the per-query counters are snapshot so every
+        metric accessor reports the new query.  The radio stays parked on
+        its current channel and everything the client has *learned* -- its
+        index knowledge, cached tree nodes -- is untouched: warm state is
+        the caller's to keep (see :mod:`repro.mobility`).
+        """
+        if dwell_packets < 0:
+            raise ValueError(f"dwell_packets must be >= 0, got {dwell_packets}")
+        self.clock += dwell_packets
+        self.start_clock = self.clock
+        self._probed = False
+        self.queries_started += 1
+        self._q_tuning0 = self.tuning_packets
+        self._q_lost0 = self.lost_reads
+        self._q_switches0 = self.channel_switches
 
     # -- channel primitives ----------------------------------------------------
 
@@ -264,7 +303,7 @@ class ClientSession:
 
     @property
     def latency_packets(self) -> int:
-        """Packets elapsed on the channel since the client tuned in."""
+        """Packets elapsed on the channel since the current query started."""
         return self.clock - self.start_clock
 
     @property
@@ -272,17 +311,41 @@ class ClientSession:
         return self.latency_packets * self.config.packet_capacity
 
     @property
+    def query_tuning_packets(self) -> int:
+        """Packets received for the current query (``tuning_packets`` stays
+        the session-cumulative count)."""
+        return self.tuning_packets - self._q_tuning0
+
+    @property
     def tuning_bytes(self) -> int:
+        """Bytes received for the *current* query.
+
+        Like every metric accessor this is per-query once
+        :meth:`next_query` has been called; the session-cumulative figure
+        is :attr:`session_tuning_bytes` (and the raw ``tuning_packets``
+        counter, which stays cumulative).
+        """
+        return self.query_tuning_packets * self.config.packet_capacity
+
+    @property
+    def session_tuning_bytes(self) -> int:
+        """Bytes received across the whole session (all queries so far)."""
         return self.tuning_packets * self.config.packet_capacity
 
     def metrics(self) -> "AccessMetrics":
+        """The paper metrics of the *current* query.
+
+        For a single-query session (the overwhelming case) the snapshots are
+        all zero and these are the session totals, exactly as before
+        sessions learned to persist.
+        """
         return AccessMetrics(
             latency_bytes=self.latency_bytes,
             tuning_bytes=self.tuning_bytes,
             latency_packets=self.latency_packets,
-            tuning_packets=self.tuning_packets,
-            lost_reads=self.lost_reads,
-            channel_switches=self.channel_switches,
+            tuning_packets=self.query_tuning_packets,
+            lost_reads=self.lost_reads - self._q_lost0,
+            channel_switches=self.channel_switches - self._q_switches0,
         )
 
 

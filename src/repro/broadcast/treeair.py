@@ -66,6 +66,31 @@ class AirTreeNode:
         return self.level == 0
 
 
+def drain_cached_nodes(
+    pending: set,
+    cache: Dict[int, AirTreeNode],
+    expand: Callable[[AirTreeNode], None],
+) -> bool:
+    """Expand one cached pending node for free; ``True`` when one was found.
+
+    The warm-session primitive shared by the tree-based search sweeps: a
+    node the client has already paid for is static broadcast content, so a
+    later query expands the cached copy instead of dozing for the next
+    on-air one.  Exactly one node is expanded per call (the lowest pending
+    id, a deterministic order) and the caller re-enters its sweep loop, so
+    cached expansion interleaves with the pending-set updates precisely as
+    an instantaneous read would.  The common no-hit iteration is one set
+    intersection (the helper runs at the top of every sweep step).
+    """
+    hits = pending & cache.keys()
+    if not hits:
+        return False
+    nid = min(hits)
+    pending.discard(nid)
+    expand(cache[nid])
+    return True
+
+
 class TreeOnAir:
     """A tree index laid out on a broadcast channel (distributed indexing)."""
 

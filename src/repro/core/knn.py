@@ -182,25 +182,46 @@ def knn_query(
     k: int,
     strategy: str = "conservative",
     max_ranges: int = 64,
+    knowledge: Optional[ClientKnowledge] = None,
 ) -> KnnQueryResult:
-    """Execute a kNN query through ``session`` and return the result."""
+    """Execute a kNN query through ``session`` and return the result.
+
+    ``knowledge`` optionally warm-starts the search from a previous query's
+    accumulated state (see :mod:`repro.mobility`): every frame minimum the
+    client already knows is a real object's HC value, so the search space
+    is seeded with all of them at once -- typically enough to bound the
+    radius before a single table is read -- and the cold initial table
+    read is skipped.  Exactness is untouched (the estimates are the same
+    kind the cold search accumulates, and all pruning keeps the half-cell
+    safety margin).
+    """
     if k < 1:
         raise ValueError("k must be >= 1")
     if strategy not in KNN_STRATEGIES:
         raise ValueError(f"strategy must be one of {KNN_STRATEGIES}")
 
     curve = view.curve
-    knowledge = ClientKnowledge(view.n_frames, view.n_segments, curve.max_value)
+    if knowledge is None:
+        knowledge = ClientKnowledge(view.n_frames, view.n_segments, curve.max_value)
+    else:
+        knowledge.begin_query()
     space = _SearchSpace(view, q, k)
+    tables_before = knowledge.tables_read
     frames_visited = 0
 
-    table = read_first_table(session, view, knowledge)
-    space.learn_table(table)
-    if strategy == "conservative":
-        # The paper's conservative client also examines the frame it tuned
-        # into (its data packets are about to be broadcast anyway).
-        _visit_frame(view, session, knowledge, space, table.frame_pos, table)
-        frames_visited += 1
+    if knowledge.known_count > 0:
+        # Warm start: probe, seed the search space from everything already
+        # known, and let the incremental candidate walk take over.
+        session.initial_probe()
+        space.add_estimates(int(hc) for hc in knowledge.known_values())
+    else:
+        table = read_first_table(session, view, knowledge)
+        space.learn_table(table)
+        if strategy == "conservative":
+            # The paper's conservative client also examines the frame it
+            # tuned into (its data packets are about to be broadcast anyway).
+            _visit_frame(view, session, knowledge, space, table.frame_pos, table)
+            frames_visited += 1
 
     safety = 4 * view.n_frames + 256
     iterations = 0
@@ -220,7 +241,7 @@ def knn_query(
         objects=space.best_objects(),
         metrics=session.metrics(),
         frames_visited=frames_visited,
-        tables_read=knowledge.tables_read,
+        tables_read=knowledge.tables_read - tables_before,
         objects_downloaded=len(space.retrieved),
         lost_objects=space.lost_objects,
     )

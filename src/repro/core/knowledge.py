@@ -108,6 +108,21 @@ class ClientKnowledge:
         self._a_of_i = _EMPTY_RANKS
         self._b_of_j = _EMPTY_RANKS
 
+    # -- query lifecycle ---------------------------------------------------------
+
+    def begin_query(self) -> None:
+        """Start a new query burst over the same accumulated knowledge.
+
+        Learned frame minima are facts about the (static) broadcast and
+        persist across queries; the *examined* marks are per-query progress
+        ("this query has already downloaded everything relevant from that
+        frame") and must be cleared, or a warm client would silently skip
+        frames the new query still needs.
+        """
+        if self.examined:
+            self.examined = set()
+            self._not_examined.fill(True)
+
     # -- position <-> rank arithmetic -------------------------------------------
 
     def rank_of_pos(self, pos: int) -> int:
@@ -207,6 +222,13 @@ class ClientKnowledge:
     def known_mins(self, ranks: np.ndarray) -> np.ndarray:
         """Known minima of many ranks at once (-1 where unknown)."""
         return self._mins_np[ranks]
+
+    def known_values(self) -> np.ndarray:
+        """All known frame minima, ascending (each one a real object's HC
+        value -- what a warm kNN search seeds its candidate estimates from)."""
+        if self._dirty:
+            self._refresh()
+        return self._values_np
 
     def known_min_of(self, rank: int) -> Optional[int]:
         if 0 <= rank < self.n_frames:

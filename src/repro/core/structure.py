@@ -419,17 +419,31 @@ class DsiIndex(AirIndex):
 
     # -- uniform query interface (shared with the R-tree and HCI baselines) ---
 
-    def window_query(self, window, session):
-        """Run a window query through an existing :class:`ClientSession`."""
+    def window_query(self, window, session, state=None):
+        """Run a window query through an existing :class:`ClientSession`.
+
+        ``state`` optionally carries a continuous client's accumulated
+        :class:`~repro.core.knowledge.ClientKnowledge` into the query (see
+        :meth:`new_client_state`).
+        """
         from .window import window_query as run
 
-        return run(self.air_view(), session, window)
+        return run(self.air_view(), session, window, knowledge=state)
 
-    def knn_query(self, q: Point, k: int, session, strategy: str = "conservative"):
+    def knn_query(self, q: Point, k: int, session, strategy: str = "conservative", state=None):
         """Run a kNN query through an existing :class:`ClientSession`."""
         from .knn import knn_query as run
 
-        return run(self.air_view(), session, q, k, strategy=strategy)
+        return run(self.air_view(), session, q, k, strategy=strategy, knowledge=state)
+
+    def new_client_state(self):
+        """Warm-session state: an empty :class:`ClientKnowledge` a continuous
+        client accumulates across queries (see :mod:`repro.mobility`)."""
+        from .knowledge import ClientKnowledge
+
+        return ClientKnowledge(
+            self.layout.n_frames, self.params.n_segments, self.curve.max_value
+        )
 
     def entry_landmark(self, view, position: int, switch_packets: int = 0):
         """First index-table read from ``position`` (fleet trace collapse).

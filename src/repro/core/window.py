@@ -88,23 +88,46 @@ def window_query(
     window: Rect,
     max_ranges: int = 96,
     max_depth: Optional[int] = None,
+    knowledge: Optional[ClientKnowledge] = None,
 ) -> WindowQueryResult:
-    """Execute a window query through ``session`` and return the result."""
+    """Execute a window query through ``session`` and return the result.
+
+    ``knowledge`` optionally carries a previous query's accumulated state
+    into this one (a *warm* continuous query, see :mod:`repro.mobility`):
+    the tables-read counter and learned minima persist, the per-query
+    examined marks are cleared, and -- once at least one table has been
+    absorbed -- the cold initial table read is skipped entirely: the client
+    probes, then walks straight into the incremental candidate sweep its
+    knowledge already prunes.  The answer is identical to a cold run's
+    (both are exact); only the reads paid for differ.
+    """
     curve = view.curve
     if max_depth is None:
         max_depth = min(curve.order, 10)
     cover: List[HCRange] = curve.ranges_for_rect(window, max_ranges=max_ranges, max_depth=max_depth)
 
-    knowledge = ClientKnowledge(view.n_frames, view.n_segments, curve.max_value)
+    if knowledge is None:
+        knowledge = ClientKnowledge(view.n_frames, view.n_segments, curve.max_value)
+    else:
+        knowledge.begin_query()
+    tables_before = knowledge.tables_read
     retrieved: List[DataObject] = []
     frames_visited = 0
     lost_objects = 0
 
-    table = read_first_table(session, view, knowledge)
+    # Warm start needs the global minimum HC (always known once any table
+    # has been read: every table carries the segment boundaries, and the
+    # first boundary is frame rank 0's minimum).
+    if knowledge.global_min_hc is not None:
+        session.initial_probe()
+        table = None
+        global_min = knowledge.global_min_hc
+    else:
+        table = read_first_table(session, view, knowledge)
+        global_min = table.segment_boundaries[0]
 
     # HC values below the global minimum belong to no frame; clamp the cover
     # so that the extent-clearing logic below can terminate.
-    global_min = table.segment_boundaries[0]
     pending: List[HCRange] = [
         (max(lo, global_min), hi) for lo, hi in cover if hi >= global_min
     ]
@@ -144,8 +167,9 @@ def window_query(
         p_los = [r_lo for r_lo, _ in pending]
         p_his = [r_hi for _, r_hi in pending]
 
-    # Opportunistically process the frame we tuned into when it is relevant.
-    if pending and overlaps_pending(table):
+    # Opportunistically process the frame we tuned into when it is relevant
+    # (cold start only: a warm start read no table at tune-in).
+    if table is not None and pending and overlaps_pending(table):
         process(table)
 
     def is_candidate(rank: int) -> bool:
@@ -215,6 +239,6 @@ def window_query(
         objects=objects,
         metrics=session.metrics(),
         frames_visited=frames_visited,
-        tables_read=knowledge.tables_read,
+        tables_read=knowledge.tables_read - tables_before,
         lost_objects=lost_objects,
     )

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..api.protocol import AirIndex
 from ..broadcast.client import ClientSession
 from ..broadcast.config import SystemConfig
-from ..broadcast.treeair import AirTreeNode, TreeOnAir
+from ..broadcast.treeair import AirTreeNode, TreeOnAir, drain_cached_nodes as _drain_cached
 from ..rtree.air import TreeQueryResult
 from ..spatial.datasets import DataObject, SpatialDataset
 from ..spatial.geometry import Point, Rect, circle_bounding_rect
@@ -80,13 +80,23 @@ class HciAirIndex(AirIndex):
         """Delegate to the on-air tree's root-copy seek (fleet trace collapse)."""
         return self.air.entry_landmark(view, position, switch_packets)
 
+    def new_client_state(self) -> Dict[int, AirTreeNode]:
+        """Warm-session state: a cache of B+-tree nodes already received
+        (static broadcast content; see :mod:`repro.mobility`)."""
+        return {}
+
     # -- window query -----------------------------------------------------------
 
-    def window_query(self, window: Rect, session: ClientSession) -> TreeQueryResult:
+    def window_query(
+        self,
+        window: Rect,
+        session: ClientSession,
+        state: Optional[Dict[int, AirTreeNode]] = None,
+    ) -> TreeQueryResult:
         cover = self.curve.ranges_for_rect(window, max_ranges=96, max_depth=min(self.curve.order, 10))
         session.initial_probe()
         retrieved, nodes_read, objects_read = self._range_sweep(
-            session, cover, collect_data=True
+            session, cover, collect_data=True, cache=state
         )
         objects = [o for o in retrieved if window.contains_point(o.point)]
         return TreeQueryResult(
@@ -98,7 +108,13 @@ class HciAirIndex(AirIndex):
 
     # -- kNN query ----------------------------------------------------------------
 
-    def knn_query(self, q: Point, k: int, session: ClientSession) -> TreeQueryResult:
+    def knn_query(
+        self,
+        q: Point,
+        k: int,
+        session: ClientSession,
+        state: Optional[Dict[int, AirTreeNode]] = None,
+    ) -> TreeQueryResult:
         if k < 1:
             raise ValueError("k must be >= 1")
         session.initial_probe()
@@ -115,7 +131,7 @@ class HciAirIndex(AirIndex):
         for _attempt in range(8):
             lo = max(0, hc_q - width)
             hi = min(self.curve.max_value - 1, hc_q + width)
-            entries, nodes_read = self._leaf_entry_sweep(session, [(lo, hi)])
+            entries, nodes_read = self._leaf_entry_sweep(session, [(lo, hi)], cache=state)
             nodes_read_total += nodes_read
             candidate_hcs = entries
             if len(candidate_hcs) >= k or (lo == 0 and hi == self.curve.max_value - 1):
@@ -137,7 +153,9 @@ class HciAirIndex(AirIndex):
         # Phase 2: a window query over the search circle's bounding box.
         box = circle_bounding_rect(q, radius)
         cover = self.curve.ranges_for_rect(box, max_ranges=96, max_depth=min(self.curve.order, 10))
-        retrieved, nodes_read, objects_read = self._range_sweep(session, cover, collect_data=True)
+        retrieved, nodes_read, objects_read = self._range_sweep(
+            session, cover, collect_data=True, cache=state
+        )
         nodes_read_total += nodes_read
         objects_read_total += objects_read
 
@@ -151,14 +169,30 @@ class HciAirIndex(AirIndex):
 
     # -- shared sweeps -------------------------------------------------------------
 
+    def _read_root(
+        self,
+        session: ClientSession,
+        cache: Optional[Dict[int, AirTreeNode]],
+    ) -> Tuple[AirTreeNode, int]:
+        """The tree root (cached for free on a warm session) and its read cost."""
+        if cache is not None and self.air.root_id in cache:
+            return cache[self.air.root_id], 0
+        root = self.air.read_node(session, self.air.root_id)
+        if cache is not None:
+            cache[root.node_id] = root
+        return root, 1
+
     def _range_sweep(
-        self, session: ClientSession, ranges: Sequence[HCRange], collect_data: bool
+        self,
+        session: ClientSession,
+        ranges: Sequence[HCRange],
+        collect_data: bool,
+        cache: Optional[Dict[int, AirTreeNode]] = None,
     ) -> Tuple[List[DataObject], int, int]:
         """Traverse the tree for every HC range, retrieving matching objects."""
         if not ranges:
             return [], 0, 0
-        root = self.air.read_node(session, self.air.root_id)
-        nodes_read = 1
+        root, nodes_read = self._read_root(session, cache)
         objects_read = 0
         retrieved: List[DataObject] = []
         pending_nodes: Set[int] = set()
@@ -168,6 +202,11 @@ class HciAirIndex(AirIndex):
         guard = 64 * len(self.program) + 256
         steps = 0
         while pending_nodes or (collect_data and pending_objects):
+            if cache and _drain_cached(
+                pending_nodes, cache,
+                lambda node: self._expand(node, ranges, pending_nodes, pending_objects),
+            ):
+                continue
             steps += 1
             if steps > guard:
                 break
@@ -181,6 +220,8 @@ class HciAirIndex(AirIndex):
             if kind == "node":
                 pending_nodes.discard(ident)
                 nodes_read += 1
+                if cache is not None:
+                    cache[ident] = result.payload
                 self._expand(result.payload, ranges, pending_nodes, pending_objects)
             else:
                 pending_objects.discard(ident)
@@ -189,11 +230,13 @@ class HciAirIndex(AirIndex):
         return retrieved, nodes_read, objects_read
 
     def _leaf_entry_sweep(
-        self, session: ClientSession, ranges: Sequence[HCRange]
+        self,
+        session: ClientSession,
+        ranges: Sequence[HCRange],
+        cache: Optional[Dict[int, AirTreeNode]] = None,
     ) -> Tuple[List[int], int]:
         """Traverse the tree for the ranges but collect only leaf-entry HC values."""
-        root = self.air.read_node(session, self.air.root_id)
-        nodes_read = 1
+        root, nodes_read = self._read_root(session, cache)
         found: List[int] = []
         pending_nodes: Set[int] = set()
         sink: Set[int] = set()
@@ -202,6 +245,11 @@ class HciAirIndex(AirIndex):
         guard = 64 * len(self.program) + 256
         steps = 0
         while pending_nodes:
+            if cache and _drain_cached(
+                pending_nodes, cache,
+                lambda node: self._expand(node, ranges, pending_nodes, sink, found),
+            ):
+                continue
             steps += 1
             if steps > guard:
                 break
@@ -213,6 +261,8 @@ class HciAirIndex(AirIndex):
                 continue
             pending_nodes.discard(ident)
             nodes_read += 1
+            if cache is not None:
+                cache[ident] = result.payload
             self._expand(result.payload, ranges, pending_nodes, sink, found)
         return found, nodes_read
 

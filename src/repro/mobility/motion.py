@@ -1,0 +1,205 @@
+"""Motion models: how a mobile client moves through the unit search space.
+
+A motion model turns a seed into *paths*: arrays of query positions, one
+per journey hop, with the physical convention that the client travels
+radio-off for ``dwell_packets`` broadcast packets between consecutive hops
+at the model's ``speed`` (distance per packet).  That single convention
+ties space to broadcast time, which is what makes **result staleness**
+well defined: while a query is in flight for ``latency`` packets the
+client keeps moving, so the answer it finally receives describes a point
+``speed * latency`` behind it.
+
+All models are vectorised across journeys (one numpy pass per hop, never
+per-client Python) so the same code serves a single
+:meth:`~repro.api.MobileClient.travel` call and a 100k-journey fleet.
+Seeding is explicit and total: the same ``(seed, n_paths, n_steps,
+dwell_packets)`` always produces the same paths, and a journey prefix is
+stable under growing ``n_steps``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "MotionModel",
+    "RandomWaypoint",
+    "LinearDrift",
+    "Stationary",
+    "resolve_motion_model",
+]
+
+#: Default travel speed in space units per packet.  With the default dwell
+#: of 2048 packets a hop covers ~5% of the unit square's side -- a client
+#: crossing a city over a ~20-hop journey.
+DEFAULT_SPEED = 2.5e-5
+
+
+def _reflect_unit(values: np.ndarray) -> np.ndarray:
+    """Fold unbounded coordinates back into [0, 1] by mirror reflection."""
+    return 1.0 - np.abs(1.0 - np.mod(values, 2.0))
+
+
+class MotionModel:
+    """Base class: a seeded generator of journey positions.
+
+    ``speed`` is the distance covered per broadcast packet while
+    travelling; subclasses implement :meth:`paths`.
+    """
+
+    name = "motion"
+
+    def __init__(self, speed: float = DEFAULT_SPEED) -> None:
+        if speed < 0:
+            raise ValueError(f"speed must be >= 0, got {speed}")
+        self.speed = float(speed)
+
+    def paths(
+        self, seed: int, n_paths: int, n_steps: int, dwell_packets: int
+    ) -> np.ndarray:
+        """Query positions of ``n_paths`` journeys: ``(n_paths, n_steps, 2)``.
+
+        Row ``[p, i]`` is where journey ``p`` issues its ``i``-th query;
+        consecutive rows are ``speed * dwell_packets`` of travel apart (less
+        when the model pauses, e.g. at a waypoint).
+        """
+        raise NotImplementedError
+
+    def path(self, seed: int, n_steps: int, dwell_packets: int) -> np.ndarray:
+        """One journey: ``(n_steps, 2)`` query positions."""
+        return self.paths(seed, 1, n_steps, dwell_packets)[0]
+
+    def _check(self, n_paths: int, n_steps: int, dwell_packets: int) -> None:
+        if n_paths < 1:
+            raise ValueError(f"n_paths must be >= 1, got {n_paths}")
+        if n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+        if dwell_packets < 0:
+            raise ValueError(f"dwell_packets must be >= 0, got {dwell_packets}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(speed={self.speed!r})"
+
+
+class Stationary(MotionModel):
+    """A client that does not move: every hop re-queries the same position.
+
+    The degenerate member of the family -- it turns a journey into the
+    repeated-query scenario (warm knowledge, zero staleness) and anchors
+    the equivalence tests back to the stationary workloads.
+    """
+
+    name = "stationary"
+
+    def __init__(self, point: Optional[Tuple[float, float]] = None) -> None:
+        super().__init__(speed=0.0)
+        if point is not None:
+            x, y = float(point[0]), float(point[1])
+            if not (0.0 <= x <= 1.0 and 0.0 <= y <= 1.0):
+                raise ValueError(f"point must lie in the unit square, got {point}")
+            point = (x, y)
+        self.point = point
+
+    def paths(self, seed, n_paths, n_steps, dwell_packets):
+        self._check(n_paths, n_steps, dwell_packets)
+        if self.point is not None:
+            start = np.broadcast_to(
+                np.asarray(self.point, dtype=np.float64), (n_paths, 2)
+            ).copy()
+        else:
+            start = np.random.default_rng(seed).random((n_paths, 2))
+        return np.broadcast_to(start[:, None, :], (n_paths, n_steps, 2)).copy()
+
+
+class LinearDrift(MotionModel):
+    """Constant-velocity travel along a fixed heading, reflecting at borders.
+
+    ``heading`` is the direction in radians (``None`` draws one uniform
+    heading per journey); the commuter-on-a-road model.
+    """
+
+    name = "drift"
+
+    def __init__(self, speed: float = DEFAULT_SPEED, heading: Optional[float] = None) -> None:
+        super().__init__(speed=speed)
+        self.heading = None if heading is None else float(heading)
+
+    def paths(self, seed, n_paths, n_steps, dwell_packets):
+        self._check(n_paths, n_steps, dwell_packets)
+        rng = np.random.default_rng(seed)
+        start = rng.random((n_paths, 2))
+        if self.heading is None:
+            theta = rng.random(n_paths) * (2.0 * np.pi)
+        else:
+            theta = np.full(n_paths, self.heading, dtype=np.float64)
+        velocity = np.stack((np.cos(theta), np.sin(theta)), axis=1) * self.speed
+        hop = velocity * dwell_packets
+        steps = np.arange(n_steps, dtype=np.float64)[None, :, None]
+        return _reflect_unit(start[:, None, :] + hop[:, None, :] * steps)
+
+
+class RandomWaypoint(MotionModel):
+    """The classic random-waypoint model, one decision per hop.
+
+    Each journey travels at ``speed`` towards a uniformly drawn waypoint;
+    a journey reaching its waypoint mid-hop pauses there for the rest of
+    the hop and draws the next waypoint when it sets off again.  Waypoint
+    draws are consumed for *every* journey at every hop (applied only to
+    arrived ones), so the random stream -- and therefore every journey --
+    is independent of how the other journeys move.
+    """
+
+    name = "waypoint"
+
+    def paths(self, seed, n_paths, n_steps, dwell_packets):
+        self._check(n_paths, n_steps, dwell_packets)
+        rng = np.random.default_rng(seed)
+        pos = rng.random((n_paths, 2))
+        target = rng.random((n_paths, 2))
+        hop_distance = self.speed * dwell_packets
+        out = np.empty((n_paths, n_steps, 2), dtype=np.float64)
+        out[:, 0] = pos
+        for i in range(1, n_steps):
+            to_target = target - pos
+            dist = np.hypot(to_target[:, 0], to_target[:, 1])
+            arrive = dist <= hop_distance
+            with np.errstate(invalid="ignore", divide="ignore"):
+                frac = np.where(dist > 0, np.minimum(hop_distance / np.maximum(dist, 1e-300), 1.0), 1.0)
+            pos = pos + to_target * frac[:, None]
+            fresh = rng.random((n_paths, 2))
+            target = np.where(arrive[:, None], fresh, target)
+            out[:, i] = pos
+        return out
+
+
+_MODEL_NAMES = {
+    "waypoint": RandomWaypoint,
+    "drift": LinearDrift,
+    "stationary": Stationary,
+}
+
+
+def resolve_motion_model(
+    model: Union[str, MotionModel, None], **kwargs
+) -> MotionModel:
+    """A :class:`MotionModel` from an instance, a registered name or ``None``
+    (the default :class:`RandomWaypoint`).  Keyword arguments are forwarded
+    to the constructor when a name (or ``None``) is given."""
+    if model is None:
+        return RandomWaypoint(**kwargs)
+    if isinstance(model, MotionModel):
+        if kwargs:
+            raise ValueError(
+                f"cannot apply options {sorted(kwargs)} to an already-built "
+                f"{type(model).__name__}; construct the model with them instead"
+            )
+        return model
+    try:
+        cls = _MODEL_NAMES[model]
+    except KeyError:
+        raise ValueError(
+            f"unknown motion model {model!r}; known: {sorted(_MODEL_NAMES)}"
+        ) from None
+    return cls(**kwargs)

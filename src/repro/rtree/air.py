@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..api.protocol import AirIndex
 from ..broadcast.client import AccessMetrics, ClientSession
 from ..broadcast.config import SystemConfig
-from ..broadcast.treeair import AirTreeNode, TreeOnAir
+from ..broadcast.treeair import AirTreeNode, TreeOnAir, drain_cached_nodes as _drain_cached
 from ..spatial.datasets import DataObject, SpatialDataset
 from ..spatial.geometry import Point, Rect
 from .str_pack import build_str_rtree, rtree_fanout
@@ -82,22 +82,53 @@ class RTreeAirIndex(AirIndex):
         """Delegate to the on-air tree's root-copy seek (fleet trace collapse)."""
         return self.air.entry_landmark(view, position, switch_packets)
 
+    def new_client_state(self) -> Dict[int, AirTreeNode]:
+        """Warm-session state: a cache of index nodes already received.
+
+        Tree nodes are static broadcast content, so a continuous client that
+        has paid for a node once never needs to wait for another copy of it;
+        cached nodes are expanded for free on later queries (see
+        :mod:`repro.mobility`).
+        """
+        return {}
+
+    def _read_root(
+        self,
+        session: ClientSession,
+        cache: Optional[Dict[int, AirTreeNode]],
+    ) -> Tuple[AirTreeNode, int]:
+        """The tree root (cached for free on a warm session) and its read cost."""
+        if cache is not None and self.air.root_id in cache:
+            return cache[self.air.root_id], 0
+        root = self.air.read_node(session, self.air.root_id)
+        if cache is not None:
+            cache[root.node_id] = root
+        return root, 1
+
     # -- window query -----------------------------------------------------------
 
-    def window_query(self, window: Rect, session: ClientSession) -> TreeQueryResult:
+    def window_query(
+        self,
+        window: Rect,
+        session: ClientSession,
+        state: Optional[Dict[int, AirTreeNode]] = None,
+    ) -> TreeQueryResult:
         session.initial_probe()
-        root = self.air.read_node(session, self.air.root_id)
-        nodes_read = 1
-        objects_read = 0
         retrieved: List[DataObject] = []
-
         pending_nodes: Set[int] = set()
         pending_objects: Set[int] = set()
+        root, nodes_read = self._read_root(session, state)
         self._expand_window(root, window, pending_nodes, pending_objects)
+        objects_read = 0
 
         guard = 64 * len(self.program) + 256
         steps = 0
         while pending_nodes or pending_objects:
+            if state and _drain_cached(
+                pending_nodes, state,
+                lambda node: self._expand_window(node, window, pending_nodes, pending_objects),
+            ):
+                continue
             steps += 1
             if steps > guard:
                 break
@@ -110,6 +141,8 @@ class RTreeAirIndex(AirIndex):
             if kind == "node":
                 pending_nodes.discard(ident)
                 nodes_read += 1
+                if state is not None:
+                    state[ident] = result.payload
                 self._expand_window(result.payload, window, pending_nodes, pending_objects)
             else:
                 pending_objects.discard(ident)
@@ -138,63 +171,88 @@ class RTreeAirIndex(AirIndex):
 
     # -- kNN query ----------------------------------------------------------------
 
-    def knn_query(self, q: Point, k: int, session: ClientSession) -> TreeQueryResult:
+    def knn_query(
+        self,
+        q: Point,
+        k: int,
+        session: ClientSession,
+        state: Optional[Dict[int, AirTreeNode]] = None,
+    ) -> TreeQueryResult:
         if k < 1:
             raise ValueError("k must be >= 1")
         session.initial_probe()
-        root = self.air.read_node(session, self.air.root_id)
-        state = _KnnSweepState(q=q, k=k)
-        state.expand(root)
-        nodes_read = 1
+        sweep = _KnnSweepState(q=q, k=k)
+        root, nodes_read = self._read_root(session, state)
+        sweep.expand(root)
 
         guard = 64 * len(self.program) + 256
         steps = 0
-        while not state.finished():
+        while not sweep.finished():
+            if state and self._drain_knn_cached(sweep, state):
+                continue
             steps += 1
             if steps > guard:
                 break
             event = self.air.next_pending_event(
-                session.clock, state.pending_nodes, state.pending_data, session=session
+                session.clock, sweep.pending_nodes, sweep.pending_data, session=session
             )
             if event is None:
                 break  # nothing pending; missing answers are fetched below
             kind, ident, bucket_index = event
             if kind == "node":
-                if state.pending_nodes[ident] > state.bound():
-                    del state.pending_nodes[ident]
+                if sweep.pending_nodes[ident] > sweep.bound():
+                    del sweep.pending_nodes[ident]
                     continue
                 result = session.read_bucket(bucket_index)
                 if not result.ok:
                     continue
-                del state.pending_nodes[ident]
+                del sweep.pending_nodes[ident]
                 nodes_read += 1
-                state.expand(result.payload)
+                if state is not None:
+                    state[ident] = result.payload
+                sweep.expand(result.payload)
             else:
-                if state.pending_data[ident] > state.bound():
-                    del state.pending_data[ident]
+                if sweep.pending_data[ident] > sweep.bound():
+                    del sweep.pending_data[ident]
                     continue
                 result = session.read_bucket(bucket_index)
                 if not result.ok:
                     continue
-                del state.pending_data[ident]
-                state.downloaded[ident] = result.payload
+                del sweep.pending_data[ident]
+                sweep.downloaded[ident] = result.payload
 
         # Any of the final k answers not downloaded yet must still be fetched
         # (possibly waiting for the next cycle): the query is not satisfied
         # until the data objects themselves have been received.
-        for dist, oid in state.best_k():
-            if oid not in state.downloaded:
+        for dist, oid in sweep.best_k():
+            if oid not in sweep.downloaded:
                 obj = self.air.read_object(session, oid)
                 if obj is not None:
-                    state.downloaded[oid] = obj
+                    sweep.downloaded[oid] = obj
 
-        ranked = [state.downloaded[oid] for _d, oid in state.best_k() if oid in state.downloaded]
+        ranked = [sweep.downloaded[oid] for _d, oid in sweep.best_k() if oid in sweep.downloaded]
         return TreeQueryResult(
             objects=ranked,
             metrics=session.metrics(),
             nodes_read=nodes_read,
-            objects_read=len(state.downloaded),
+            objects_read=len(sweep.downloaded),
         )
+
+    @staticmethod
+    def _drain_knn_cached(
+        sweep: "_KnnSweepState", cache: Dict[int, AirTreeNode]
+    ) -> bool:
+        """Resolve one cached pending node without a read: prune it when its
+        mindist exceeds the current bound (exactly as the on-air path would),
+        expand it for free otherwise."""
+        hits = sweep.pending_nodes.keys() & cache.keys()
+        if not hits:
+            return False
+        nid = min(hits)
+        mindist = sweep.pending_nodes.pop(nid)
+        if mindist <= sweep.bound():
+            sweep.expand(cache[nid])
+        return True
 
 
 @dataclass

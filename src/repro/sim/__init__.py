@@ -1,7 +1,14 @@
 """Simulation harness: experiment runner, fleets, sweeps and reporting."""
 
 from .metrics import DEFAULT_QUANTILES, ExperimentResult, MetricSummary, deterioration
-from .fleet import ClientFleet, FleetResult, FleetSpec, run_fleet
+from .fleet import (
+    ClientFleet,
+    FleetResult,
+    FleetSpec,
+    MobileFleetResult,
+    run_fleet,
+    run_mobile_fleet,
+)
 from .parallel import default_processes, parallel_map
 from .runner import (
     INDEX_NAMES,
@@ -33,7 +40,9 @@ __all__ = [
     "ClientFleet",
     "FleetResult",
     "FleetSpec",
+    "MobileFleetResult",
     "run_fleet",
+    "run_mobile_fleet",
     "IndexSpec",
     "INDEX_NAMES",
     "build_index",

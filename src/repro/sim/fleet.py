@@ -36,6 +36,15 @@ memory stays O(unique executions + tracked quantiles) -- constant in
 ``n_clients``.  The per-execution histogram is kept on the result for
 exact cross-checks (:meth:`FleetResult.exact_mean` /
 :meth:`FleetResult.exact_percentile`).
+
+**Moving fleets** (:func:`run_mobile_fleet`) extend the same machinery to
+journey-scale populations: clients draw a whole
+:class:`~repro.mobility.trajectory.TrajectoryWorkload` journey instead of
+a single query, run it *warm* (persistent session and index knowledge,
+see :mod:`repro.mobility`), and the landmark collapse generalizes from
+single executions to entire journeys -- phases sharing the first hop's
+entry landmark share the journey's whole absolute trace (see
+:func:`_simulate_journey_batch`).
 """
 
 from __future__ import annotations
@@ -58,7 +67,15 @@ from ..spatial.datasets import SpatialDataset
 from .metrics import DEFAULT_HISTOGRAM_LIMIT, ExperimentResult, MetricSummary
 from .parallel import default_processes, parallel_map
 
-__all__ = ["ClientFleet", "FleetResult", "FleetSpec", "run_fleet", "DEFAULT_MAX_PHASES"]
+__all__ = [
+    "ClientFleet",
+    "FleetResult",
+    "FleetSpec",
+    "MobileFleetResult",
+    "run_fleet",
+    "run_mobile_fleet",
+    "DEFAULT_MAX_PHASES",
+]
 
 #: Default tune-in phase resolution per query (exact when the cycle is
 #: shorter; see module docstring).
@@ -231,6 +248,27 @@ class FleetResult:
 _SIM_CTX: Dict[str, Any] = {}
 
 
+def _draw_batches(spec: FleetSpec, n_items: int, pinned: Optional[np.ndarray]):
+    """Yield ``(item_ids, tune_in_fractions)`` client draws in fixed batches.
+
+    One seeded generator, consumed in a fixed order: replaying the
+    generator maps every client back to its draw, which is how the fleet
+    scatters per-execution outcomes to clients without storing per-client
+    state (see :func:`run_fleet`).
+    """
+    rng = np.random.default_rng(spec.seed)
+    done = 0
+    while done < spec.n_clients:
+        m = min(_DRAW_BATCH, spec.n_clients - done)
+        ids = rng.integers(0, n_items, size=m, dtype=np.int64)
+        if pinned is None:
+            fracs = rng.random(m)
+        else:
+            fracs = pinned[done:done + m]
+        yield ids, fracs
+        done += m
+
+
 def _install_sim_ctx(ctx: Dict[str, Any]) -> None:
     """Pool initializer: receive the shared state exactly once per worker.
 
@@ -370,7 +408,6 @@ def run_fleet(
     quantized = n_phases < cycle
 
     # -- draw clients and bucket them onto (query, phase) keys, batch-wise ----
-    rng = np.random.default_rng(spec.seed)
     pinned = spec.fractions()
     counts = np.zeros(n_q * n_phases, dtype=np.int64)
     # Broadcast metrics are packet-quantised: the wait domain is bounded by
@@ -381,14 +418,7 @@ def run_fleet(
         exact=False, histogram_limit=max(DEFAULT_HISTOGRAM_LIMIT, min(cycle, 1 << 17))
     )
     capacity = config.packet_capacity
-    done = 0
-    while done < spec.n_clients:
-        m = min(_DRAW_BATCH, spec.n_clients - done)
-        qids = rng.integers(0, n_q, size=m, dtype=np.int64)
-        if pinned is None:
-            fracs = rng.random(m)
-        else:
-            fracs = pinned[done:done + m]
+    for qids, fracs in _draw_batches(spec, n_q, pinned):
         phases = (fracs * n_phases).astype(np.int64)
         counts += np.bincount(qids * n_phases + phases, minlength=n_q * n_phases)
         # Exact first-hop statistics for every client: one merged-navigation
@@ -401,7 +431,6 @@ def run_fleet(
             first = None
         if first is not None:
             wait_summary.add_many((first - positions) * capacity)
-        done += m
 
     # -- simulate each distinct execution once, batched per query --------------
     keys = np.flatnonzero(counts)
@@ -456,19 +485,10 @@ def run_fleet(
         workload_name=workload.name,
         histogram_limit=max(DEFAULT_HISTOGRAM_LIMIT, n_q * n_phases),
     )
-    rng = np.random.default_rng(spec.seed)
-    done = 0
-    while done < spec.n_clients:
-        m = min(_DRAW_BATCH, spec.n_clients - done)
-        qids = rng.integers(0, n_q, size=m, dtype=np.int64)
-        if pinned is None:
-            fracs = rng.random(m)
-        else:
-            fracs = pinned[done:done + m]
+    for qids, fracs in _draw_batches(spec, n_q, pinned):
         key = qids * n_phases + (fracs * n_phases).astype(np.int64)
         result.latency.add_many(lat_by_key[key])
         result.tuning.add_many(tun_by_key[key])
-        done += m
     if verify:
         corrects = np.array([s[2] for s in sims], dtype=np.int64)
         result.correct_trials = int(task_counts[corrects == 1].sum())
@@ -482,6 +502,322 @@ def run_fleet(
         cycle_packets=cycle,
         quantized=quantized,
         elapsed_s=time.perf_counter() - t0,
+        first_index_wait=wait_summary,
+        unique_latency=uniq_lat,
+        unique_tuning=uniq_tun,
+        unique_counts=task_counts,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Moving fleets: population-scale warm journeys
+# ---------------------------------------------------------------------------
+
+
+def _simulate_journey_batch(jid: int, phases: Sequence[int]) -> List[Tuple[int, int, int]]:
+    """Simulate every requested tune-in phase of one journey (picklable).
+
+    The stationary fleet's *landmark collapse* generalizes to whole warm
+    journeys: an error-free first hop's absolute trace is a pure function
+    of the first entry-structure read (the landmark), so two phases sharing
+    it leave the client in the *identical* absolute state -- clock, parked
+    channel, accumulated knowledge -- at the end of hop 1.  Every later hop
+    starts from that state after a fixed dwell and is therefore identical
+    too; only the first hop's access latency differs, by exactly the
+    tune-in offset.  One representative journey is simulated per landmark
+    and its totals shifted per phase.  Link errors draw an independent loss
+    realisation per (journey, phase), which disables the collapse exactly
+    as it does for stationary fleets.
+
+    Returns ``(journey_latency_bytes, journey_tuning_bytes, correct_hops)``
+    per phase (``correct_hops`` is -1 when not verifying).
+    """
+    from ..mobility.continuous import run_journey
+
+    ctx = _SIM_CTX
+    index = ctx["index"]
+    config = ctx["config"]
+    view = ctx["view"]
+    n_phases = ctx["n_phases"]
+    cycle = ctx["cycle"]
+    theta = ctx["error_theta"]
+    scope = ctx["error_scope"]
+    error_seed = ctx["error_seed"]
+    knn_strategy = ctx["knn_strategy"]
+    capacity = config.packet_capacity
+    journey = ctx["journeys"][jid]
+    truths = None
+    if ctx["verify"]:
+        from ..queries.ground_truth import answer
+
+        truths = [answer(ctx["dataset"], step.query) for step in journey.steps]
+
+    def simulate(start_packet: int, error_model: Optional[LinkErrorModel]) -> Tuple[int, int, int]:
+        result = run_journey(
+            index, view, config, journey,
+            start_packet=start_packet, error_model=error_model,
+            knn_strategy=knn_strategy,
+        )
+        correct_hops = -1
+        if truths is not None:
+            correct_hops = sum(
+                int(matches_truth(step.query, truth, hop.outcome.objects))
+                for step, truth, hop in zip(journey.steps, truths, result.hops)
+            )
+        return result.total_latency_packets, result.total_tuning_bytes, correct_hops
+
+    landmark = getattr(index, "entry_landmark", None)
+    switch = (
+        getattr(config, "channel_switch_packets", 0)
+        if getattr(view, "home_channel", None) is not None
+        else 0
+    )
+    out: List[Tuple[int, int, int]] = []
+    traces: Dict[Any, Tuple[int, int, int, int]] = {}  # mark -> (p_rep, lat, tun, ok)
+    for phase in phases:
+        phase = int(phase)
+        start_packet = (phase * cycle) // n_phases
+        if theta is not None:
+            key = jid * n_phases + phase
+            error_model = LinkErrorModel(
+                theta=theta, scope=scope, seed=(error_seed * 1_000_003 + key) & 0x7FFFFFFF
+            )
+            lat_packets, tun_bytes, correct_hops = simulate(start_packet, error_model)
+        else:
+            mark = None if landmark is None else landmark(view, start_packet + 1, switch)
+            if mark is None:
+                lat_packets, tun_bytes, correct_hops = simulate(start_packet, None)
+            else:
+                trace = traces.get(mark)
+                if trace is None:
+                    lat_packets, tun_bytes, correct_hops = simulate(start_packet, None)
+                    traces[mark] = (start_packet, lat_packets, tun_bytes, correct_hops)
+                else:
+                    # Hop 1 shares the representative's absolute trace (only
+                    # the tune-in offset differs); all later hops start from
+                    # the same absolute state and are identical outright.
+                    p_rep, rep_lat, tun_bytes, correct_hops = trace
+                    lat_packets = rep_lat - (start_packet - p_rep)
+        out.append((lat_packets * capacity, tun_bytes, correct_hops))
+    return out
+
+
+@dataclass
+class MobileFleetResult:
+    """Outcome of one moving-fleet run.
+
+    ``result`` carries *journey-total* latency/tuning summaries (one sample
+    per client, each the sum over its journey's hops); per-hop means and
+    the spatial staleness derive from them through the known hop count and
+    the motion model's speed.  The per-execution arrays support exact
+    cross-checks, as for stationary fleets.
+    """
+
+    result: ExperimentResult
+    n_clients: int
+    n_journeys: int
+    n_steps: int
+    n_executions: int
+    n_phases: int
+    cycle_packets: int
+    quantized: bool
+    elapsed_s: float
+    speed: float
+    capacity: int
+    first_index_wait: MetricSummary
+    unique_latency: np.ndarray = field(repr=False)
+    unique_tuning: np.ndarray = field(repr=False)
+    unique_counts: np.ndarray = field(repr=False)
+
+    @property
+    def clients_per_sec(self) -> float:
+        return self.n_clients / self.elapsed_s if self.elapsed_s > 0 else math.inf
+
+    @property
+    def queries_per_sec(self) -> float:
+        return self.clients_per_sec * self.n_steps
+
+    @property
+    def mean_hop_latency_bytes(self) -> float:
+        """Population mean access latency of one journey hop."""
+        return self.result.latency.mean / self.n_steps
+
+    @property
+    def mean_hop_tuning_bytes(self) -> float:
+        return self.result.tuning.mean / self.n_steps
+
+    @property
+    def mean_staleness(self) -> float:
+        """Mean spatial result staleness: how far a client has travelled
+        from the position its answer describes when the answer lands."""
+        return self.speed * (self.mean_hop_latency_bytes / self.capacity)
+
+    def exact_mean(self, metric: str = "latency") -> float:
+        """Exact population mean from the per-execution histogram."""
+        values = self.unique_latency if metric == "latency" else self.unique_tuning
+        return float(np.dot(values, self.unique_counts) / self.unique_counts.sum())
+
+    def as_row(self) -> Dict[str, Any]:
+        from .report import metric_columns
+
+        row: Dict[str, Any] = {
+            "index": self.result.index_name,
+            "workload": self.result.workload_name,
+            "n_clients": self.n_clients,
+            "steps": self.n_steps,
+        }
+        row.update(metric_columns(self.result.latency, "journey_latency"))
+        row.update(metric_columns(self.result.tuning, "journey_tuning"))
+        row["hop_latency_bytes"] = self.mean_hop_latency_bytes
+        row["hop_tuning_bytes"] = self.mean_hop_tuning_bytes
+        row["staleness"] = self.mean_staleness
+        checked = self.result.correct_trials + self.result.incorrect_trials
+        if checked:
+            row["accuracy"] = self.result.accuracy
+        row["clients_per_sec"] = self.clients_per_sec
+        return row
+
+
+def run_mobile_fleet(
+    index: Any,
+    dataset: SpatialDataset,
+    config: SystemConfig,
+    trajectories: Any,
+    n_clients: int,
+    *,
+    seed: int = 0,
+    tune_in: Optional[Sequence[float]] = None,
+    client_seeds: Optional[Sequence[int]] = None,
+    max_phases: int = DEFAULT_MAX_PHASES,
+    error_theta: Optional[float] = None,
+    error_scope: str = "index",
+    error_seed: int = 0,
+    verify: bool = False,
+    knn_strategy: str = "conservative",
+    label: Optional[str] = None,
+    parallel: bool = False,
+    processes: Optional[int] = None,
+) -> MobileFleetResult:
+    """Run ``n_clients`` moving clients through a
+    :class:`~repro.mobility.trajectory.TrajectoryWorkload`.
+
+    Each client draws one journey and one tune-in phase; identical draws
+    collapse onto distinct (journey, phase) executions, and error-free
+    phase sweeps collapse further onto hop-1 entry landmarks (see
+    :func:`_simulate_journey_batch`), so simulation cost is bounded by the
+    distinct warm journeys -- not the fleet size.  Serial and parallel runs
+    produce identical results.
+    """
+    spec = FleetSpec(
+        n_clients=n_clients,
+        seed=seed,
+        max_phases=max_phases,
+        tune_in=None if tune_in is None else tuple(float(v) for v in tune_in),
+        client_seeds=None if client_seeds is None else tuple(int(s) for s in client_seeds),
+    )
+    journeys = list(trajectories)
+    if not journeys:
+        raise ValueError(
+            f"trajectory workload {trajectories.name!r} has no journeys to assign"
+        )
+    n_steps = trajectories.n_steps
+    if error_theta is not None and not (0.0 <= error_theta <= 1.0):
+        raise ValueError("error_theta must be within [0, 1]")
+
+    t0 = time.perf_counter()
+    schedule = BroadcastSchedule.for_config(index.program, config)
+    view = schedule.view()
+    timeline = timeline_of(view)
+    cycle = view.cycle_packets
+    n_j = len(journeys)
+    n_phases = min(cycle, spec.max_phases)
+    quantized = n_phases < cycle
+
+    # -- draw clients onto (journey, phase) keys, batch-wise -------------------
+    pinned = spec.fractions()
+    counts = np.zeros(n_j * n_phases, dtype=np.int64)
+    wait_summary = MetricSummary(
+        exact=False, histogram_limit=max(DEFAULT_HISTOGRAM_LIMIT, min(cycle, 1 << 17))
+    )
+    capacity = config.packet_capacity
+    for jids, fracs in _draw_batches(spec, n_j, pinned):
+        phases = (fracs * n_phases).astype(np.int64)
+        counts += np.bincount(jids * n_phases + phases, minlength=n_j * n_phases)
+        positions = (fracs * cycle).astype(np.int64)
+        try:
+            first = timeline.next_navigation_starts(positions)
+        except KeyError:
+            first = None
+        if first is not None:
+            wait_summary.add_many((first - positions) * capacity)
+
+    # -- simulate each distinct (journey, phase) execution once ----------------
+    keys = np.flatnonzero(counts)
+    task_counts = counts[keys]
+    key_jids = keys // n_phases
+    key_phases = keys % n_phases
+    tasks: List[Tuple[int, List[int]]] = []
+    n_workers = processes if processes is not None else default_processes()
+    target_chunks = max(n_j, 2 * n_workers) if parallel else n_j
+    max_chunk = max(1, -(-len(keys) // max(target_chunks, 1)))
+    j_starts = np.flatnonzero(np.diff(key_jids, prepend=-1))
+    for i, start in enumerate(j_starts):
+        stop = j_starts[i + 1] if i + 1 < len(j_starts) else len(keys)
+        jid = int(key_jids[start])
+        for at in range(int(start), int(stop), max_chunk):
+            tasks.append((jid, key_phases[at:min(at + max_chunk, stop)].tolist()))
+    ctx = dict(
+        index=index, dataset=dataset, config=config, view=view, journeys=journeys,
+        n_phases=n_phases, cycle=cycle, error_theta=error_theta,
+        error_scope=error_scope, error_seed=error_seed, verify=verify,
+        knn_strategy=knn_strategy,
+    )
+    try:
+        outs = parallel_map(
+            _simulate_journey_batch,
+            tasks,
+            processes=processes if parallel else 1,
+            initializer=_install_sim_ctx,
+            initargs=(ctx,),
+        )
+        sims = [t for out in outs for t in out]
+    finally:
+        _SIM_CTX.clear()
+
+    uniq_lat = np.array([s[0] for s in sims], dtype=np.float64)
+    uniq_tun = np.array([s[1] for s in sims], dtype=np.float64)
+
+    # -- stream the population through the summaries (draw order, as above) ----
+    lat_by_key = np.zeros(n_j * n_phases, dtype=np.float64)
+    tun_by_key = np.zeros(n_j * n_phases, dtype=np.float64)
+    lat_by_key[keys] = uniq_lat
+    tun_by_key[keys] = uniq_tun
+    result = ExperimentResult.streaming(
+        index_name=label or getattr(index, "name", type(index).__name__),
+        workload_name=trajectories.name,
+        histogram_limit=max(DEFAULT_HISTOGRAM_LIMIT, n_j * n_phases),
+    )
+    for jids, fracs in _draw_batches(spec, n_j, pinned):
+        key = jids * n_phases + (fracs * n_phases).astype(np.int64)
+        result.latency.add_many(lat_by_key[key])
+        result.tuning.add_many(tun_by_key[key])
+    if verify:
+        correct_hops = np.array([s[2] for s in sims], dtype=np.int64)
+        result.correct_trials = int(np.dot(task_counts, correct_hops))
+        result.incorrect_trials = int(np.dot(task_counts, n_steps - correct_hops))
+
+    return MobileFleetResult(
+        result=result,
+        n_clients=spec.n_clients,
+        n_journeys=n_j,
+        n_steps=n_steps,
+        n_executions=len(keys),
+        n_phases=n_phases,
+        cycle_packets=cycle,
+        quantized=quantized,
+        elapsed_s=time.perf_counter() - t0,
+        speed=getattr(getattr(trajectories, "model", None), "speed", 0.0),
+        capacity=capacity,
         first_index_wait=wait_summary,
         unique_latency=uniq_lat,
         unique_tuning=uniq_tun,

@@ -56,19 +56,26 @@ def execute_query(
     query: Union[WindowQuery, KnnQuery],
     session: ClientSession,
     knn_strategy: str = "conservative",
+    state=None,
 ):
     """Run one query through one session (the per-trial dispatch).
 
-    Shared by the per-trial workload replay below and the fleet simulator's
-    unique-execution path, so both produce identical outcomes for the same
-    (query, session) pair.  ``knn_strategy`` applies to DSI only.
+    Shared by the per-trial workload replay below, the fleet simulator's
+    unique-execution path and the mobility journey engine, so all produce
+    identical outcomes for the same (query, session) pair.  ``knn_strategy``
+    applies to DSI only.  ``state`` optionally passes a continuous client's
+    warm state through (``None`` -- the cold default -- is never forwarded,
+    so third-party indexes without a ``state=`` keyword keep working).
     """
+    extra = {} if state is None else {"state": state}
     if isinstance(query, WindowQuery):
-        return index.window_query(query.window, session)
+        return index.window_query(query.window, session, **extra)
     if isinstance(query, KnnQuery):
         if isinstance(index, DsiIndex):
-            return index.knn_query(query.point, query.k, session, strategy=knn_strategy)
-        return index.knn_query(query.point, query.k, session)
+            return index.knn_query(
+                query.point, query.k, session, strategy=knn_strategy, **extra
+            )
+        return index.knn_query(query.point, query.k, session, **extra)
     raise TypeError(f"unsupported query type {type(query)!r}")
 
 

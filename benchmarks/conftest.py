@@ -16,12 +16,15 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict
 
+import numpy as np
 import pytest
 
+from repro.purity import pure_mode
 from repro.sim.parallel import default_processes
 from repro.spatial import real_surrogate_dataset, uniform_dataset
 
@@ -108,6 +111,24 @@ _BENCH_SIG_DIGITS = 5
 _BENCH_REL_NOISE = 0.10
 
 
+def host_metadata() -> Dict:
+    """Provenance of the machine a BENCH document was measured on.
+
+    Stored under the ``host`` key of every BENCH JSON so a number can be
+    traced to the hardware and software stack that produced it -- a
+    clients-per-second figure from a 1-vCPU container and one from a 4-vCPU
+    runner are different experiments.  ``kernel_backend`` records whether
+    the batched numpy kernels were eligible (``REPRO_PURE=1`` forces the
+    pure-python reference paths everywhere).
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python_version": platform.python_version(),
+        "numpy_version": np.__version__,
+        "kernel_backend": "pure" if pure_mode() else "numpy",
+    }
+
+
 def _round_floats(value):
     if isinstance(value, bool):
         return value
@@ -181,8 +202,11 @@ def write_bench(
     and when a committed file already exists whose stages all sit inside
     the noise floor the write is skipped outright -- back-to-back commits
     stop rewriting BENCH files with meaningless timing wiggle.  Returns
-    ``True`` when the file was (re)written.
+    ``True`` when the file was (re)written.  Every document is stamped with
+    :func:`host_metadata` under ``host`` before writing.
     """
+    doc = dict(doc)
+    doc.setdefault("host", host_metadata())
     rounded = _round_floats(doc)
     if path.exists():
         try:

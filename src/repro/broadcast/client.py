@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..purity import pure_mode
 from .config import SystemConfig
 from .errors import LinkErrorModel, NO_ERRORS
 from .program import BroadcastProgram, Bucket, BucketKind
@@ -186,10 +187,13 @@ class ClientSession:
         """
         timeline = self._timeline
         if timeline is None:
-            try:
-                timeline = timeline_of(self.program)
-            except (AttributeError, TypeError):
-                timeline = False  # uncompilable: remember and stay scalar
+            if pure_mode():
+                timeline = False  # REPRO_PURE: stay with scalar arrivals
+            else:
+                try:
+                    timeline = timeline_of(self.program)
+                except (AttributeError, TypeError):
+                    timeline = False  # uncompilable: remember and stay scalar
             self._timeline = timeline
         if timeline is False:
             return np.array(

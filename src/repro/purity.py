@@ -1,0 +1,34 @@
+"""Pure-python reference mode (the ``REPRO_PURE`` switch).
+
+The repository keeps two implementations of every hot path: the original
+pure-python/object-model code (the *reference*, exercised by the unit and
+property tests) and batched numpy fast paths (compiled timelines, the
+table-driven Hilbert codec, the structure-of-arrays fleet kernel).  The
+fast paths are bit-identical to the reference by construction and by test,
+but "trust the tests" is not the same as "can run without them": setting
+``REPRO_PURE=1`` forces the reference implementations everywhere, which is
+how the equivalence tests pin the two sides against each other and how a
+regression can be bisected to one side or the other.
+
+The switch is read per call (not cached at import), so tests can flip it
+with ``monkeypatch.setenv`` without reload tricks.  The hot loops that
+honour it consult it once per *operation batch*, never per element, so the
+overhead in the default mode is one environment lookup per batch.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["PURE_ENV", "pure_mode"]
+
+#: Environment variable forcing the pure-python reference paths.
+PURE_ENV = "REPRO_PURE"
+
+#: Values of :data:`PURE_ENV` that leave the fast paths enabled.
+_OFF = ("", "0", "false", "no", "off")
+
+
+def pure_mode() -> bool:
+    """Whether the pure-python reference paths are forced (``REPRO_PURE=1``)."""
+    return os.environ.get(PURE_ENV, "0").strip().lower() not in _OFF

@@ -61,6 +61,7 @@ from ..broadcast.config import SystemConfig
 from ..broadcast.errors import LinkErrorModel
 from ..broadcast.schedule import BroadcastSchedule
 from ..broadcast.timeline import timeline_of
+from ..purity import pure_mode
 from ..queries.ground_truth import matches_truth
 from ..queries.workload import Workload
 from ..spatial.datasets import SpatialDataset
@@ -181,6 +182,10 @@ class FleetResult:
     unique_latency: np.ndarray = field(repr=False)
     unique_tuning: np.ndarray = field(repr=False)
     unique_counts: np.ndarray = field(repr=False)
+    #: Which engine simulated the distinct executions: ``"numpy"`` for the
+    #: structure-of-arrays kernel (:mod:`repro.sim.fleet_kernel`),
+    #: ``"reference"`` for the per-phase object-model path.
+    backend: str = "reference"
     # Per-metric sorted (value, count) histograms derived from the execution
     # arrays, built once and shared by every exact_percentile call (the
     # arrays are immutable after the run).
@@ -269,15 +274,48 @@ def _draw_batches(spec: FleetSpec, n_items: int, pinned: Optional[np.ndarray]):
         done += m
 
 
+def _nav_starts_scalar(view: Any, positions: np.ndarray) -> Optional[np.ndarray]:
+    """Earliest navigation-bucket starts via the scalar object model.
+
+    The pure-python counterpart of
+    :meth:`CompiledTimeline.next_navigation_starts`, used under
+    ``REPRO_PURE``: deduplicate the tune-in positions, ask the scalar
+    ``next_occurrence_of_kind`` per navigation kind, take the elementwise
+    minimum.  Returns ``None`` when the layout airs no navigation bucket.
+    """
+    from ..broadcast.program import BucketKind
+
+    uniq, inverse = np.unique(np.maximum(positions, 0), return_inverse=True)
+    best: Optional[np.ndarray] = None
+    for kind in BucketKind:
+        if not kind.is_navigation:
+            continue
+        try:
+            starts = np.array(
+                [view.next_occurrence_of_kind(kind, int(p))[1] for p in uniq],
+                dtype=np.int64,
+            )
+        except KeyError:  # this kind is not aired at all
+            continue
+        best = starts if best is None else np.minimum(best, starts)
+    return None if best is None else best[inverse]
+
+
 def _install_sim_ctx(ctx: Dict[str, Any]) -> None:
     """Pool initializer: receive the shared state exactly once per worker.
 
-    Under the ``fork`` start method the pickle round-trip covers the
-    compiled timeline, index, dataset and trials a single time per worker
-    at pool start-up; every chunk after that ships integers only.
+    The context arrives once per worker at pool start-up; every chunk after
+    that ships integers only.  Parallel runs keep the context *slim*: the
+    schedule view (and its compiled timeline) is deliberately absent and
+    rebuilt here from the index's cached program and the config -- both
+    deterministic -- so workers never depend on carrying compiled seek
+    state across the process boundary.
     """
     _SIM_CTX.clear()
     _SIM_CTX.update(ctx)
+    if "view" not in ctx:
+        schedule = BroadcastSchedule.for_config(ctx["index"].program, ctx["config"])
+        _SIM_CTX["view"] = schedule.view()
 
 
 def _simulate_query_batch(qid: int, phases: Sequence[int]) -> List[Tuple[int, int, int]]:
@@ -401,7 +439,8 @@ def run_fleet(
     t0 = time.perf_counter()
     schedule = BroadcastSchedule.for_config(index.program, config)
     view = schedule.view()
-    timeline = timeline_of(view)
+    pure = pure_mode()
+    timeline = None if pure else timeline_of(view)
     cycle = view.cycle_packets
     n_q = len(trials)
     n_phases = min(cycle, spec.max_phases)
@@ -423,53 +462,87 @@ def run_fleet(
         counts += np.bincount(qids * n_phases + phases, minlength=n_q * n_phases)
         # Exact first-hop statistics for every client: one merged-navigation
         # searchsorted per channel on the compiled timeline (no phase
-        # quantisation here).
+        # quantisation here), or the scalar object model under REPRO_PURE.
         positions = (fracs * cycle).astype(np.int64)
-        try:
-            first = timeline.next_navigation_starts(positions)
-        except KeyError:
-            first = None
+        if timeline is not None:
+            try:
+                first = timeline.next_navigation_starts(positions)
+            except KeyError:
+                first = None
+        else:
+            first = _nav_starts_scalar(view, positions)
         if first is not None:
             wait_summary.add_many((first - positions) * capacity)
 
-    # -- simulate each distinct execution once, batched per query --------------
+    # -- simulate each distinct execution once ---------------------------------
     keys = np.flatnonzero(counts)
     task_counts = counts[keys]
     key_qids = keys // n_phases
     key_phases = keys % n_phases
-    # One task per (query, phase-run): queries are contiguous in key order,
-    # and large phase runs are split so the pool has a few chunks per
-    # worker to balance -- each task pickles two ints and a phase list.
-    tasks: List[Tuple[int, List[int]]] = []
-    n_workers = processes if processes is not None else default_processes()
-    target_chunks = max(n_q, 2 * n_workers) if parallel else n_q
-    max_chunk = max(1, -(-len(keys) // max(target_chunks, 1)))
-    q_starts = np.flatnonzero(np.diff(key_qids, prepend=-1))
-    for i, start in enumerate(q_starts):
-        stop = q_starts[i + 1] if i + 1 < len(q_starts) else len(keys)
-        qid = int(key_qids[start])
-        for at in range(int(start), int(stop), max_chunk):
-            tasks.append((qid, key_phases[at:min(at + max_chunk, stop)].tolist()))
-    ctx = dict(
-        index=index, dataset=dataset, config=config, view=view, trials=trials,
-        n_phases=n_phases, cycle=cycle, error_theta=error_theta,
-        error_scope=error_scope, error_seed=error_seed, verify=verify,
-        knn_strategy=knn_strategy,
-    )
-    try:
-        outs = parallel_map(
-            _simulate_query_batch,
-            tasks,
-            processes=processes if parallel else 1,
-            initializer=_install_sim_ctx,
-            initargs=(ctx,),
-        )
-        sims = [t for out in outs for t in out]
-    finally:
-        _SIM_CTX.clear()
 
-    uniq_lat = np.array([s[0] for s in sims], dtype=np.float64)
-    uniq_tun = np.array([s[1] for s in sims], dtype=np.float64)
+    # Error-free window fleets take the structure-of-arrays kernel: every
+    # distinct execution advances in lockstep as flat arrays, no per-phase
+    # python walk.  The kernel declines (KernelUnsupported) anything outside
+    # its proven-exact envelope, and REPRO_PURE forces the reference path.
+    backend = "reference"
+    kernel_out = None
+    if error_theta is None and not pure:
+        from .fleet_kernel import KernelUnsupported, simulate_window_fleet
+
+        try:
+            kernel_out = simulate_window_fleet(
+                index, view, config, trials, key_qids, key_phases,
+                n_phases=n_phases, cycle=cycle, verify=verify, dataset=dataset,
+            )
+        except KernelUnsupported:
+            kernel_out = None
+
+    if kernel_out is not None:
+        backend = "numpy"
+        lat_b, tun_b, corrects = kernel_out
+        uniq_lat = lat_b.astype(np.float64)
+        uniq_tun = tun_b.astype(np.float64)
+    else:
+        # Reference path, batched per query.  One task per (query,
+        # phase-run): queries are contiguous in key order, and large phase
+        # runs are split so the pool has a few chunks per worker to balance
+        # -- each task ships two ints and a phase list.
+        tasks: List[Tuple[int, List[int]]] = []
+        n_workers = processes if processes is not None else default_processes()
+        target_chunks = max(n_q, 2 * n_workers) if parallel else n_q
+        max_chunk = max(1, -(-len(keys) // max(target_chunks, 1)))
+        q_starts = np.flatnonzero(np.diff(key_qids, prepend=-1))
+        for i, start in enumerate(q_starts):
+            stop = q_starts[i + 1] if i + 1 < len(q_starts) else len(keys)
+            qid = int(key_qids[start])
+            for at in range(int(start), int(stop), max_chunk):
+                tasks.append((qid, key_phases[at:min(at + max_chunk, stop)].tolist()))
+        ctx = dict(
+            index=index, config=config, trials=trials,
+            n_phases=n_phases, cycle=cycle, error_theta=error_theta,
+            error_scope=error_scope, error_seed=error_seed, verify=verify,
+            knn_strategy=knn_strategy,
+        )
+        if verify:
+            ctx["dataset"] = dataset
+        if not parallel:
+            # Workers rebuild the view from (program, config) -- see
+            # _install_sim_ctx; in-process runs reuse the one already built.
+            ctx["view"] = view
+        try:
+            outs = parallel_map(
+                _simulate_query_batch,
+                tasks,
+                processes=processes if parallel else 1,
+                initializer=_install_sim_ctx,
+                initargs=(ctx,),
+            )
+            sims = [t for out in outs for t in out]
+        finally:
+            _SIM_CTX.clear()
+        uniq_lat = np.array([s[0] for s in sims], dtype=np.float64)
+        uniq_tun = np.array([s[1] for s in sims], dtype=np.float64)
+        corrects = np.array([s[2] for s in sims], dtype=np.int64)
 
     # -- stream the population through the summaries ---------------------------
     # Replaying the seeded client stream (same generator, same seed) maps each
@@ -490,7 +563,6 @@ def run_fleet(
         result.latency.add_many(lat_by_key[key])
         result.tuning.add_many(tun_by_key[key])
     if verify:
-        corrects = np.array([s[2] for s in sims], dtype=np.int64)
         result.correct_trials = int(task_counts[corrects == 1].sum())
         result.incorrect_trials = int(task_counts[corrects == 0].sum())
 
@@ -506,6 +578,7 @@ def run_fleet(
         unique_latency=uniq_lat,
         unique_tuning=uniq_tun,
         unique_counts=task_counts,
+        backend=backend,
     )
 
 
@@ -628,6 +701,9 @@ class MobileFleetResult:
     unique_latency: np.ndarray = field(repr=False)
     unique_tuning: np.ndarray = field(repr=False)
     unique_counts: np.ndarray = field(repr=False)
+    #: Warm journeys always run the per-phase object-model path (the SoA
+    #: kernel covers stationary window fleets only, so far).
+    backend: str = "reference"
 
     @property
     def clients_per_sec(self) -> float:
@@ -727,7 +803,7 @@ def run_mobile_fleet(
     t0 = time.perf_counter()
     schedule = BroadcastSchedule.for_config(index.program, config)
     view = schedule.view()
-    timeline = timeline_of(view)
+    timeline = None if pure_mode() else timeline_of(view)
     cycle = view.cycle_packets
     n_j = len(journeys)
     n_phases = min(cycle, spec.max_phases)
@@ -744,10 +820,13 @@ def run_mobile_fleet(
         phases = (fracs * n_phases).astype(np.int64)
         counts += np.bincount(jids * n_phases + phases, minlength=n_j * n_phases)
         positions = (fracs * cycle).astype(np.int64)
-        try:
-            first = timeline.next_navigation_starts(positions)
-        except KeyError:
-            first = None
+        if timeline is not None:
+            try:
+                first = timeline.next_navigation_starts(positions)
+            except KeyError:
+                first = None
+        else:
+            first = _nav_starts_scalar(view, positions)
         if first is not None:
             wait_summary.add_many((first - positions) * capacity)
 
@@ -767,11 +846,15 @@ def run_mobile_fleet(
         for at in range(int(start), int(stop), max_chunk):
             tasks.append((jid, key_phases[at:min(at + max_chunk, stop)].tolist()))
     ctx = dict(
-        index=index, dataset=dataset, config=config, view=view, journeys=journeys,
+        index=index, config=config, journeys=journeys,
         n_phases=n_phases, cycle=cycle, error_theta=error_theta,
         error_scope=error_scope, error_seed=error_seed, verify=verify,
         knn_strategy=knn_strategy,
     )
+    if verify:
+        ctx["dataset"] = dataset
+    if not parallel:
+        ctx["view"] = view
     try:
         outs = parallel_map(
             _simulate_journey_batch,

@@ -1,0 +1,454 @@
+"""Structure-of-arrays fleet kernel: lockstep DSI window sweeps in numpy.
+
+The reference fleet path (:func:`repro.sim.fleet._simulate_query_batch`)
+replays one full :class:`~repro.broadcast.client.ClientSession` per distinct
+``(query, phase)`` execution.  At one channel the error-free *landmark
+collapse* keeps that affordable (phases sharing their first index-table read
+share one trace), but a striped multi-channel schedule keeps almost every
+entry landmark distinct -- the control channel cycles many times per data
+cycle -- so 4-channel fleets were paying thousands of full per-phase python
+walks.  This module replaces the walk itself: all executions advance **in
+lockstep** as flat per-lane arrays, one numpy hop at a time.
+
+A *lane* is one distinct ``(query, entry-table occurrence)`` pair -- the
+exact unit the landmark collapse proves shares an absolute trace, now valid
+on striped schedules too because the entry occurrence is an absolute
+``(bucket, start)`` pair, not a phase.  Per-lane state is exactly the state
+the reference walk carries:
+
+* ``clock`` / ``channel`` -- the session position (unwrapped packets) and
+  the channel the radio is parked on;
+* ``K``   -- which frame *ranks* have a known minimum HC value (the
+  knowledge a :class:`~repro.core.knowledge.ClientKnowledge` accumulates);
+* ``EX`` / ``PR`` -- which ranks this query has examined / processed.
+
+Three structural facts about DSI make the lockstep walk exact, not
+approximate (each is asserted at precompute and the kernel refuses --
+falling back to the reference -- when one fails):
+
+1. **Knowledge is a bitmask.**  Everything a table teaches is a true frame
+   minimum (own rank, successor, entry targets, segment boundaries), so a
+   client's knowledge is fully described by *which* ranks it knows -- the
+   values are global constants.  What each table teaches is the static
+   ``(F, F)`` boolean matrix ``learn``; absorbing a table is one row-OR.
+2. **Candidacy is countable in rank space.**  With strictly increasing
+   frame minima the frame extents partition the HC space, the pending set
+   stays the disjoint union of the *pieces* (cover ∩ extent) of the
+   unprocessed relevant ranks, and the reference's value-space candidate
+   test reduces to: rank ``r`` is a candidate iff some unprocessed relevant
+   rank lies in ``[B(r), A(r))``, where ``B``/``A`` are the nearest known
+   ranks at/below and strictly above ``r`` (0 / ``F`` when none).  That is
+   two running min/max sweeps and a cumulative sum per hop.
+3. **Visit cost is static per (query, rank).**  Because extents are
+   disjoint, the qualified objects of a relevant frame -- and therefore the
+   exact bucket-read sequence of its visit (directory, then qualified data
+   slots) -- depend only on the *initial* clamped cover, never on the order
+   frames are processed in.  Visit sequences are precomputed once per query
+   and replayed per lane as pure occurrence arithmetic.
+
+Per hop every live lane picks the earliest-arriving candidate table.  All
+DSI tables air on one channel (the control channel when striped), so
+arrival order from any clock is a rotation of the fixed position-sorted
+table order and the argmin needs no arrival matrix -- a cyclic index
+suffices, and ties are impossible (distinct tables, distinct starts), which
+also realises the reference's lowest-rank tie-break vacuously.  A lane
+exits when its candidate set empties, which happens exactly when all its
+relevant ranks are processed -- the reference loop's termination condition.
+
+Latency is ``exit clock - tune-in``; tuning accumulates *per phase*
+(identical within a lane: every phase of a lane pays the same probe, table,
+directory and data packets).  Answers are phase-independent (fact 3), so
+verification runs once per query.  Everything matches the reference walk
+integer for integer; ``tests/test_fleet_kernel.py`` pins both against a
+brute-force per-phase replay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..broadcast.program import BucketKind
+from ..broadcast.timeline import timeline_of
+from ..core.knowledge import ClientKnowledge
+from ..core.structure import DsiIndex
+from ..queries.types import WindowQuery
+
+__all__ = ["KernelUnsupported", "simulate_window_fleet"]
+
+
+class KernelUnsupported(Exception):
+    """The SoA kernel cannot reproduce the reference walk for this run.
+
+    Raised (and caught by :func:`repro.sim.fleet.run_fleet`, which falls
+    back to the per-phase reference path) for non-DSI indexes, kNN trials,
+    directory-less layouts, duplicate frame minima, or any precompute
+    invariant the kernel's exactness argument relies on failing to hold.
+    """
+
+
+#: Attribute caching the channel-independent static tables on the index.
+_STATIC_ATTR = "_soa_fleet_static"
+
+#: Cover parameters -- must match ``repro.core.window.window_query``.
+_MAX_RANGES = 96
+_MAX_DEPTH_CAP = 10
+
+
+class _Static:
+    """Per-index constants: frame minima, extents and the learn matrix."""
+
+    __slots__ = ("n_frames", "mins", "ext_lo", "ext_hi", "learn", "pos_of_rank")
+
+    def __init__(self, index: DsiIndex) -> None:
+        n_frames = index.n_frames
+        mins = np.fromiter(
+            (f.min_hc for f in index.frames_by_rank), dtype=np.int64, count=n_frames
+        )
+        if n_frames > 1 and not np.all(mins[1:] > mins[:-1]):
+            # Tied minima make visit contents order-dependent (two frames
+            # sharing a minimum share HC values across the extent boundary);
+            # the reference path handles that, the lockstep kernel does not.
+            raise KernelUnsupported("frame minima are not strictly increasing")
+        hc_space = index.curve.max_value
+        ext_lo = mins.copy()
+        ext_lo[0] = 0
+        ext_hi = np.empty(n_frames, dtype=np.int64)
+        ext_hi[:-1] = mins[1:] - 1
+        ext_hi[n_frames - 1] = hc_space - 1
+
+        pos_of_rank = np.fromiter(
+            (index.pos_of_rank(r) for r in range(n_frames)),
+            dtype=np.int64,
+            count=n_frames,
+        )
+        # What each table teaches, as a (reader-rank, taught-rank) matrix.
+        # _table_pairs is the very unpacking ClientKnowledge.learn_table
+        # performs, so the row-OR below absorbs a table exactly like the
+        # reference session does.
+        knowledge = ClientKnowledge(n_frames, index.params.n_segments, hc_space)
+        learn = np.zeros((n_frames, n_frames), dtype=bool)
+        for rank in range(n_frames):
+            table = index.tables[int(pos_of_rank[rank])]
+            for taught, value in knowledge._table_pairs(table):
+                if value != mins[taught]:
+                    raise KernelUnsupported(
+                        "table teaches a value that is not the frame minimum"
+                    )
+                learn[rank, taught] = True
+
+        self.n_frames = n_frames
+        self.mins = mins
+        self.ext_lo = ext_lo
+        self.ext_hi = ext_hi
+        self.learn = learn
+        self.pos_of_rank = pos_of_rank
+
+
+def _static_of(index: Any) -> _Static:
+    if not isinstance(index, DsiIndex):
+        raise KernelUnsupported("the SoA kernel handles DSI indexes only")
+    if not index.params.use_directory:
+        raise KernelUnsupported("directory-less frames take the scan path")
+    static = getattr(index, _STATIC_ATTR, None)
+    if static is None:
+        static = _Static(index)
+        setattr(index, _STATIC_ATTR, static)
+    return static
+
+
+def _rank_relevance(
+    static: _Static, p_los: np.ndarray, p_his: np.ndarray
+) -> np.ndarray:
+    """Which ranks the reference's ``overlaps_pending`` accepts (bool (F,)).
+
+    Pending ranges are sorted and disjoint, so extent ``[lo, hi]`` overlaps
+    exactly when some range starts at or before ``hi`` and the last such
+    range reaches ``lo`` -- the same one-bisect test, batched over ranks.
+    """
+    j = np.searchsorted(p_los, static.ext_hi, side="right")
+    hit = j > 0
+    reach = p_his[np.maximum(j - 1, 0)] >= static.ext_lo
+    return hit & reach
+
+
+def _qualified_mask(hcs: np.ndarray, bounds: np.ndarray) -> np.ndarray:
+    """Membership of HC values in sorted disjoint inclusive ranges (parity
+    test, same as ``repro.core.visit._qualified_record_indexes``)."""
+    flat = (bounds + np.array([0, 1], dtype=np.int64)).ravel()
+    return (np.searchsorted(flat, hcs, side="right") & 1) == 1
+
+
+def simulate_window_fleet(
+    index: Any,
+    view: Any,
+    config: Any,
+    trials: Sequence[Any],
+    key_qids: np.ndarray,
+    key_phases: np.ndarray,
+    *,
+    n_phases: int,
+    cycle: int,
+    verify: bool,
+    dataset: Any,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Simulate every ``(query, phase)`` execution in lockstep.
+
+    Returns ``(latency_bytes, tuning_bytes, correct)`` aligned with the
+    ``key_qids`` / ``key_phases`` order -- the exact triple the reference
+    per-phase path emits (``correct`` is -1 when not verifying).  Raises
+    :class:`KernelUnsupported` whenever the run falls outside the kernel's
+    proven-exact envelope.
+    """
+    static = _static_of(index)
+    for trial in trials:
+        if not isinstance(trial.query, WindowQuery):
+            raise KernelUnsupported("kNN trials take the reference path")
+
+    timeline = timeline_of(view)
+    tables = timeline._kind_tables.get(BucketKind.DSI_TABLE)
+    if not tables or len(tables) != 1:
+        raise KernelUnsupported("index tables must air on exactly one channel")
+    ktable = tables[0]
+    if ktable.channel != timeline.home_channel:
+        raise KernelUnsupported("tables must air on the clients' home channel")
+    n_frames = static.n_frames
+    if len(ktable.starts) != n_frames:
+        raise KernelUnsupported("table occurrences and frames disagree")
+
+    switch = (
+        int(getattr(config, "channel_switch_packets", 0))
+        if timeline.n_channels > 1
+        else 0
+    )
+    capacity = int(config.packet_capacity)
+    ctrl = int(ktable.channel)
+    cc = int(ktable.cycle)  # control-channel cycle (all tables share it)
+    tsort_starts = ktable.starts  # position-sorted table offsets in [0, cc)
+    bucket_frame = timeline.bucket_frame[ktable.bucket_ids]
+    m = index.params.n_segments
+    seg_size = n_frames // m
+    tsort_rank = (bucket_frame % m) * seg_size + bucket_frame // m
+    if not np.array_equal(np.sort(tsort_rank), np.arange(n_frames)):
+        raise KernelUnsupported("table occurrences do not cover every rank once")
+    s_of_rank = np.empty(n_frames, dtype=np.int64)
+    s_of_rank[tsort_rank] = np.arange(n_frames)
+    start_of_rank = tsort_starts[s_of_rank]  # control-cycle offset per rank
+    bucket_of_rank = ktable.bucket_ids[s_of_rank]
+    pk_of_rank = timeline.bucket_packets[bucket_of_rank]
+
+    bstart = timeline.bucket_start
+    bcycle = timeline.bucket_cycle
+    bchan = timeline.bucket_channel
+    bpk = timeline.bucket_packets
+
+    # -- per-query precompute: relevance, visit sequences, answers -------------
+    n_q = len(trials)
+    curve = index.curve
+    max_depth = min(curve.order, _MAX_DEPTH_CAP)
+    rel = np.zeros((n_q, n_frames), dtype=bool)
+    vlen = np.zeros((n_q, n_frames), dtype=np.int64)
+    voff = np.zeros((n_q, n_frames), dtype=np.int64)
+    vflat: List[int] = []
+    correct_q = np.full(n_q, -1, dtype=np.int64)
+    if verify:
+        from ..queries.ground_truth import answer, matches_truth
+
+    for qid, trial in enumerate(trials):
+        window = trial.query.window
+        cover = curve.ranges_for_rect(
+            window, max_ranges=_MAX_RANGES, max_depth=max_depth
+        )
+        gmin = int(static.mins[0])
+        pending = [(max(lo, gmin), hi) for lo, hi in cover if hi >= gmin]
+        objs: List[Any] = []
+        if pending:
+            bounds = np.asarray(pending, dtype=np.int64).reshape(-1, 2)
+            p_los = np.ascontiguousarray(bounds[:, 0])
+            p_his = np.ascontiguousarray(bounds[:, 1])
+            rel_q = _rank_relevance(static, p_los, p_his)
+            rel[qid] = rel_q
+            for rank in np.flatnonzero(rel_q).tolist():
+                frame = index.frames_by_rank[rank]
+                pos = frame.broadcast_pos
+                directory = index.directory_bucket[pos]
+                object_buckets = index.frame_object_buckets[pos]
+                hcs = np.fromiter(
+                    (o.hc for o in frame.objects),
+                    dtype=np.int64,
+                    count=len(frame.objects),
+                )
+                inside = _qualified_mask(hcs, bounds)
+                if directory is None:
+                    # use_directory=True means None <=> a single object: the
+                    # scan path reads it unconditionally, retrieves on match.
+                    if len(object_buckets) != 1:
+                        raise KernelUnsupported("multi-object frame without directory")
+                    seq = [object_buckets[0]]
+                    if inside[0]:
+                        objs.append(frame.objects[0])
+                else:
+                    slots = np.flatnonzero(inside).tolist()
+                    seq = [directory] + [object_buckets[s] for s in slots]
+                    objs.extend(frame.objects[s] for s in slots)
+                voff[qid, rank] = len(vflat)
+                vlen[qid, rank] = len(seq)
+                vflat.extend(seq)
+        if verify:
+            final = [o for o in objs if window.contains_point(o.point)]
+            truth = answer(dataset, trial.query)
+            correct_q[qid] = int(matches_truth(trial.query, truth, final))
+    vflat_arr = np.asarray(vflat, dtype=np.int64)
+
+    # -- entry step: probe + first table read, one lane per (query, occurrence)
+    key_qids = np.asarray(key_qids, dtype=np.int64)
+    key_phases = np.asarray(key_phases, dtype=np.int64)
+    start_p = (key_phases * cycle) // n_phases
+    clock0 = start_p + 1  # the initial probe costs one packet
+    base0 = (clock0 // cc) * cc
+    off0 = clock0 - base0
+    j0 = np.searchsorted(tsort_starts, off0, side="left")
+    wrap0 = j0 == n_frames
+    j0 = np.where(wrap0, 0, j0)
+    entry_start = base0 + tsort_starts[j0] + wrap0 * cc
+    entry_rank = tsort_rank[j0]
+
+    entry_key = key_qids * np.int64(2 * (cycle + cc) + 4) + entry_start
+    _, first_idx, lane_of_phase = np.unique(
+        entry_key, return_index=True, return_inverse=True
+    )
+    n_lanes = len(first_idx)
+    # Per-lane state, kept *compacted* to the live lanes: exiting lanes are
+    # filtered out and their slot in these arrays disappears, so every hop
+    # touches exactly the state that is still walking.  ``lane_ids`` maps a
+    # compacted row back to its lane for the exit-time scatter.
+    lane_ids = np.arange(n_lanes, dtype=np.int64)
+    qid_c = key_qids[first_idx]
+    rank0 = entry_rank[first_idx]
+    pk0 = pk_of_rank[rank0]
+    clock = entry_start[first_idx] + pk0
+    chan = np.full(n_lanes, ctrl, dtype=np.int64)
+    # Tuning is identical for every phase of a lane (same probe, same reads;
+    # only the tune-in offset -- pure latency -- differs), so it accumulates
+    # per lane and fans out to phases once at the end.
+    tun_c = 1 + pk0  # probe + entry table
+
+    know = static.learn[rank0].copy()  # K: known-rank bitmask per lane
+    examined = np.zeros((n_lanes, n_frames), dtype=bool)
+    processed = np.zeros((n_lanes, n_frames), dtype=bool)
+    rel_c = rel[qid_c]
+
+    def _visit(rows: np.ndarray, ranks: np.ndarray) -> None:
+        """Replay the visit sequences of ``ranks`` for compacted ``rows``:
+        pure occurrence arithmetic, advancing clock/channel/tuning."""
+        if not len(rows):
+            return
+        lengths = vlen[qid_c[rows], ranks]
+        offsets = voff[qid_c[rows], ranks]
+        vclock = clock[rows]
+        vchan = chan[rows]
+        paid = np.zeros(len(rows), dtype=np.int64)
+        for i in range(int(lengths.max(initial=0))):
+            on = lengths > i
+            b = vflat_arr[offsets[on] + i]
+            s, cyc, ch, pk = bstart[b], bcycle[b], bchan[b], bpk[b]
+            nb = vclock[on]
+            if switch:
+                nb = nb + switch * (ch != vchan[on])
+            k = (nb - s + cyc - 1) // cyc
+            np.maximum(k, 0, out=k)
+            vclock[on] = s + k * cyc + pk
+            vchan[on] = ch
+            paid[on] += pk
+        clock[rows] = vclock
+        chan[rows] = vchan
+        tun_c[rows] += paid
+
+    # Entry frame: opportunistically processed when relevant; when not, the
+    # table alone proved it irrelevant but it is *not* marked examined (the
+    # reference only marks frames whose tables were read inside the walk).
+    ev = np.flatnonzero(rel_c[np.arange(n_lanes), rank0])
+    examined[ev, rank0[ev]] = True
+    processed[ev, rank0[ev]] = True
+    _visit(ev, rank0[ev])
+
+    # -- the lockstep hop loop -------------------------------------------------
+    # Rank-valued working arrays use the smallest dtype that fits: the hop
+    # loop is memory-bound and every byte per cell is wall-clock.
+    rdt = np.int16 if n_frames < np.iinfo(np.int16).max else np.int32
+    ranks_row = np.arange(n_frames, dtype=rdt)
+    fill_lo = rdt(0)
+    fill_hi = rdt(n_frames)
+    none_lo = rdt(-1)
+    s_of_rank32 = s_of_rank.astype(np.int32)
+    fp32 = np.int32(n_frames)
+    final_clock = np.zeros(n_lanes, dtype=np.int64)
+    tun_lane = np.zeros(n_lanes, dtype=np.int64)
+    hop_limit = 8 * n_frames + 64  # the reference walk's safety bound
+    for hop in range(hop_limit + 1):
+        if not len(lane_ids):
+            break
+        # Candidacy, gather-free: r is a candidate iff it is unexamined and
+        # some unprocessed relevant rank r' lies in [B(r), A(r)), with B/A
+        # the nearest known ranks at/below and strictly above r.  Any such
+        # r' <= r satisfies r' < A(r) outright, so the test splits at r:
+        #   (largest r' <= r) >= B(r)   or   (smallest r' > r) < A(r)
+        # -- four running sweeps and two elementwise compares.
+        unproc = rel_c & ~processed
+        below = np.maximum.accumulate(np.where(know, ranks_row, fill_lo), axis=1)
+        prev_u = np.maximum.accumulate(np.where(unproc, ranks_row, none_lo), axis=1)
+        above_ge = np.minimum.accumulate(
+            np.where(know, ranks_row, fill_hi)[:, ::-1], axis=1
+        )[:, ::-1]
+        next_u_ge = np.minimum.accumulate(
+            np.where(unproc, ranks_row, fill_hi)[:, ::-1], axis=1
+        )[:, ::-1]
+        cand = np.empty((len(lane_ids), n_frames), dtype=bool)
+        cand[:, :-1] = next_u_ge[:, 1:] < above_ge[:, 1:]
+        cand[:, -1] = False
+        cand |= prev_u >= below
+        cand &= ~examined
+        has = cand.any(axis=1)
+
+        if not has.all():
+            done = lane_ids[~has]
+            final_clock[done] = clock[~has]
+            tun_lane[done] = tun_c[~has]
+            lane_ids = lane_ids[has]
+            if not len(lane_ids):
+                break
+            qid_c, clock, chan, tun_c = qid_c[has], clock[has], chan[has], tun_c[has]
+            know, examined = know[has], examined[has]
+            processed, rel_c, cand = processed[has], rel_c[has], cand[has]
+        if hop == hop_limit:
+            raise KernelUnsupported("hop limit exceeded")  # pragma: no cover
+
+        # Earliest-arriving candidate = first candidate in cyclic table
+        # order from the (switch-adjusted) clock; ties cannot occur.
+        nb = clock
+        if switch:
+            nb = nb + switch * (chan != ctrl)
+        base = (nb // cc) * cc
+        off = nb - base
+        jrot = np.searchsorted(tsort_starts, off, side="left").astype(np.int32)
+        cyc_index = (s_of_rank32[None, :] - jrot[:, None]) % fp32
+        chosen = np.argmin(np.where(cand, cyc_index, fp32), axis=1)
+
+        koff = start_of_rank[chosen]
+        arrive = base + koff + cc * (koff < off)
+        pk = pk_of_rank[chosen]
+        clock = arrive + pk
+        chan = np.full(len(lane_ids), ctrl, dtype=np.int64)
+        tun_c = tun_c + pk
+
+        know |= static.learn[chosen]
+        rows_all = np.arange(len(lane_ids))
+        examined[rows_all, chosen] = True
+        rel_rows = np.flatnonzero(rel_c[rows_all, chosen])
+        processed[rel_rows, chosen[rel_rows]] = True
+        _visit(rel_rows, chosen[rel_rows])
+
+    lat_p = (final_clock[lane_of_phase] - start_p) * capacity
+    tun_bytes = tun_lane[lane_of_phase] * capacity
+    return lat_p, tun_bytes, correct_q[key_qids]

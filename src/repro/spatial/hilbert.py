@@ -41,6 +41,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..purity import pure_mode
 from .geometry import Point, Rect
 
 # A target segment: a half-open range [lo, hi] of HC values, inclusive on
@@ -270,6 +271,8 @@ class HilbertCurve:
 
     def encode(self, x: int, y: int) -> int:
         """HC value of integer grid cell ``(x, y)``."""
+        if pure_mode():
+            return self.encode_classical(x, y)
         if not (0 <= x < self.side and 0 <= y < self.side):
             raise ValueError(f"cell ({x}, {y}) outside a {self.side}x{self.side} grid")
         d = 0
@@ -312,6 +315,8 @@ class HilbertCurve:
 
     def decode(self, d: int) -> Tuple[int, int]:
         """Grid cell of HC value ``d`` (inverse of :meth:`encode`)."""
+        if pure_mode():
+            return self.decode_classical(d)
         if not (0 <= d < self.max_value):
             raise ValueError(f"HC value {d} outside [0, {self.max_value})")
         x = 0
@@ -346,6 +351,16 @@ class HilbertCurve:
             or int(ys.max()) >= self.side
         ):
             raise ValueError(f"cells outside a {self.side}x{self.side} grid")
+        if pure_mode():
+            # REPRO_PURE: the classical per-cell loop, element by element.
+            return np.fromiter(
+                (
+                    self.encode_classical(x, y)
+                    for x, y in zip(xs.ravel().tolist(), ys.ravel().tolist())
+                ),
+                dtype=np.int64,
+                count=xs.size,
+            ).reshape(xs.shape)
         d = np.zeros(xs.shape, dtype=np.int64)
         t = np.zeros(xs.shape, dtype=np.int64)
         for k, shift in self._chunks:
@@ -362,6 +377,12 @@ class HilbertCurve:
         ds = np.asarray(ds, dtype=np.int64)
         if ds.size and (int(ds.min()) < 0 or int(ds.max()) >= self.max_value):
             raise ValueError(f"HC values outside [0, {self.max_value})")
+        if pure_mode():
+            # REPRO_PURE: the classical per-value loop, element by element.
+            cells = [self.decode_classical(d) for d in ds.ravel().tolist()]
+            xs = np.fromiter((c[0] for c in cells), dtype=np.int64, count=ds.size)
+            ys = np.fromiter((c[1] for c in cells), dtype=np.int64, count=ds.size)
+            return xs.reshape(ds.shape), ys.reshape(ds.shape)
         x = np.zeros(ds.shape, dtype=np.int64)
         y = np.zeros(ds.shape, dtype=np.int64)
         t = np.zeros(ds.shape, dtype=np.int64)

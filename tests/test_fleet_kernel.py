@@ -1,0 +1,156 @@
+"""Property tests: the fleet kernel and entry-lane collapse vs brute force.
+
+:func:`repro.sim.fleet.run_fleet` reaches its per-execution numbers through
+two layers of batching -- the entry-lane collapse (distinct ``(query,
+phase)`` executions deduplicated by their first entry-structure read) and,
+for error-free DSI window fleets, the structure-of-arrays numpy kernel
+(:mod:`repro.sim.fleet_kernel`).  Both must be *invisible*: the
+``unique_latency`` / ``unique_tuning`` histograms have to equal what a
+per-client brute force computes, bit for bit.
+
+The brute force here shares nothing with either layer: it replays the
+fleet's seeded client draw, then simulates every distinct execution with a
+fresh :class:`ClientSession` and the scalar query walk -- no collapse, no
+kernel, no compiled timeline.  Hypothesis drives dataset, workload and
+fleet seeds across all three index families, single- and four-channel
+schedules, and the lossless and link-error regimes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.broadcast.client import ClientSession
+from repro.broadcast.config import SystemConfig
+from repro.broadcast.errors import LinkErrorModel
+from repro.broadcast.schedule import BroadcastSchedule
+from repro.queries.workload import window_workload
+from repro.sim.fleet import run_fleet
+from repro.sim.runner import build_index, execute_query
+from repro.spatial.datasets import uniform_dataset
+
+N_CLIENTS = 300
+MAX_PHASES = 12
+
+_SETTINGS = dict(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _brute_force_uniques(index, config, trials, *, n_clients, seed, max_phases,
+                         theta, error_seed):
+    """Per-execution (latency_bytes, tuning_bytes, counts) with no batching.
+
+    Replays :func:`repro.sim.fleet._draw_batches`'s seeded generator (one
+    batch: ``n_clients`` is far below the batch size) to recover the
+    distinct ``(query, phase)`` keys and their client counts, then walks
+    each execution with a fresh scalar session.  Error runs rebuild the
+    fleet's per-key loss realisation -- ``seed = (error_seed * 1_000_003 +
+    key) & 0x7FFFFFFF`` -- so the comparison is exact, not statistical.
+    """
+    schedule = BroadcastSchedule.for_config(index.program, config)
+    view = schedule.view()
+    cycle = view.cycle_packets
+    n_phases = min(cycle, max_phases)
+    n_q = len(trials)
+
+    rng = np.random.default_rng(seed)
+    qids = rng.integers(0, n_q, size=n_clients, dtype=np.int64)
+    fracs = rng.random(n_clients)
+    phases = (fracs * n_phases).astype(np.int64)
+    counts = np.bincount(qids * n_phases + phases, minlength=n_q * n_phases)
+    keys = np.flatnonzero(counts)
+
+    capacity = config.packet_capacity
+    lat, tun = [], []
+    for key in keys.tolist():
+        qid, phase = divmod(key, n_phases)
+        start_packet = (phase * cycle) // n_phases
+        model = None
+        if theta is not None:
+            model = LinkErrorModel(
+                theta=theta, scope="index",
+                seed=(error_seed * 1_000_003 + key) & 0x7FFFFFFF,
+            )
+        session = ClientSession(view, config, start_packet=start_packet,
+                                error_model=model)
+        outcome = execute_query(index, trials[qid].query, session)
+        lat.append(outcome.metrics.latency_packets * capacity)
+        tun.append(outcome.metrics.tuning_bytes)
+    return (np.array(lat, dtype=np.float64), np.array(tun, dtype=np.float64),
+            counts[keys])
+
+
+@pytest.mark.parametrize("theta", [None, 0.12], ids=["lossless", "errors"])
+@pytest.mark.parametrize("channels", [1, 4])
+@pytest.mark.parametrize("kind", ["dsi", "rtree", "hci"])
+@given(data=st.data())
+@settings(**_SETTINGS)
+def test_fleet_matches_brute_force(kind, channels, theta, data):
+    n_objects = data.draw(st.integers(min_value=40, max_value=90))
+    dataset_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
+    n_queries = data.draw(st.integers(min_value=2, max_value=6))
+    workload_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
+    fleet_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
+
+    dataset = uniform_dataset(n_objects, seed=dataset_seed)
+    workload = window_workload(n_queries, 0.12, seed=workload_seed)
+    config = SystemConfig(packet_capacity=64, n_channels=channels)
+    index = build_index(kind, dataset, config, use_cache=False)
+    trials = list(workload)
+
+    result = run_fleet(
+        index, dataset, config, workload, N_CLIENTS, seed=fleet_seed,
+        max_phases=MAX_PHASES, error_theta=theta, error_seed=3,
+    )
+    lat, tun, counts = _brute_force_uniques(
+        index, config, trials, n_clients=N_CLIENTS, seed=fleet_seed,
+        max_phases=MAX_PHASES, theta=theta, error_seed=3,
+    )
+
+    assert result.n_executions == len(lat)
+    np.testing.assert_array_equal(result.unique_counts, counts)
+    np.testing.assert_array_equal(result.unique_latency, lat)
+    np.testing.assert_array_equal(result.unique_tuning, tun)
+
+
+def test_kernel_backend_selection():
+    """The numpy kernel takes exactly the envelope it proves exact.
+
+    Error-free DSI window fleets run on the kernel (both channel layouts);
+    tree-walk indexes and link-error runs fall back to the per-execution
+    reference simulator.
+    """
+    dataset = uniform_dataset(200, seed=7)
+    workload = window_workload(6, 0.1, seed=3)
+    for channels in (1, 4):
+        config = SystemConfig(packet_capacity=64, n_channels=channels)
+        index = build_index("dsi", dataset, config, use_cache=False)
+        out = run_fleet(index, dataset, config, workload, 2_000, seed=9,
+                        max_phases=32)
+        assert out.backend == "numpy"
+        err = run_fleet(index, dataset, config, workload, 2_000, seed=9,
+                        max_phases=32, error_theta=0.05)
+        assert err.backend == "reference"
+    config = SystemConfig(packet_capacity=64)
+    rtree = build_index("rtree", dataset, config, use_cache=False)
+    out = run_fleet(rtree, dataset, config, workload, 2_000, seed=9, max_phases=32)
+    assert out.backend == "reference"
+
+
+def test_kernel_verify_counts_clients():
+    """``verify=True`` through the kernel audits every client exactly once."""
+    dataset = uniform_dataset(200, seed=7)
+    workload = window_workload(6, 0.1, seed=3)
+    config = SystemConfig(packet_capacity=64, n_channels=4)
+    index = build_index("dsi", dataset, config, use_cache=False)
+    out = run_fleet(index, dataset, config, workload, 2_000, seed=9,
+                    max_phases=32, verify=True)
+    assert out.backend == "numpy"
+    total = out.result.correct_trials + out.result.incorrect_trials
+    assert total == 2_000
+    assert out.result.accuracy == 1.0

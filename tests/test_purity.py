@@ -1,0 +1,120 @@
+"""``REPRO_PURE=1`` forces the pure-python reference paths everywhere.
+
+Every batched fast path in the codebase keeps its pure-python counterpart
+alive as the auditable reference; :func:`repro.purity.pure_mode` is the one
+switch that routes execution back onto those references at runtime.  These
+tests pin the contract: the switch is read per call (no import-time
+caching), honoured by the fleet simulator (the numpy kernel and compiled
+timelines stand down), the Hilbert batch APIs (per-cell classical loop) and
+the client session's vectorised arrival planning (scalar object model) --
+and the reference answers are bit-identical to the fast paths'.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.broadcast.client import ClientSession
+from repro.broadcast.config import SystemConfig
+from repro.broadcast.schedule import BroadcastSchedule
+from repro.purity import PURE_ENV, pure_mode
+from repro.queries.workload import window_workload
+from repro.sim.fleet import run_fleet
+from repro.sim.runner import build_index
+from repro.spatial.datasets import uniform_dataset
+from repro.spatial.hilbert import HilbertCurve
+
+
+def test_pure_mode_reads_environment_per_call(monkeypatch):
+    monkeypatch.delenv(PURE_ENV, raising=False)
+    assert not pure_mode()
+    for off in ("", "0", "false", "no", "off", "False", "OFF"):
+        monkeypatch.setenv(PURE_ENV, off)
+        assert not pure_mode()
+    for on in ("1", "true", "yes", "on", "anything"):
+        monkeypatch.setenv(PURE_ENV, on)
+        assert pure_mode()
+
+
+def test_fleet_pure_forces_reference_backend(monkeypatch):
+    """Under REPRO_PURE the fleet declines the kernel -- same numbers."""
+    dataset = uniform_dataset(150, seed=7)
+    workload = window_workload(5, 0.1, seed=3)
+    config = SystemConfig(packet_capacity=64, n_channels=4)
+    index = build_index("dsi", dataset, config, use_cache=False)
+
+    monkeypatch.delenv(PURE_ENV, raising=False)
+    fast = run_fleet(index, dataset, config, workload, 2_000, seed=9, max_phases=24)
+    assert fast.backend == "numpy"
+
+    monkeypatch.setenv(PURE_ENV, "1")
+    pure = run_fleet(index, dataset, config, workload, 2_000, seed=9, max_phases=24)
+    assert pure.backend == "reference"
+
+    np.testing.assert_array_equal(fast.unique_latency, pure.unique_latency)
+    np.testing.assert_array_equal(fast.unique_tuning, pure.unique_tuning)
+    np.testing.assert_array_equal(fast.unique_counts, pure.unique_counts)
+    assert fast.result.latency.mean == pure.result.latency.mean
+    assert fast.result.tuning.mean == pure.result.tuning.mean
+    # first-hop wait statistics come from the scalar object model under pure
+    # mode and the compiled navigation table otherwise -- same integers.
+    assert fast.first_index_wait.mean == pure.first_index_wait.mean
+
+
+def test_hilbert_pure_uses_classical_loop(monkeypatch):
+    curve = HilbertCurve(6)
+    xs = (np.arange(40, dtype=np.int64) * 3) % curve.side
+    ys = (np.arange(40, dtype=np.int64) * 7) % curve.side
+
+    monkeypatch.delenv(PURE_ENV, raising=False)
+    fast_e = curve.encode_many(xs, ys)
+    fast_d = curve.decode_many(fast_e)
+
+    calls = {"encode": 0, "decode": 0}
+    orig_encode = HilbertCurve.encode_classical
+    orig_decode = HilbertCurve.decode_classical
+
+    def counting_encode(self, x, y):
+        calls["encode"] += 1
+        return orig_encode(self, x, y)
+
+    def counting_decode(self, d):
+        calls["decode"] += 1
+        return orig_decode(self, d)
+
+    monkeypatch.setattr(HilbertCurve, "encode_classical", counting_encode)
+    monkeypatch.setattr(HilbertCurve, "decode_classical", counting_decode)
+    monkeypatch.setenv(PURE_ENV, "1")
+
+    pure_e = curve.encode_many(xs, ys)
+    assert calls["encode"] == len(xs)
+    pure_d = curve.decode_many(pure_e)
+    assert calls["decode"] == len(xs)
+    assert curve.encode(3, 5) == orig_encode(curve, 3, 5)
+    assert calls["encode"] == len(xs) + 1
+
+    np.testing.assert_array_equal(fast_e, pure_e)
+    np.testing.assert_array_equal(fast_d[0], pure_d[0])
+    np.testing.assert_array_equal(fast_d[1], pure_d[1])
+
+
+def test_client_arrivals_pure_stays_scalar(monkeypatch):
+    dataset = uniform_dataset(80, seed=7)
+    config = SystemConfig(packet_capacity=64, n_channels=4)
+    index = build_index("dsi", dataset, config, use_cache=False)
+    view = BroadcastSchedule.for_config(index.program, config).view()
+    bucket_ids = np.arange(6, dtype=np.int64)
+
+    monkeypatch.delenv(PURE_ENV, raising=False)
+    fast = ClientSession(view, config, start_packet=3).next_arrivals(bucket_ids)
+
+    import repro.broadcast.client as client_mod
+
+    def _refuse(_program):
+        raise AssertionError("timeline compiled under REPRO_PURE")
+
+    monkeypatch.setattr(client_mod, "timeline_of", _refuse)
+    monkeypatch.setenv(PURE_ENV, "1")
+    pure = ClientSession(view, config, start_packet=3).next_arrivals(bucket_ids)
+
+    np.testing.assert_array_equal(fast, pure)

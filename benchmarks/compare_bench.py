@@ -23,9 +23,9 @@ Usage::
 
     python benchmarks/compare_bench.py \
         [--fresh-perf BENCH_perf.json] [--fresh-fleet BENCH_fleet.json] \
-        [--fresh-mobility BENCH_mobility.json] \
+        [--fresh-mobility BENCH_mobility.json] [--fresh-sched BENCH_sched.json] \
         [--baseline-perf <committed>] [--baseline-fleet <committed>] \
-        [--baseline-mobility <committed>] \
+        [--baseline-mobility <committed>] [--baseline-sched <committed>] \
         [--tolerance 0.5] [--warn-only]
 
 With no arguments the fresh files are read from the repository root and the
@@ -54,7 +54,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Stage-key suffix -> (direction, kind); direction +1 = higher is better.
 _EXACT_KEYS = (
     "executions", "n_clients", "n_objects", "n_queries", "n_encode", "bound",
-    "n_journeys", "n_steps",
+    "n_journeys", "n_steps", "n_channels",
 )
 
 
@@ -203,9 +203,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--fresh-perf", default=None)
     parser.add_argument("--fresh-fleet", default=None)
     parser.add_argument("--fresh-mobility", default=None)
+    parser.add_argument("--fresh-sched", default=None)
     parser.add_argument("--baseline-perf", default=None)
     parser.add_argument("--baseline-fleet", default=None)
     parser.add_argument("--baseline-mobility", default=None)
+    parser.add_argument("--baseline-sched", default=None)
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -231,6 +233,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ("BENCH_perf.json", args.fresh_perf, args.baseline_perf),
         ("BENCH_fleet.json", args.fresh_fleet, args.baseline_fleet),
         ("BENCH_mobility.json", args.fresh_mobility, args.baseline_mobility),
+        ("BENCH_sched.json", args.fresh_sched, args.baseline_sched),
     ):
         fresh_path = Path(fresh_arg) if fresh_arg else REPO_ROOT / label
         if not fresh_path.exists():

@@ -19,7 +19,7 @@ import os
 import platform
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 import pytest
@@ -195,6 +195,7 @@ def write_bench(
     *,
     rel_noise: float = _BENCH_REL_NOISE,
     min_time: float = 0.2,
+    meta: Optional[Dict] = None,
 ) -> bool:
     """Write a BENCH document, unless the change is pure measurement noise.
 
@@ -203,9 +204,14 @@ def write_bench(
     the noise floor the write is skipped outright -- back-to-back commits
     stop rewriting BENCH files with meaningless timing wiggle.  Returns
     ``True`` when the file was (re)written.  Every document is stamped with
-    :func:`host_metadata` under ``host`` before writing.
+    :func:`host_metadata` under ``host`` before writing; ``meta`` records
+    experiment provenance (channel topology, schedule policy, workload
+    shape) under the ``meta`` key so a number can be traced to the setup
+    that produced it, not just the machine.
     """
     doc = dict(doc)
+    if meta:
+        doc["meta"] = {**doc.get("meta", {}), **meta}
     doc.setdefault("host", host_metadata())
     rounded = _round_floats(doc)
     if path.exists():

@@ -161,7 +161,11 @@ def test_fleet_bench():
     stages["executions_bound"] = len(workload) * small.n_phases
     assert small.n_executions <= stages["executions_bound"]
 
-    write_bench(BENCH_JSON, stages)
+    write_bench(
+        BENCH_JSON,
+        stages,
+        meta={"n_channels": [1, 4], "schedule_policy": "flat"},
+    )
     emit(
         "BENCH fleet (clients/sec)",
         "\n".join(

@@ -1,0 +1,79 @@
+"""A hot downtown district on a demand-aware broadcast schedule.
+
+The rush-hour scenario (``fleet_rush_hour.py``) assumed every part of the
+city is equally interesting.  Real demand is skewed: most phones ask about
+the same few blocks.  This scenario airs the same city guide twice --
+
+* on the **flat** striped schedule (every frame once per cycle, the
+  paper's layout generalised to four channels), and
+* on a **demand-aware** schedule (``schedule_policy="optimized"``): the
+  server measures which buckets the workload actually touches, then runs
+  a beam tree search seeded by the broadcast-disks square-root rule so
+  hot frames air several times per macro-cycle, evenly spaced, within a
+  bounded airtime budget --
+
+and lets a zipf-skewed fleet report the difference.  Answers are
+identical by construction (property-tested per query, all indexes, in
+``tests/test_sched.py``); only *when* bytes arrive changes.  Tuning stays flat: clients doze through the
+extra hot airings, so the latency cut is free at the radio.
+
+Run with ``python examples/hot_region_broadcast.py``.
+"""
+
+from __future__ import annotations
+
+from repro import BroadcastServer, SystemConfig, uniform_dataset
+from repro.queries import skewed_workload
+from repro.sim import format_table
+
+N_CLIENTS = 20_000
+N_CHANNELS = 4
+
+
+def main() -> None:
+    dataset = uniform_dataset(250, seed=7)
+    config = SystemConfig(packet_capacity=64)
+    # Eight hotspot centres, zipf(1.1) popularity: the top block draws
+    # more queries than the bottom four combined.
+    hot = skewed_workload(n_queries=30, zipf_s=1.1, seed=9)
+
+    print(
+        f"Hot-region broadcast: {N_CLIENTS:,} phones, {len(dataset)} points "
+        f"of interest, {N_CHANNELS} channels, zipf(1.1) demand\n"
+    )
+
+    rows = []
+    for policy in ("flat", "optimized"):
+        server = BroadcastServer(
+            dataset,
+            config,
+            index="dsi",
+            channels=N_CHANNELS,
+            schedule_policy=policy,
+            demand=hot,       # a Workload: per-bucket demand is extracted
+            budget=1.8,       # replicated airtime <= 1.8x the flat cycle
+        )
+        result = server.fleet(N_CLIENTS, workload=hot, seed=9).run()
+        latency = result.result.latency
+        rows.append(
+            {
+                "schedule": policy,
+                "mean wait (KB)": latency.mean / 1e3,
+                "P95 wait (KB)": latency.percentile(95) / 1e3,
+                "mean tuning (KB)": result.result.tuning.mean / 1e3,
+                "hottest frame copies": server.schedule.max_multiplicity,
+            }
+        )
+    print(format_table(rows, title="DSI city guide, flat vs demand-aware schedule"))
+
+    flat_kb, opt_kb = rows[0]["mean wait (KB)"], rows[1]["mean wait (KB)"]
+    print(
+        f"\nThe optimized layout cuts the fleet's mean wait by "
+        f"{1.0 - opt_kb / flat_kb:.0%} on the same radio budget; re-measure "
+        f"demand from a live fleet with result.demand_profile() and call "
+        f"server.optimize_schedule(...) to adapt as the hot blocks move."
+    )
+
+
+if __name__ == "__main__":
+    main()

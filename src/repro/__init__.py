@@ -36,13 +36,14 @@ Quickstart (see README.md for more)::
 from .broadcast import (
     BroadcastSchedule,
     ClientSession,
+    DemandProfile,
     LinkErrorModel,
     PAPER_PACKET_CAPACITIES,
     SystemConfig,
 )
 from .core import DsiIndex, DsiParameters
 from .hci import HciAirIndex
-from .queries import KnnQuery, WindowQuery, knn_workload, window_workload
+from .queries import KnnQuery, WindowQuery, knn_workload, skewed_workload, window_workload
 from .rtree import RTreeAirIndex
 from .sim import ClientFleet, IndexSpec, build_index, compare_indexes, run_fleet, run_workload
 from .spatial import (
@@ -71,6 +72,7 @@ __version__ = "1.1.0"
 __all__ = [
     "SystemConfig",
     "BroadcastSchedule",
+    "DemandProfile",
     "ClientSession",
     "ClientFleet",
     "run_fleet",
@@ -100,6 +102,7 @@ __all__ = [
     "KnnQuery",
     "window_workload",
     "knn_workload",
+    "skewed_workload",
     "IndexSpec",
     "build_index",
     "run_workload",

@@ -48,6 +48,11 @@ _EXPORTS = {
     "ExperimentRun": ".experiment",
     "PointResult": ".experiment",
     "RunRecord": ".experiment",
+    # demand-aware scheduling (demand extraction + schedule optimization)
+    "DemandProfile": "..broadcast",
+    "skewed_workload": "..queries",
+    "build_optimized_schedule": "..sched",
+    "schedule_cost": "..sched",
     # mobility (motion models, trajectory workloads, journeys)
     "MotionModel": "..mobility",
     "RandomWaypoint": "..mobility",
@@ -61,6 +66,9 @@ _EXPORTS = {
 __all__ = list(_EXPORTS)
 
 if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
+    from ..broadcast import DemandProfile
+    from ..queries import skewed_workload
+    from ..sched import build_optimized_schedule, schedule_cost
     from ..mobility import (
         JourneyResult,
         LinearDrift,

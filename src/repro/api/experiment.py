@@ -182,6 +182,10 @@ class Experiment:
         self._channels_n: Optional[int] = None
         self._mobility: Optional[Dict[str, Any]] = None
         self._mobility_steps: Optional[int] = None
+        self._sched_policy: Optional[str] = None
+        self._sched_opts: Dict[str, Any] = {
+            "budget": 1.5, "beam_width": 8, "branch_factor": 4,
+        }
 
     # -- declaration -----------------------------------------------------------
 
@@ -281,6 +285,44 @@ class Experiment:
         else:
             self._channels_n = None
             self.sweep(channels=list(counts))
+        return self
+
+    def schedule_policy(
+        self,
+        *policies: str,
+        budget: float = 1.5,
+        beam_width: int = 8,
+        branch_factor: int = 4,
+    ) -> "Experiment":
+        """How each cell's broadcast cycle is laid out on the air.
+
+        ``schedule_policy("optimized")`` airs every cell demand-aware: the
+        cell's realized workload is ground-truthed into a per-bucket
+        :class:`~repro.broadcast.demand.DemandProfile` and the cycle is
+        re-sequenced (hot frames repeated, evenly spaced) by the tree
+        search in :mod:`repro.sched` under the given airtime ``budget``.
+        ``schedule_policy("flat", "optimized")`` declares a
+        ``schedule_policy`` sweep axis, so rows compare both layouts over
+        identical fleets.  The default (no call) airs the flat layout.
+        """
+        if not policies:
+            raise ValueError("schedule_policy() needs at least one policy")
+        for policy in policies:
+            if policy not in ("flat", "optimized"):
+                raise ValueError(
+                    f"policies must be 'flat' or 'optimized', got {policy!r}"
+                )
+        if budget < 1.0:
+            raise ValueError(f"budget must be >= 1.0, got {budget}")
+        self._sched_opts = {
+            "budget": budget, "beam_width": beam_width, "branch_factor": branch_factor,
+        }
+        if len(policies) == 1:
+            self._sched_policy = policies[0]
+            self._axes.pop("schedule_policy", None)
+        else:
+            self._sched_policy = None
+            self.sweep(schedule_policy=list(dict.fromkeys(policies)))
         return self
 
     def fleet(
@@ -468,7 +510,7 @@ class Experiment:
         would label rows with values that were never applied."""
         fields = {f.name for f in dataclasses.fields(SystemConfig)}
         known = {
-            "capacity", "channels", "fleet", "theta", "steps",
+            "capacity", "channels", "fleet", "theta", "steps", "schedule_policy",
             *fields, *_WINDOW_PARAMS, *_KNN_PARAMS,
         }
         unknown = [a for a in self._axes if a not in known]
@@ -507,6 +549,12 @@ class Experiment:
         # Axis values declared through raw sweep() get the same up-front
         # validation as the .fleet()/.channels() declarations, so a bad size
         # fails here instead of deep inside a forked point worker.
+        for value in self._axes.get("schedule_policy", ()):
+            if value not in ("flat", "optimized"):
+                raise ValueError(
+                    f"schedule_policy axis values must be 'flat' or "
+                    f"'optimized', got {value!r}"
+                )
         for axis, check, noun in (
             ("fleet", lambda v: v > 0, "positive ints"),
             ("channels", lambda v: v >= 1, "ints >= 1"),
@@ -533,7 +581,10 @@ class Experiment:
             elif decl.kind == "knn":
                 accepted.update(_KNN_PARAMS)
         for axis in self._axes:
-            if axis in ("capacity", "channels", "fleet", "theta", "steps") or axis in fields:
+            if (
+                axis in ("capacity", "channels", "fleet", "theta", "steps", "schedule_policy")
+                or axis in fields
+            ):
                 continue
             if axis not in accepted:
                 raise ValueError(
@@ -541,6 +592,28 @@ class Experiment:
                     "workload; declare a matching window_workload()/"
                     "knn_workload() (fixed workloads cannot be swept)"
                 )
+
+
+def _optimized_schedule(
+    experiment: Experiment,
+    index: Any,
+    config: SystemConfig,
+    demand_queries: Sequence[Any],
+):
+    """A demand-aware schedule for one cell: the cell's queries ground-truth
+    into a bucket demand profile, and the tree search lays the cycle out."""
+    from ..broadcast.demand import DemandProfile
+    from ..broadcast.schedule import BroadcastSchedule
+
+    demand = DemandProfile.from_queries(
+        index.program, experiment.dataset, demand_queries
+    )
+    return BroadcastSchedule.optimized(
+        index.program,
+        demand,
+        channels=getattr(config, "n_channels", 1),
+        **experiment._sched_opts,
+    )
 
 
 def _run_point(experiment: Experiment, params: Dict[str, Any]) -> PointResult:
@@ -568,6 +641,7 @@ def _run_point(experiment: Experiment, params: Dict[str, Any]) -> PointResult:
     if experiment._mobility is not None and fleet_n is not None:
         _run_mobility_point(experiment, params, point, specs, built, config, fleet_n, extras)
         return point
+    policy = params.get("schedule_policy", experiment._sched_policy)
     for decl in experiment._workloads:
         workload = decl.realise(params)
         for spec in specs:
@@ -576,9 +650,15 @@ def _run_point(experiment: Experiment, params: Dict[str, Any]) -> PointResult:
             if multi:
                 row["workload"] = decl.label
             row.update(extras)
+            schedule = None
+            if policy == "optimized":
+                schedule = _optimized_schedule(
+                    experiment, index, config, [t.query for t in workload]
+                )
             if fleet_n is not None:
                 result = _run_fleet_cell(
-                    experiment, params, index, config, workload, spec, fleet_n, row
+                    experiment, params, index, config, workload, spec, fleet_n,
+                    row, schedule=schedule,
                 )
             else:
                 result = run_workload(
@@ -590,10 +670,16 @@ def _run_point(experiment: Experiment, params: Dict[str, Any]) -> PointResult:
                     verify=experiment._verify,
                     knn_strategy=spec.knn_strategy,
                     label=spec.display_name,
+                    schedule=schedule,
                 )
                 row["latency_bytes"] = result.mean_latency_bytes
                 row["tuning_bytes"] = result.mean_tuning_bytes
                 row["accuracy"] = result.accuracy
+                if policy is not None:
+                    row["schedule_policy"] = (
+                        "flat" if schedule is None
+                        else getattr(schedule, "policy", policy)
+                    )
             point.records.append(RunRecord(workload=decl.label, spec=spec, result=result))
             point.rows.append(row)
     return point
@@ -626,13 +712,23 @@ def _run_mobility_point(
         seed=decl["seed"],
     )
     errors = experiment._error_settings_at(params)
+    policy = params.get("schedule_policy", experiment._sched_policy)
     for spec in specs:
+        schedule = None
+        if policy == "optimized":
+            # Journey hops are the demand source: every step's query of every
+            # journey weighs the buckets its ground-truth answer lives in.
+            queries = [
+                step.query for journey in trajectories for step in journey.steps
+            ]
+            schedule = _optimized_schedule(experiment, built[spec], config, queries)
         fleet_result = run_mobile_fleet(
             built[spec],
             experiment.dataset,
             config,
             trajectories,
             fleet_n,
+            schedule=schedule,
             seed=experiment._fleet_seed,
             max_phases=(
                 DEFAULT_MAX_PHASES
@@ -673,6 +769,7 @@ def _run_fleet_cell(
     spec: IndexSpec,
     fleet_n: int,
     row: Dict[str, Any],
+    schedule: Any = None,
 ):
     """One (workload, index) cell of a fleet-mode sweep point."""
     from ..sim.fleet import DEFAULT_MAX_PHASES, run_fleet
@@ -696,6 +793,7 @@ def _run_fleet_cell(
         verify=experiment._verify,
         knn_strategy=spec.knn_strategy,
         label=spec.display_name,
+        schedule=schedule,
     )
     fleet_row = fleet_result.as_row()
     # Rows must be bit-identical between serial and parallel runs; throughput

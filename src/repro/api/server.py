@@ -38,6 +38,14 @@ class BroadcastServer:
     classic single flat cycle, ``k >= 2`` airs the index on a fast control
     channel and stripes data frames across ``k - 1`` data channels (see
     :class:`~repro.broadcast.schedule.BroadcastSchedule`).
+
+    ``schedule_policy="optimized"`` airs a demand-aware layout instead of
+    the flat one: hot data frames (per ``demand``) repeat within the
+    macro-cycle, spaced by the tree search in :mod:`repro.sched`.
+    ``demand`` may be a :class:`~repro.broadcast.demand.DemandProfile`, a
+    :class:`~repro.queries.workload.Workload` (its ground-truth bucket
+    demand is extracted), or ``None`` (uniform demand over data buckets);
+    ``budget`` bounds the replicated data airtime as a multiple of flat.
     """
 
     def __init__(
@@ -48,6 +56,9 @@ class BroadcastServer:
         *,
         channels: Optional[int] = None,
         use_cache: bool = True,
+        schedule_policy: str = "flat",
+        demand: Optional[Any] = None,
+        budget: float = 1.5,
     ) -> None:
         self.dataset = dataset
         self.config = config if config is not None else DEFAULT_CONFIG
@@ -60,6 +71,12 @@ class BroadcastServer:
             self.spec = None
             self.index = ensure_air_index(index)
         self.schedule = BroadcastSchedule.for_config(self.index.program, self.config)
+        if schedule_policy not in ("flat", "optimized"):
+            raise ValueError(
+                f"schedule_policy must be 'flat' or 'optimized', got {schedule_policy!r}"
+            )
+        if schedule_policy == "optimized":
+            self.optimize_schedule(demand, budget=budget)
 
     # -- the aired program -----------------------------------------------------
 
@@ -75,6 +92,43 @@ class BroadcastServer:
     @property
     def n_channels(self) -> int:
         return self.schedule.n_channels
+
+    @property
+    def schedule_policy(self) -> str:
+        """``"flat"`` or ``"optimized"`` -- how the aired cycle is laid out."""
+        return getattr(self.schedule, "policy", "flat")
+
+    def optimize_schedule(
+        self,
+        demand: Optional[Any] = None,
+        *,
+        budget: float = 1.5,
+        beam_width: int = 8,
+        branch_factor: int = 4,
+    ) -> BroadcastSchedule:
+        """Re-air the cycle on a demand-aware schedule (in place).
+
+        ``demand`` as in the constructor.  Returns the new schedule; the
+        optimizer never does worse than flat under its own cost model (the
+        flat layout competes as a candidate), so with uniform demand this
+        typically keeps the flat layout.
+        """
+        from ..broadcast.demand import DemandProfile
+        from ..queries.workload import Workload
+
+        if demand is None:
+            demand = DemandProfile.uniform(self.program)
+        elif isinstance(demand, Workload):
+            demand = demand.bucket_demand(self.index, self.dataset)
+        self.schedule = BroadcastSchedule.optimized(
+            self.program,
+            demand,
+            channels=self.config.n_channels,
+            budget=budget,
+            beam_width=beam_width,
+            branch_factor=branch_factor,
+        )
+        return self.schedule
 
     @property
     def cycle_packets(self) -> int:
@@ -106,8 +160,9 @@ class BroadcastServer:
             "cycle_packets": self.cycle_packets,
             "cycle_bytes": self.cycle_bytes,
             "index_overhead": self.program.index_overhead_fraction(),
+            "schedule_policy": self.schedule_policy,
         }
-        if not self.schedule.is_single:
+        if not self.schedule.is_single or self.schedule_policy != "flat":
             stats["channels"] = self.schedule.describe()
         return stats
 
@@ -155,6 +210,8 @@ class BroadcastServer:
             trajectories = trajectory_workload(seed=kwargs.get("seed", 0) + 1)
         if "knn_strategy" not in kwargs and self.spec is not None:
             kwargs["knn_strategy"] = self.spec.knn_strategy
+        if "schedule" not in kwargs and self.schedule_policy != "flat":
+            kwargs["schedule"] = self.schedule
         return run_mobile_fleet(
             self.index, self.dataset, self.config, trajectories, n_clients, **kwargs
         )

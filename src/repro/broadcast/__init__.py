@@ -8,7 +8,8 @@ from .config import (
 )
 from .program import BroadcastProgram, Bucket, BucketKind
 from .channel import Channel, ChannelRole
-from .schedule import BroadcastSchedule, ScheduleView
+from .schedule import BroadcastSchedule, ScheduleView, control_and_groups
+from .demand import DemandProfile, bucket_oid_map
 from .errors import NO_ERRORS, LinkErrorModel
 from .client import AccessMetrics, ClientSession, ReadResult
 
@@ -24,6 +25,9 @@ __all__ = [
     "ChannelRole",
     "BroadcastSchedule",
     "ScheduleView",
+    "control_and_groups",
+    "DemandProfile",
+    "bucket_oid_map",
     "LinkErrorModel",
     "NO_ERRORS",
     "ClientSession",

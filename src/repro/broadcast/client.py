@@ -251,7 +251,13 @@ class ClientSession:
         # One full cycle of the scanned channel covers every bucket it airs;
         # past that the predicate can never match (e.g. asking a control
         # channel for data buckets) and looping on would never terminate.
-        limit = len(self.program.buckets) + 1
+        # Replicated (demand-aware) schedules air more buckets per cycle
+        # than the base program holds, so the bound is the airing count.
+        channel_len = getattr(self.program, "channel_len", None)
+        if channel_len is not None:
+            limit = channel_len(self.channel) + 1
+        else:
+            limit = len(self.program.buckets) + 1
         for idx, start in scan:
             bucket = self.program.buckets[idx]
             if predicate is None or predicate(bucket):

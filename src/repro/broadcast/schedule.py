@@ -38,10 +38,47 @@ import numpy as np
 from .channel import Channel, ChannelRole
 from .program import BroadcastProgram, Bucket, BucketKind
 
-__all__ = ["BroadcastSchedule", "ScheduleView", "STRIPE_ASSIGNMENTS"]
+__all__ = [
+    "BroadcastSchedule",
+    "ScheduleView",
+    "STRIPE_ASSIGNMENTS",
+    "control_and_groups",
+]
 
 #: How data-frame groups are assigned to data channels.
 STRIPE_ASSIGNMENTS = ("balanced", "round_robin")
+
+
+def control_and_groups(program: BroadcastProgram) -> Tuple[List[int], List[List[int]]]:
+    """Split a flat cycle into control buckets and data *frame groups*.
+
+    Navigation buckets (``BucketKind.is_navigation``) belong on a control
+    channel in cycle order; the remaining buckets form maximal runs of
+    consecutive non-navigation buckets -- a frame's data together with the
+    intra-frame directory that travels with it.  A group is the atomic unit
+    for both striping and the demand-aware optimizer: keeping it whole on
+    one channel keeps ``channel_of`` well defined for every bucket in it.
+    """
+    control_ids: List[int] = []
+    groups: List[List[int]] = []
+    for i, bucket in enumerate(program.buckets):
+        if bucket.kind.is_navigation:
+            control_ids.append(i)
+        elif groups and groups[-1] and groups[-1][-1] == i - 1:
+            groups[-1].append(i)
+        else:
+            groups.append([i])
+    if not control_ids:
+        raise ValueError(
+            f"program {program.name!r} has no navigation bucket to air on a "
+            "control channel; a striped schedule needs index information"
+        )
+    if not groups:
+        raise ValueError(
+            f"program {program.name!r} has no data bucket to stripe; use a "
+            "single-channel schedule instead"
+        )
+    return control_ids, groups
 
 
 class BroadcastSchedule:
@@ -70,19 +107,39 @@ class BroadcastSchedule:
         n = len(base_program)
         chan_of = [-1] * n
         local_of = [-1] * n
+        # Demand-aware schedules may air a hot bucket several times per
+        # macro-cycle -- but only on its *own* channel, so ``channel_of``
+        # stays well defined and clients never race two copies of one
+        # bucket across channels.  ``_locals_of`` is built lazily: it is
+        # None for the (common) multiplicity-1 schedule.
+        locals_of: Optional[List[Optional[List[int]]]] = None
+        max_mult = 1
         for channel in self.channels:
             for local, g in enumerate(channel.global_ids):
                 if not 0 <= g < n:
                     raise ValueError(f"channel {channel.cid} maps unknown bucket {g}")
-                if chan_of[g] != -1:
+                if chan_of[g] == -1:
+                    chan_of[g] = channel.cid
+                    local_of[g] = local
+                elif chan_of[g] != channel.cid:
                     raise ValueError(f"bucket {g} assigned to more than one channel")
-                chan_of[g] = channel.cid
-                local_of[g] = local
+                else:
+                    if locals_of is None:
+                        locals_of = [None] * n
+                    if locals_of[g] is None:
+                        locals_of[g] = [local_of[g]]
+                    locals_of[g].append(local)
+                    max_mult = max(max_mult, len(locals_of[g]))
         missing = [g for g, c in enumerate(chan_of) if c == -1]
         if missing:
             raise ValueError(f"buckets {missing[:5]}... assigned to no channel")
         self._chan_of = chan_of
-        self._local_of = local_of
+        self._local_of = local_of  # first (earliest) airing of each bucket
+        self._locals_of = locals_of
+        self.max_multiplicity = max_mult
+        #: How the layout was produced ("flat" constructors, "optimized" for
+        #: demand-aware search results); carried into fleet/experiment rows.
+        self.policy = "flat"
 
     # -- constructors ---------------------------------------------------------
 
@@ -124,25 +181,7 @@ class BroadcastSchedule:
             raise ValueError(
                 f"assignment must be one of {STRIPE_ASSIGNMENTS}, got {assignment!r}"
             )
-        control_ids: List[int] = []
-        groups: List[List[int]] = []
-        for i, bucket in enumerate(program.buckets):
-            if bucket.kind.is_navigation:
-                control_ids.append(i)
-            elif groups and groups[-1] and groups[-1][-1] == i - 1:
-                groups[-1].append(i)
-            else:
-                groups.append([i])
-        if not control_ids:
-            raise ValueError(
-                f"program {program.name!r} has no navigation bucket to air on a "
-                "control channel; a striped schedule needs index information"
-            )
-        if not groups:
-            raise ValueError(
-                f"program {program.name!r} has no data bucket to stripe; use a "
-                "single-channel schedule instead"
-            )
+        control_ids, groups = control_and_groups(program)
         n_data_buckets = sum(len(g) for g in groups)
         if n_data_buckets < data_channels:
             raise ValueError(
@@ -187,6 +226,39 @@ class BroadcastSchedule:
                 )
             )
         return cls(channels, program)
+
+    @classmethod
+    def optimized(
+        cls,
+        program: BroadcastProgram,
+        demand,
+        channels: int = 1,
+        budget: float = 1.5,
+        beam_width: int = 8,
+        branch_factor: int = 4,
+    ) -> "BroadcastSchedule":
+        """Demand-aware schedule: tree-search optimized orderings/frequencies.
+
+        ``demand`` is a :class:`~repro.broadcast.demand.DemandProfile` over
+        the base program's bucket ids.  Data frame groups are replicated per
+        macro-cycle according to the square-root rule and sequenced by a
+        beam search over partial schedules with per-channel availability
+        (see :mod:`repro.sched`); navigation buckets keep their flat cadence
+        (the control channel for ``channels >= 2``, evenly interleaved for
+        ``channels == 1``), so index probes cost exactly what they cost on
+        the flat schedule.  ``budget`` bounds data airtime as a multiple of
+        the flat data airtime (1.0 = no replication headroom).
+        """
+        from ..sched.search import build_optimized_schedule
+
+        return build_optimized_schedule(
+            program,
+            demand,
+            n_channels=channels,
+            budget=budget,
+            beam_width=beam_width,
+            branch_factor=branch_factor,
+        )
 
     @classmethod
     def for_config(cls, program: BroadcastProgram, config) -> "BroadcastSchedule":
@@ -237,11 +309,12 @@ class BroadcastSchedule:
     def view(self) -> "BroadcastProgram | ScheduleView":
         """The program-like read surface client sessions drive.
 
-        Single-channel schedules return the base program itself -- the
-        legacy system, bit for bit; multi-channel schedules return a
+        Single-channel schedules airing the base program verbatim return
+        the program itself -- the legacy system, bit for bit; multi-channel
+        and reordered/replicated single-channel schedules return a
         :class:`ScheduleView`.
         """
-        if self.is_single:
+        if self.is_single and self.channels[0].program is self.base_program:
             return self.base_program
         return ScheduleView(self)
 
@@ -251,6 +324,8 @@ class BroadcastSchedule:
         return {
             "n_channels": self.n_channels,
             "cycle_packets": self.cycle_packets,
+            "policy": self.policy,
+            "max_multiplicity": self.max_multiplicity,
             "channels": tuple(
                 {
                     "cid": channel.cid,
@@ -310,7 +385,24 @@ class ScheduleView:
     def next_occurrence(self, bucket_index: int, not_before: int) -> int:
         sched = self.schedule
         channel = sched.channels[sched._chan_of[bucket_index]]
-        return channel.program.next_occurrence(sched._local_of[bucket_index], not_before)
+        locs = sched._locals_of[bucket_index] if sched._locals_of is not None else None
+        if locs is None:
+            return channel.program.next_occurrence(
+                sched._local_of[bucket_index], not_before
+            )
+        # Replicated bucket: the earliest of its airings on its channel.
+        return min(channel.program.next_occurrence(loc, not_before) for loc in locs)
+
+    def channel_len(self, channel: Optional[int] = None) -> int:
+        """Number of bucket airings per cycle on one channel (all, if None).
+
+        On replicated schedules this exceeds the number of distinct buckets
+        carried -- it bounds how many buckets a predicate scan must inspect
+        before a full cycle has provably passed.
+        """
+        if channel is None:
+            return sum(len(ch) for ch in self.schedule.channels)
+        return len(self.schedule.channels[channel])
 
     def next_bucket_after(
         self, position: int, channel: Optional[int] = None

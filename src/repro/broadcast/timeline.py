@@ -78,6 +78,8 @@ class CompiledTimeline:
         "bucket_channel",
         "bucket_packets",
         "bucket_frame",
+        "max_multiplicity",
+        "_occ_offsets",
         "_kind_tables",
         "_nav_tables",
     )
@@ -96,7 +98,9 @@ class CompiledTimeline:
             self.n_channels = len(channels)
             self.home_channel = view.home_channel
 
-        n = sum(len(program) for _, program, _ in channels)
+        # Distinct global bucket ids -- NOT the airing count, which exceeds
+        # it on replicated (demand-aware) schedules.
+        n = len(view.buckets)
         self.n_buckets = n
         self.bucket_start = np.zeros(n, dtype=np.int64)
         self.bucket_cycle = np.zeros(n, dtype=np.int64)
@@ -106,11 +110,19 @@ class CompiledTimeline:
         self._kind_tables: Dict[BucketKind, List[_KindTable]] = {}
         self._nav_tables: List[_KindTable] = []
 
+        all_gids: List[np.ndarray] = []
+        all_offs: List[np.ndarray] = []
         for cid, program, global_ids in channels:
             starts = np.asarray(program._starts, dtype=np.int64)
             cycle = program.cycle_packets
-            self.bucket_start[global_ids] = starts
+            # Replicated buckets appear several times in ``global_ids``
+            # (demand-aware schedules); assigning in reverse keeps the
+            # FIRST (earliest) airing in ``bucket_start`` where plain
+            # fancy indexing would keep the last write.
+            self.bucket_start[global_ids[::-1]] = starts[::-1]
             self.bucket_cycle[global_ids] = cycle
+            all_gids.append(global_ids)
+            all_offs.append(starts)
             self.bucket_channel[global_ids] = cid
             self.bucket_packets[global_ids] = np.fromiter(
                 (b.n_packets for b in program.buckets), dtype=np.int64, count=len(program)
@@ -134,6 +146,31 @@ class CompiledTimeline:
                     _KindTable(starts[local], global_ids[local], cycle, cid)
                 )
 
+        # Per-cycle bucket multiplicity (demand-aware schedules): when any
+        # bucket airs more than once per macro-cycle, build a dense
+        # (n_buckets, max_multiplicity) matrix of its start offsets, padded
+        # with each row's first offset -- a duplicated offset can never win
+        # the min-reduction wrongly, and after sorting it contributes a zero
+        # gap, so the expected-wait formula over the matrix stays exact.
+        gids = np.concatenate(all_gids) if all_gids else np.zeros(0, dtype=np.int64)
+        mult = int(np.bincount(gids, minlength=n).max()) if n else 1
+        self.max_multiplicity = mult
+        if mult <= 1:
+            self._occ_offsets = None
+        else:
+            offs = np.concatenate(all_offs)
+            order = np.argsort(gids, kind="stable")
+            gs, ss = gids[order], offs[order]
+            # Stable sort keeps each bucket's airings in ascending-start
+            # order (all its copies live on one channel, whose starts
+            # ascend with local position), so column 0 == bucket_start.
+            first = np.flatnonzero(np.r_[True, gs[1:] != gs[:-1]])
+            runlen = np.diff(np.append(first, len(gs)))
+            col = np.arange(len(gs)) - np.repeat(first, runlen)
+            occ = np.full((n, mult), -1, dtype=np.int64)
+            occ[gs, col] = ss
+            self._occ_offsets = np.where(occ < 0, occ[:, :1], occ)
+
     # -- per-bucket occurrence arithmetic --------------------------------------
 
     def next_occurrences(self, bucket_ids, not_before) -> np.ndarray:
@@ -155,6 +192,14 @@ class CompiledTimeline:
             nb = not_before if not_before > 0 else 0
         else:
             nb = np.maximum(np.asarray(not_before, dtype=np.int64), 0)
+        if self._occ_offsets is not None:
+            # Replicated schedule: minimum over every airing of each bucket.
+            occ = self._occ_offsets[ids]
+            cyc = cycle[..., None]
+            nbb = nb if isinstance(nb, (int, np.integer)) else nb[..., None]
+            base = (nbb // cyc) * cyc
+            cand = base + occ + cyc * (occ < nbb - base)
+            return np.min(cand, axis=-1)
         k = (nb - start + cycle - 1) // cycle
         np.maximum(k, 0, out=k)
         return start + k * cycle

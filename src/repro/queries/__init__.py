@@ -1,7 +1,14 @@
 """Query types, workload generators and brute-force ground truth."""
 
 from .types import KnnQuery, Query, WindowQuery
-from .workload import Trial, Workload, knn_workload, mixed_workload, window_workload
+from .workload import (
+    Trial,
+    Workload,
+    knn_workload,
+    mixed_workload,
+    skewed_workload,
+    window_workload,
+)
 from .ground_truth import GridGroundTruth, answer, brute_answer, grid_for, matches
 
 __all__ = [
@@ -16,6 +23,7 @@ __all__ = [
     "window_workload",
     "knn_workload",
     "mixed_workload",
+    "skewed_workload",
     "answer",
     "matches",
 ]

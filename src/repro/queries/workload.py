@@ -45,6 +45,32 @@ class Workload:
     def __iter__(self):
         return iter(self.trials)
 
+    def bucket_demand(
+        self,
+        index,
+        dataset,
+        query_weights: Optional[Sequence[float]] = None,
+        smoothing: float = 0.0,
+    ):
+        """The per-bucket :class:`~repro.broadcast.demand.DemandProfile`
+        this workload generates against ``index``'s broadcast cycle.
+
+        Every trial's ground-truth answer maps onto the data buckets that
+        carry the answering objects (weighted by ``query_weights`` -- e.g.
+        per-query client draw counts -- when given).  ``index`` may also be
+        a bare :class:`~repro.broadcast.program.BroadcastProgram`.
+        """
+        from ..broadcast.demand import DemandProfile
+
+        program = getattr(index, "program", index)
+        return DemandProfile.from_queries(
+            program,
+            dataset,
+            [t.query for t in self.trials],
+            query_weights=query_weights,
+            smoothing=smoothing,
+        )
+
 
 def window_workload(
     n_queries: int = 100,
@@ -91,6 +117,63 @@ def knn_workload(
         for qx, qy, frac in draws
     ]
     return Workload(name=f"{name}-k{k}", trials=trials, seed=seed)
+
+
+def skewed_workload(
+    n_queries: int = 100,
+    kind: str = "window",
+    win_side_ratio: float = 0.1,
+    k: int = 10,
+    zipf_s: float = 1.1,
+    n_hotspots: int = 8,
+    hotspot_sigma: float = 0.04,
+    seed: int = 42,
+    name: str = "skewed",
+) -> Workload:
+    """Zipf-skewed hotspot queries: the hot-region fleets the demand-aware
+    scheduler optimizes for.
+
+    ``n_hotspots`` random hotspot centres are drawn once; each query picks
+    a hotspot with zipf(``zipf_s``) probability over the centre ranks
+    (rank ``r`` gets weight ``(r+1)^-s``, so the first centre dominates)
+    and lands a Gaussian ``hotspot_sigma`` away from it, clipped to the
+    unit square.  Fully vectorised: the centre draw, the zipf assignment
+    (one ``searchsorted`` over the cumulative rank weights), the offsets
+    and the tune-in fractions are four array draws from one seeded
+    generator, so workloads are bit-for-bit reproducible from ``seed``
+    alone (recorded on the workload for provenance).
+    """
+    if n_queries < 1:
+        raise ValueError("n_queries must be >= 1")
+    if n_hotspots < 1:
+        raise ValueError("n_hotspots must be >= 1")
+    if zipf_s < 0.0:
+        raise ValueError("zipf_s must be >= 0 (0 = uniform over hotspots)")
+    if kind not in ("window", "knn"):
+        raise ValueError(f"kind must be 'window' or 'knn', got {kind!r}")
+    rng = np.random.default_rng(seed)
+    centers = rng.random((n_hotspots, 2))
+    ranks = rng.random(n_queries)
+    offsets = rng.normal(0.0, hotspot_sigma, (n_queries, 2))
+    fracs = rng.random(n_queries)
+
+    probs = (np.arange(1, n_hotspots + 1, dtype=np.float64)) ** (-zipf_s)
+    cum = np.cumsum(probs / probs.sum())
+    chosen = np.searchsorted(cum, ranks, side="right").clip(0, n_hotspots - 1)
+    points = np.clip(centers[chosen] + offsets, 0.0, 1.0)
+
+    trials = []
+    for (qx, qy), frac in zip(points, fracs):
+        point = Point(float(qx), float(qy))
+        if kind == "window":
+            query: Query = WindowQuery.centered(point, win_side_ratio)
+        else:
+            query = KnnQuery(point=point, k=k)
+        trials.append(Trial(query=query, tune_in_fraction=float(frac)))
+    suffix = f"r{win_side_ratio}" if kind == "window" else f"k{k}"
+    return Workload(
+        name=f"{name}-{kind}-{suffix}-z{zipf_s}", trials=trials, seed=seed
+    )
 
 
 def mixed_workload(

@@ -1,0 +1,25 @@
+"""Demand-aware broadcast schedule optimization.
+
+The serving-side optimizer loop: a demand profile (how often clients need
+each bucket; :mod:`repro.broadcast.demand`) goes in, a
+:class:`~repro.broadcast.schedule.BroadcastSchedule` that airs hot frames
+more often -- and spaces them evenly -- comes out.  Entry points:
+
+* :func:`repro.sched.search.build_optimized_schedule` (or the façade
+  :meth:`BroadcastSchedule.optimized`): square-root-rule copy planning
+  plus a beam tree search over partial schedules with per-channel
+  availability vectors;
+* :mod:`repro.sched.cost`: the vectorized expected-latency / tuning cost
+  model both the search and the benchmarks score schedules with.
+"""
+
+from .cost import expected_latency_packets, expected_tuning_packets, schedule_cost
+from .search import build_optimized_schedule, plan_multiplicities
+
+__all__ = [
+    "build_optimized_schedule",
+    "expected_latency_packets",
+    "expected_tuning_packets",
+    "plan_multiplicities",
+    "schedule_cost",
+]

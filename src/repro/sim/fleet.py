@@ -186,6 +186,18 @@ class FleetResult:
     #: structure-of-arrays kernel (:mod:`repro.sim.fleet_kernel`),
     #: ``"reference"`` for the per-phase object-model path.
     backend: str = "reference"
+    #: Which schedule the fleet tuned into: ``"flat"`` for the config-derived
+    #: round-robin layout, ``"optimized"`` for a demand-aware
+    #: :meth:`BroadcastSchedule.optimized` layout.
+    schedule_policy: str = "flat"
+    #: Realized per-query client draw counts (length = number of workload
+    #: queries), retained -- with references to the run's workload, index and
+    #: dataset -- so :meth:`demand_profile` can extract the fleet's actual
+    #: per-bucket demand for the scheduler's next optimization round.
+    query_draws: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _workload: Optional[Workload] = field(default=None, repr=False, compare=False)
+    _index: Any = field(default=None, repr=False, compare=False)
+    _dataset: Optional[SpatialDataset] = field(default=None, repr=False, compare=False)
     # Per-metric sorted (value, count) histograms derived from the execution
     # arrays, built once and shared by every exact_percentile call (the
     # arrays are immutable after the run).
@@ -226,6 +238,28 @@ class FleetResult:
         items, count = self._exact(metric)
         return _weighted_percentile_sorted(items, count, q)
 
+    def demand_profile(self, smoothing: float = 0.0):
+        """The fleet's realized per-bucket demand
+        (:class:`~repro.broadcast.demand.DemandProfile`).
+
+        Each workload query is weighted by how many clients actually drew
+        it in this run (``query_draws``), so the profile reflects the
+        population the fleet simulated -- feed it straight back into
+        :meth:`BroadcastSchedule.optimized` to close the measure/optimize
+        loop.
+        """
+        if self._workload is None or self._index is None or self._dataset is None:
+            raise ValueError(
+                "this FleetResult was built without its workload/index/dataset "
+                "references; demand_profile() needs a result from run_fleet()"
+            )
+        return self._workload.bucket_demand(
+            self._index,
+            self._dataset,
+            query_weights=self.query_draws,
+            smoothing=smoothing,
+        )
+
     def as_row(self) -> Dict[str, Any]:
         from .report import metric_columns
 
@@ -240,6 +274,8 @@ class FleetResult:
         if checked:
             row["accuracy"] = self.result.accuracy
         row["clients_per_sec"] = self.clients_per_sec
+        row["backend"] = self.backend
+        row["schedule_policy"] = self.schedule_policy
         return row
 
 
@@ -416,12 +452,15 @@ def run_fleet(
     label: Optional[str] = None,
     parallel: bool = False,
     processes: Optional[int] = None,
+    schedule: Optional[BroadcastSchedule] = None,
 ) -> FleetResult:
     """Run ``n_clients`` seeded tune-ins of ``workload`` against ``index``.
 
     The channel topology comes from ``config`` (the schedule the runner
-    would air); serial and parallel runs produce identical results.  See
-    the module docstring for the simulation model.
+    would air); an explicit ``schedule`` -- e.g. a demand-aware
+    :meth:`BroadcastSchedule.optimized` layout of the same program --
+    overrides the config-derived one.  Serial and parallel runs produce
+    identical results.  See the module docstring for the simulation model.
     """
     spec = FleetSpec(
         n_clients=n_clients,
@@ -437,7 +476,11 @@ def run_fleet(
         raise ValueError("error_theta must be within [0, 1]")
 
     t0 = time.perf_counter()
-    schedule = BroadcastSchedule.for_config(index.program, config)
+    explicit_schedule = schedule is not None
+    if schedule is None:
+        schedule = BroadcastSchedule.for_config(index.program, config)
+    elif schedule.base_program is not index.program:
+        raise ValueError("schedule was built for a different broadcast program")
     view = schedule.view()
     pure = pure_mode()
     timeline = None if pure else timeline_of(view)
@@ -525,9 +568,11 @@ def run_fleet(
         )
         if verify:
             ctx["dataset"] = dataset
-        if not parallel:
+        if not parallel or explicit_schedule:
             # Workers rebuild the view from (program, config) -- see
-            # _install_sim_ctx; in-process runs reuse the one already built.
+            # _install_sim_ctx; in-process runs reuse the one already built,
+            # and an explicit schedule MUST ship because for_config cannot
+            # reproduce an optimized layout.
             ctx["view"] = view
         try:
             outs = parallel_map(
@@ -579,6 +624,11 @@ def run_fleet(
         unique_tuning=uniq_tun,
         unique_counts=task_counts,
         backend=backend,
+        schedule_policy=getattr(schedule, "policy", "flat"),
+        query_draws=counts.reshape(n_q, n_phases).sum(axis=1),
+        _workload=workload,
+        _index=index,
+        _dataset=dataset,
     )
 
 
@@ -704,6 +754,8 @@ class MobileFleetResult:
     #: Warm journeys always run the per-phase object-model path (the SoA
     #: kernel covers stationary window fleets only, so far).
     backend: str = "reference"
+    #: Which schedule the fleet tuned into (see :class:`FleetResult`).
+    schedule_policy: str = "flat"
 
     @property
     def clients_per_sec(self) -> float:
@@ -751,6 +803,8 @@ class MobileFleetResult:
         if checked:
             row["accuracy"] = self.result.accuracy
         row["clients_per_sec"] = self.clients_per_sec
+        row["backend"] = self.backend
+        row["schedule_policy"] = self.schedule_policy
         return row
 
 
@@ -773,6 +827,7 @@ def run_mobile_fleet(
     label: Optional[str] = None,
     parallel: bool = False,
     processes: Optional[int] = None,
+    schedule: Optional[BroadcastSchedule] = None,
 ) -> MobileFleetResult:
     """Run ``n_clients`` moving clients through a
     :class:`~repro.mobility.trajectory.TrajectoryWorkload`.
@@ -801,7 +856,11 @@ def run_mobile_fleet(
         raise ValueError("error_theta must be within [0, 1]")
 
     t0 = time.perf_counter()
-    schedule = BroadcastSchedule.for_config(index.program, config)
+    explicit_schedule = schedule is not None
+    if schedule is None:
+        schedule = BroadcastSchedule.for_config(index.program, config)
+    elif schedule.base_program is not index.program:
+        raise ValueError("schedule was built for a different broadcast program")
     view = schedule.view()
     timeline = None if pure_mode() else timeline_of(view)
     cycle = view.cycle_packets
@@ -853,7 +912,9 @@ def run_mobile_fleet(
     )
     if verify:
         ctx["dataset"] = dataset
-    if not parallel:
+    if not parallel or explicit_schedule:
+        # An explicit schedule must ship: workers' for_config rebuild cannot
+        # reproduce an optimized layout (see run_fleet).
         ctx["view"] = view
     try:
         outs = parallel_map(
@@ -905,6 +966,7 @@ def run_mobile_fleet(
         unique_latency=uniq_lat,
         unique_tuning=uniq_tun,
         unique_counts=task_counts,
+        schedule_policy=getattr(schedule, "policy", "flat"),
     )
 
 
@@ -960,6 +1022,11 @@ class ClientFleet:
         knn_strategy = "conservative"
         if self.server.spec is not None:
             knn_strategy = self.server.spec.knn_strategy
+        # A demand-optimized server airs its own layout -- ship it; a flat
+        # server's schedule is exactly what run_fleet derives from config.
+        server_schedule = getattr(self.server, "schedule", None)
+        if server_schedule is not None and getattr(server_schedule, "policy", "flat") == "flat":
+            server_schedule = None
         return run_fleet(
             self.server.index,
             self.server.dataset,
@@ -978,6 +1045,7 @@ class ClientFleet:
             label=getattr(self.server.index, "name", None),
             parallel=parallel,
             processes=processes,
+            schedule=server_schedule,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -207,6 +207,11 @@ def simulate_window_fleet(
             raise KernelUnsupported("kNN trials take the reference path")
 
     timeline = timeline_of(view)
+    if getattr(timeline, "max_multiplicity", 1) > 1:
+        # The kernel's wait arithmetic uses the single-occurrence
+        # bucket_start/bucket_cycle tables; replicated (demand-aware)
+        # schedules need the per-airing minimum the reference path takes.
+        raise KernelUnsupported("replicated schedules take the reference path")
     tables = timeline._kind_tables.get(BucketKind.DSI_TABLE)
     if not tables or len(tables) != 1:
         raise KernelUnsupported("index tables must air on exactly one channel")

@@ -88,18 +88,25 @@ def run_workload(
     verify: bool = True,
     knn_strategy: str = "conservative",
     label: Optional[str] = None,
+    schedule: Optional[BroadcastSchedule] = None,
 ) -> ExperimentResult:
     """Replay every trial of ``workload`` against ``index``.
 
     The index's packet cycle is aired as the channel schedule
     ``config.n_channels`` asks for; with one channel (the default) the
-    schedule view *is* the legacy program, packet for packet.
+    schedule view *is* the legacy program, packet for packet.  An explicit
+    ``schedule`` (e.g. a demand-aware :meth:`BroadcastSchedule.optimized`
+    layout of the same program) overrides the config-derived one.
     """
     result = ExperimentResult(
         index_name=label or getattr(index, "name", type(index).__name__),
         workload_name=workload.name,
     )
-    view = BroadcastSchedule.for_config(index.program, config).view()
+    if schedule is None:
+        schedule = BroadcastSchedule.for_config(index.program, config)
+    elif schedule.base_program is not index.program:
+        raise ValueError("schedule was built for a different broadcast program")
+    view = schedule.view()
     cycle = view.cycle_packets
     for trial in workload:
         start = int(trial.tune_in_fraction * cycle) % cycle

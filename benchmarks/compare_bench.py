@@ -11,7 +11,10 @@ Stage semantics are inferred from the key name:
 * ``*_s``                -- wall-clock seconds, lower is better;
 * ``*_clients_per_sec``  -- throughput, higher is better;
 * ``*_speedup*``         -- ratio, higher is better;
-* everything else numeric (counts, sizes) must match exactly.
+* everything else numeric (counts, sizes) must match exactly;
+* string-valued stages (``*_backend``) must match exactly -- a fleet stage
+  silently falling off the numpy kernel onto the reference path is a
+  regression even before the throughput number moves.
 
 Timing stages are inherently noisy (shared CI runners, cold caches), so the
 default tolerance allows a generous 50% slowdown before failing; tighten
@@ -69,6 +72,36 @@ def _flatten(doc: Dict) -> Dict[str, float]:
         elif isinstance(value, (int, float)) and not isinstance(value, bool):
             flat[key] = float(value)
     return flat
+
+
+def _flatten_str(doc: Dict) -> Dict[str, str]:
+    """String-valued stage leaves (``*_backend`` and friends).
+
+    ``host`` and ``meta`` are provenance, not measurements -- they
+    legitimately differ between the baseline's machine and this one.
+    """
+    flat: Dict[str, str] = {}
+    for key, value in doc.items():
+        if key in ("host", "meta"):
+            continue
+        if isinstance(value, dict):
+            for sub, v in value.items():
+                if isinstance(v, str):
+                    flat[f"{key}.{sub}"] = v
+        elif isinstance(value, str):
+            flat[key] = value
+    return flat
+
+
+def _compare_strings(fresh: Dict[str, str], base: Dict[str, str]) -> List[str]:
+    """Failures among the string stages (exact match; new stages pass)."""
+    failures: List[str] = []
+    for key in sorted(base):
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh run")
+        elif fresh[key] != base[key]:
+            failures.append(f"{key}: {base[key]!r} -> {fresh[key]!r}")
+    return failures
 
 
 def _classify(key: str) -> str:
@@ -269,6 +302,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows, failures = compare(fresh_flat, base_flat, args.tolerance, args.min_time)
         _print_table(f"{label} ({fresh_path} vs {base_src})", rows)
         all_failures.extend(f"{label}: {msg}" for msg in failures)
+        str_failures = _compare_strings(
+            _flatten_str(fresh_doc), _flatten_str(base_doc)
+        )
+        for msg in str_failures:
+            print(f"  {label} string stage: {msg}")
+        all_failures.extend(f"{label}: {msg}" for msg in str_failures)
         compared += 1
 
     if not compared:

@@ -5,24 +5,28 @@ schedules, serial vs parallel unique-execution fan-out) and writes
 clients-per-second figures to ``BENCH_fleet.json`` at the repository root
 so later PRs can track the population-scaling trajectory.
 
-Two regimes are measured:
+Three regimes are measured:
 
 * the **lossless stages** run on the batched numpy fleet kernel
   (``backend == "numpy"``) and must clear hard clients-per-second floors
   at full scale -- 1M/s on one channel, 300k/s on four;
-* the **error-model stage** injects link errors, which forces the
-  per-execution reference simulator (``backend == "reference"``) -- the
-  only regime where the multicore fan-out has real work to shard, so the
-  parallel-speedup figure is measured there.
+* the **index-scope error stage** injects link errors on navigation
+  buckets -- the experiments' error model -- which since PR 8 also runs on
+  the kernel (vectorized per-lane loss streams), with a 500k/s floor;
+* the **all-scope error stage** loses data buckets too, which the kernel
+  declines (``backend == "reference"``) -- the regime where the multicore
+  fan-out has real per-execution work to shard, so the parallel-speedup
+  figure is measured there.
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the fleet so CI can run the bench on every
 push; the acceptance-style wall-clock assertion (< 30 s for the 100k run)
 is enforced only at full scale.  ``REPRO_REQUIRE_PARALLEL_SPEEDUP=<f>``
-turns the parallel-vs-serial comparison into a hard gate: the error-model
-stage must reach at least ``f``x serial throughput (CI runs this on a
-multicore runner; single-core boxes must not set it -- there the executor
-degrades to the serial path by design).  Under ``REPRO_PURE=1`` every stage
-runs the pure-python reference paths and the kernel floors are skipped.
+turns the parallel-vs-serial comparison into a hard gate: the all-scope
+error stage must reach at least ``f``x serial throughput (CI runs this on
+a multicore runner; single-core boxes must not set it -- there the
+executor degrades to the serial path by design).  Under ``REPRO_PURE=1``
+every stage runs the pure-python reference paths and the kernel floors
+are skipped.
 """
 
 from __future__ import annotations
@@ -50,12 +54,14 @@ MAX_WALL_S = 30.0
 PARALLEL_SLACK = 0.9
 #: Full-scale clients-per-second floors for the batched kernel (serial leg).
 MIN_CPS = {1: 1_000_000.0, 4: 300_000.0}
+#: Full-scale floor for the index-scope error stage (kernel-backed since PR 8).
+MIN_ERR_CPS = 500_000.0
 
-#: Optional hard gate on the error-model stage's parallel speedup.
+#: Optional hard gate on the all-scope error stage's parallel speedup.
 REQUIRE_SPEEDUP = float(os.environ.get("REPRO_REQUIRE_PARALLEL_SPEEDUP", "0") or "0")
-#: Error-model stage: link errors force the reference simulator, giving the
-#: process pool real per-execution work; more phases when the speedup gate
-#: is armed so the pool's fork cost amortises.
+#: All-scope error stage: data-bucket losses force the reference simulator,
+#: giving the process pool real per-execution work; more phases when the
+#: speedup gate is armed so the pool's fork cost amortises.
 ERR_THETA = 0.05
 ERR_PHASES = 256 if REQUIRE_SPEEDUP > 0 else 64
 
@@ -113,22 +119,45 @@ def test_fleet_bench():
             )
         reference = None
 
-    # Error-model stage: theta > 0 disqualifies the batched kernel, so both
-    # legs run the per-execution reference simulator -- the regime where the
-    # multicore shard fan-out (key-only chunks, views rebuilt per worker)
-    # does real work.  Serial and parallel must agree bit for bit.
+    # Index-scope error stage: the experiments' error model (navigation
+    # losses only), kernel-backed since PR 8 -- vectorized per-lane loss
+    # streams, bit-equal to the reference per-execution simulator.
     config = SystemConfig(packet_capacity=64, n_channels=1)
     index = build_index("dsi", dataset, config, use_cache=True)
+    t0 = time.perf_counter()
+    result = run_fleet(
+        index, dataset, config, workload, N_CLIENTS, seed=9,
+        error_theta=ERR_THETA, error_seed=5,
+    )
+    wall = time.perf_counter() - t0
+    stages["fleet_err_s"] = wall
+    stages["fleet_err_clients_per_sec"] = N_CLIENTS / wall
+    stages["fleet_err_executions"] = result.n_executions
+    stages["fleet_err_backend"] = result.backend
+    if not os.environ.get("REPRO_PURE"):
+        assert result.backend == "numpy", result.backend_reason
+        if not BENCH_SMOKE:
+            cps = stages["fleet_err_clients_per_sec"]
+            assert cps >= MIN_ERR_CPS, (
+                f"error-fleet kernel below floor: "
+                f"{cps:,.0f} < {MIN_ERR_CPS:,.0f} clients/s"
+            )
+
+    # All-scope error stage: data-bucket losses sit outside the kernel's
+    # envelope, so both legs run the per-execution reference simulator --
+    # the regime where the multicore shard fan-out (key-only chunks, views
+    # rebuilt per worker) does real work.  Serial and parallel must agree
+    # bit for bit.
     err_mean = None
     for mode, parallel in (("serial", False), ("parallel", True)):
         t0 = time.perf_counter()
         result = run_fleet(
             index, dataset, config, workload, N_CLIENTS, seed=9,
-            max_phases=ERR_PHASES, error_theta=ERR_THETA, error_seed=5,
-            parallel=parallel,
+            max_phases=ERR_PHASES, error_theta=ERR_THETA, error_scope="all",
+            error_seed=5, parallel=parallel,
         )
         wall = time.perf_counter() - t0
-        key = f"fleet_err_{mode}"
+        key = f"fleet_err_all_{mode}"
         stages[f"{key}_s"] = wall
         stages[f"{key}_clients_per_sec"] = N_CLIENTS / wall
         stages[f"{key}_executions"] = result.n_executions
@@ -138,20 +167,20 @@ def test_fleet_bench():
             err_mean = result.result.latency.mean
         else:
             assert result.result.latency.mean == err_mean
-    stages["fleet_err_parallel_speedup"] = (
-        stages["fleet_err_serial_s"] / stages["fleet_err_parallel_s"]
+    stages["fleet_err_all_parallel_speedup"] = (
+        stages["fleet_err_all_serial_s"] / stages["fleet_err_all_parallel_s"]
     )
     if REQUIRE_SPEEDUP > 0:
         assert (os.cpu_count() or 1) >= 2, (
             "REPRO_REQUIRE_PARALLEL_SPEEDUP set on a single-core host; the "
             "executor degrades to serial there, so the gate cannot pass"
         )
-        speedup = stages["fleet_err_parallel_speedup"]
+        speedup = stages["fleet_err_all_parallel_speedup"]
         assert speedup >= REQUIRE_SPEEDUP, (
             f"parallel fleet speedup {speedup:.2f}x below required "
             f"{REQUIRE_SPEEDUP:.2f}x "
-            f"({stages['fleet_err_serial_s']:.2f}s serial vs "
-            f"{stages['fleet_err_parallel_s']:.2f}s parallel)"
+            f"({stages['fleet_err_all_serial_s']:.2f}s serial vs "
+            f"{stages['fleet_err_all_parallel_s']:.2f}s parallel)"
         )
 
     # memory model sanity: retained state is the execution histogram

@@ -2,15 +2,17 @@
 
 Times a 100k-client *moving* fleet -- every client runs a 5-hop warm
 journey (random-waypoint motion, window queries from each position) --
-through the batched unique-execution path of
-:func:`repro.sim.fleet.run_mobile_fleet` and writes clients/sec and
-queries/sec to ``BENCH_mobility.json`` at the repository root.
+through :func:`repro.sim.fleet.run_mobile_fleet` and writes clients/sec
+and queries/sec to ``BENCH_mobility.json`` at the repository root.
 
 The run must complete via the batched machinery (distinct (journey, phase)
 executions collapsed further onto hop-1 entry landmarks), never per-client
 Python loops: the executions assertion pins the collapse, and serial vs
-parallel runs must produce identical population statistics.
-``REPRO_BENCH_SMOKE=1`` shrinks the fleet for CI.
+parallel runs must produce identical population statistics.  Since PR 8
+warm DSI window journeys advance on the SoA journey kernel
+(``simulate_window_journeys``) -- the backend stages record it and the
+full-scale run gates a clients/sec floor on it.  ``REPRO_BENCH_SMOKE=1``
+shrinks the fleet for CI.
 """
 
 from __future__ import annotations
@@ -37,6 +39,9 @@ DWELL_PACKETS = 1_500
 MAX_WALL_S = 60.0
 #: Parallel may trail serial by at most this factor (scheduling noise).
 PARALLEL_SLACK = 0.9
+#: Full-scale clients/sec floor for the 1ch journey fleet on the SoA
+#: journey kernel (warm window journeys ran ~55k/s before PR 8).
+MIN_MOBILE_CPS = 250_000.0
 
 
 def test_mobility_bench():
@@ -68,6 +73,7 @@ def test_mobility_bench():
         stages[f"{key}_clients_per_sec"] = N_CLIENTS / wall
         stages[f"{key}_queries_per_sec"] = N_CLIENTS * N_STEPS / wall
         stages[f"{key}_executions"] = result.n_executions
+        stages[f"{key}_backend"] = result.backend
         if not BENCH_SMOKE:
             assert wall < MAX_WALL_S, f"{key} took {wall:.1f}s (> {MAX_WALL_S}s)"
         # The batched path: the fleet collapses onto distinct (journey,
@@ -94,6 +100,16 @@ def test_mobility_bench():
             f"parallel mobile fleet lost to serial: "
             f"{parallel_cps:,.0f} vs {serial_cps:,.0f} clients/s"
         )
+    # Warm window journeys must run on the SoA journey kernel at population
+    # speed -- the PR 8 cliff closure.
+    if not os.environ.get("REPRO_PURE"):
+        assert stages["mobile_1ch_serial_backend"] == "numpy"
+        if not BENCH_SMOKE:
+            cps = stages["mobile_1ch_serial_clients_per_sec"]
+            assert cps >= MIN_MOBILE_CPS, (
+                f"mobile fleet kernel below floor: "
+                f"{cps:,.0f} < {MIN_MOBILE_CPS:,.0f} clients/s"
+            )
 
     # Striped multi-channel journeys, bounded phase resolution (control
     # channels keep most landmarks distinct, so this is the heavy variant).
@@ -108,6 +124,7 @@ def test_mobility_bench():
     stages["mobile_4ch_serial_s"] = wall4
     stages["mobile_4ch_serial_clients_per_sec"] = N_CLIENTS / wall4
     stages["mobile_4ch_serial_executions"] = result4.n_executions
+    stages["mobile_4ch_serial_backend"] = result4.backend
 
     # Journey metrics travel with the benchmark for trajectory tracking.
     stages["journey_latency_bytes"] = result.result.latency.mean

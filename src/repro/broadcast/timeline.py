@@ -46,10 +46,31 @@ __all__ = ["CompiledTimeline", "timeline_of"]
 _CACHE_ATTR = "_compiled_timeline"
 
 
+def _padded_offsets(ids: np.ndarray, offs: np.ndarray, n_rows: int) -> np.ndarray:
+    """Dense ``(n_rows, max_multiplicity)`` start-offset matrix per id.
+
+    Row ``i`` lists every offset whose id is ``i`` in ascending order,
+    padded with the row's *first* offset (a duplicated offset can never win
+    a min-reduction wrongly, and after sorting it contributes a zero gap,
+    so expected-wait formulas over the matrix stay exact).  Ids absent from
+    ``ids`` keep a ``-1`` row.  The stable sort keeps each id's offsets in
+    input order, which callers arrange to be ascending.
+    """
+    order = np.argsort(ids, kind="stable")
+    gs, ss = ids[order], offs[order]
+    first = np.flatnonzero(np.r_[True, gs[1:] != gs[:-1]])
+    runlen = np.diff(np.append(first, len(gs)))
+    width = int(runlen.max()) if len(runlen) else 1
+    col = np.arange(len(gs)) - np.repeat(first, runlen)
+    occ = np.full((n_rows, width), -1, dtype=np.int64)
+    occ[gs, col] = ss
+    return np.where(occ < 0, occ[:, :1], occ)
+
+
 class _KindTable:
     """Occurrence table of one bucket kind on one channel."""
 
-    __slots__ = ("starts", "bucket_ids", "cycle", "channel")
+    __slots__ = ("starts", "bucket_ids", "cycle", "channel", "_occ")
 
     def __init__(
         self, starts: np.ndarray, bucket_ids: np.ndarray, cycle: int, channel: int
@@ -58,6 +79,22 @@ class _KindTable:
         self.bucket_ids = bucket_ids  # global bucket ids airing at those offsets
         self.cycle = cycle
         self.channel = channel
+        self._occ = None
+
+    def occurrence_matrix(self):
+        """``(distinct_ids, offsets)``: this kind's airings grouped by bucket.
+
+        ``distinct_ids`` is the sorted unique global bucket ids of the kind
+        and ``offsets`` the padded ``(len(distinct_ids), multiplicity)``
+        matrix of their start offsets within the channel cycle (see
+        :func:`_padded_offsets`) -- the per-kind counterpart of the
+        timeline-wide ``_occ_offsets``, computed lazily and cached.  The
+        fleet kernel's wait matrices are built from this.
+        """
+        if self._occ is None:
+            ids, inv = np.unique(self.bucket_ids, return_inverse=True)
+            self._occ = (ids, _padded_offsets(inv, self.starts, len(ids)))
+        return self._occ
 
 
 class CompiledTimeline:
@@ -158,18 +195,10 @@ class CompiledTimeline:
         if mult <= 1:
             self._occ_offsets = None
         else:
-            offs = np.concatenate(all_offs)
-            order = np.argsort(gids, kind="stable")
-            gs, ss = gids[order], offs[order]
-            # Stable sort keeps each bucket's airings in ascending-start
-            # order (all its copies live on one channel, whose starts
-            # ascend with local position), so column 0 == bucket_start.
-            first = np.flatnonzero(np.r_[True, gs[1:] != gs[:-1]])
-            runlen = np.diff(np.append(first, len(gs)))
-            col = np.arange(len(gs)) - np.repeat(first, runlen)
-            occ = np.full((n, mult), -1, dtype=np.int64)
-            occ[gs, col] = ss
-            self._occ_offsets = np.where(occ < 0, occ[:, :1], occ)
+            # All of a bucket's copies live on one channel, whose starts
+            # ascend with local position, so the stable grouping keeps each
+            # row ascending and column 0 == bucket_start.
+            self._occ_offsets = _padded_offsets(gids, np.concatenate(all_offs), n)
 
     # -- per-bucket occurrence arithmetic --------------------------------------
 

@@ -190,6 +190,11 @@ class FleetResult:
     #: round-robin layout, ``"optimized"`` for a demand-aware
     #: :meth:`BroadcastSchedule.optimized` layout.
     schedule_policy: str = "flat"
+    #: Why the reference path ran, when it did: the kernel's decline
+    #: message (:class:`~repro.sim.fleet_kernel.KernelUnsupported`) or the
+    #: REPRO_PURE note.  ``None`` on kernel runs -- surfaced as a sweep row
+    #: column so perf cliffs are visible instead of silent.
+    backend_reason: Optional[str] = None
     #: Realized per-query client draw counts (length = number of workload
     #: queries), retained -- with references to the run's workload, index and
     #: dataset -- so :meth:`demand_profile` can extract the fleet's actual
@@ -275,6 +280,7 @@ class FleetResult:
             row["accuracy"] = self.result.accuracy
         row["clients_per_sec"] = self.clients_per_sec
         row["backend"] = self.backend
+        row["backend_reason"] = self.backend_reason or ""
         row["schedule_policy"] = self.schedule_policy
         return row
 
@@ -523,21 +529,29 @@ def run_fleet(
     key_qids = keys // n_phases
     key_phases = keys % n_phases
 
-    # Error-free window fleets take the structure-of-arrays kernel: every
-    # distinct execution advances in lockstep as flat arrays, no per-phase
-    # python walk.  The kernel declines (KernelUnsupported) anything outside
-    # its proven-exact envelope, and REPRO_PURE forces the reference path.
+    # Window fleets -- lossless or under the index-scope error model -- take
+    # the structure-of-arrays kernel: every distinct execution advances in
+    # lockstep as flat arrays, no per-phase python walk.  The kernel declines
+    # (KernelUnsupported) anything outside its proven-exact envelope; the
+    # decline reason is kept on the result so sweeps can see why a run was
+    # slow, and REPRO_PURE forces the reference path.
     backend = "reference"
+    backend_reason: Optional[str] = None
     kernel_out = None
-    if error_theta is None and not pure:
+    if pure:
+        backend_reason = "REPRO_PURE forces the reference path"
+    else:
         from .fleet_kernel import KernelUnsupported, simulate_window_fleet
 
         try:
             kernel_out = simulate_window_fleet(
                 index, view, config, trials, key_qids, key_phases,
                 n_phases=n_phases, cycle=cycle, verify=verify, dataset=dataset,
+                error_theta=error_theta, error_scope=error_scope,
+                error_seed=error_seed,
             )
-        except KernelUnsupported:
+        except KernelUnsupported as exc:
+            backend_reason = str(exc)
             kernel_out = None
 
     if kernel_out is not None:
@@ -625,6 +639,7 @@ def run_fleet(
         unique_counts=task_counts,
         backend=backend,
         schedule_policy=getattr(schedule, "policy", "flat"),
+        backend_reason=backend_reason,
         query_draws=counts.reshape(n_q, n_phases).sum(axis=1),
         _workload=workload,
         _index=index,
@@ -751,11 +766,15 @@ class MobileFleetResult:
     unique_latency: np.ndarray = field(repr=False)
     unique_tuning: np.ndarray = field(repr=False)
     unique_counts: np.ndarray = field(repr=False)
-    #: Warm journeys always run the per-phase object-model path (the SoA
-    #: kernel covers stationary window fleets only, so far).
+    #: Which engine simulated the distinct journeys: ``"numpy"`` for the
+    #: SoA journey kernel (:func:`repro.sim.fleet_kernel.simulate_window_journeys`,
+    #: warm window journeys with persistent lanes), ``"reference"`` for the
+    #: per-phase object-model path.
     backend: str = "reference"
     #: Which schedule the fleet tuned into (see :class:`FleetResult`).
     schedule_policy: str = "flat"
+    #: Why the reference path ran, when it did (see :class:`FleetResult`).
+    backend_reason: Optional[str] = None
 
     @property
     def clients_per_sec(self) -> float:
@@ -804,6 +823,7 @@ class MobileFleetResult:
             row["accuracy"] = self.result.accuracy
         row["clients_per_sec"] = self.clients_per_sec
         row["backend"] = self.backend
+        row["backend_reason"] = self.backend_reason or ""
         row["schedule_policy"] = self.schedule_policy
         return row
 
@@ -862,7 +882,8 @@ def run_mobile_fleet(
     elif schedule.base_program is not index.program:
         raise ValueError("schedule was built for a different broadcast program")
     view = schedule.view()
-    timeline = None if pure_mode() else timeline_of(view)
+    pure = pure_mode()
+    timeline = None if pure else timeline_of(view)
     cycle = view.cycle_packets
     n_j = len(journeys)
     n_phases = min(cycle, spec.max_phases)
@@ -894,42 +915,71 @@ def run_mobile_fleet(
     task_counts = counts[keys]
     key_jids = keys // n_phases
     key_phases = keys % n_phases
-    tasks: List[Tuple[int, List[int]]] = []
-    n_workers = processes if processes is not None else default_processes()
-    target_chunks = max(n_j, 2 * n_workers) if parallel else n_j
-    max_chunk = max(1, -(-len(keys) // max(target_chunks, 1)))
-    j_starts = np.flatnonzero(np.diff(key_jids, prepend=-1))
-    for i, start in enumerate(j_starts):
-        stop = j_starts[i + 1] if i + 1 < len(j_starts) else len(keys)
-        jid = int(key_jids[start])
-        for at in range(int(start), int(stop), max_chunk):
-            tasks.append((jid, key_phases[at:min(at + max_chunk, stop)].tolist()))
-    ctx = dict(
-        index=index, config=config, journeys=journeys,
-        n_phases=n_phases, cycle=cycle, error_theta=error_theta,
-        error_scope=error_scope, error_seed=error_seed, verify=verify,
-        knn_strategy=knn_strategy,
-    )
-    if verify:
-        ctx["dataset"] = dataset
-    if not parallel or explicit_schedule:
-        # An explicit schedule must ship: workers' for_config rebuild cannot
-        # reproduce an optimized layout (see run_fleet).
-        ctx["view"] = view
-    try:
-        outs = parallel_map(
-            _simulate_journey_batch,
-            tasks,
-            processes=processes if parallel else 1,
-            initializer=_install_sim_ctx,
-            initargs=(ctx,),
-        )
-        sims = [t for out in outs for t in out]
-    finally:
-        _SIM_CTX.clear()
 
-    uniq_lat = np.array([s[0] for s in sims], dtype=np.float64)
-    uniq_tun = np.array([s[1] for s in sims], dtype=np.float64)
+    # Warm window journeys take the SoA journey kernel: persistent lanes
+    # carry knowledge across hops, same decline/fallback contract as
+    # run_fleet's hook.
+    backend = "reference"
+    backend_reason: Optional[str] = None
+    kernel_out = None
+    if pure:
+        backend_reason = "REPRO_PURE forces the reference path"
+    else:
+        from .fleet_kernel import KernelUnsupported, simulate_window_journeys
+
+        try:
+            kernel_out = simulate_window_journeys(
+                index, view, config, journeys, key_jids, key_phases,
+                n_phases=n_phases, cycle=cycle, verify=verify, dataset=dataset,
+                error_theta=error_theta, error_scope=error_scope,
+                error_seed=error_seed,
+            )
+        except KernelUnsupported as exc:
+            backend_reason = str(exc)
+            kernel_out = None
+
+    if kernel_out is not None:
+        backend = "numpy"
+        lat_b, tun_b, correct_hops = kernel_out
+        uniq_lat = lat_b.astype(np.float64)
+        uniq_tun = tun_b.astype(np.float64)
+    else:
+        tasks: List[Tuple[int, List[int]]] = []
+        n_workers = processes if processes is not None else default_processes()
+        target_chunks = max(n_j, 2 * n_workers) if parallel else n_j
+        max_chunk = max(1, -(-len(keys) // max(target_chunks, 1)))
+        j_starts = np.flatnonzero(np.diff(key_jids, prepend=-1))
+        for i, start in enumerate(j_starts):
+            stop = j_starts[i + 1] if i + 1 < len(j_starts) else len(keys)
+            jid = int(key_jids[start])
+            for at in range(int(start), int(stop), max_chunk):
+                tasks.append((jid, key_phases[at:min(at + max_chunk, stop)].tolist()))
+        ctx = dict(
+            index=index, config=config, journeys=journeys,
+            n_phases=n_phases, cycle=cycle, error_theta=error_theta,
+            error_scope=error_scope, error_seed=error_seed, verify=verify,
+            knn_strategy=knn_strategy,
+        )
+        if verify:
+            ctx["dataset"] = dataset
+        if not parallel or explicit_schedule:
+            # An explicit schedule must ship: workers' for_config rebuild
+            # cannot reproduce an optimized layout (see run_fleet).
+            ctx["view"] = view
+        try:
+            outs = parallel_map(
+                _simulate_journey_batch,
+                tasks,
+                processes=processes if parallel else 1,
+                initializer=_install_sim_ctx,
+                initargs=(ctx,),
+            )
+            sims = [t for out in outs for t in out]
+        finally:
+            _SIM_CTX.clear()
+        uniq_lat = np.array([s[0] for s in sims], dtype=np.float64)
+        uniq_tun = np.array([s[1] for s in sims], dtype=np.float64)
+        correct_hops = np.array([s[2] for s in sims], dtype=np.int64)
 
     # -- stream the population through the summaries (draw order, as above) ----
     lat_by_key = np.zeros(n_j * n_phases, dtype=np.float64)
@@ -946,7 +996,6 @@ def run_mobile_fleet(
         result.latency.add_many(lat_by_key[key])
         result.tuning.add_many(tun_by_key[key])
     if verify:
-        correct_hops = np.array([s[2] for s in sims], dtype=np.int64)
         result.correct_trials = int(np.dot(task_counts, correct_hops))
         result.incorrect_trials = int(np.dot(task_counts, n_steps - correct_hops))
 
@@ -966,7 +1015,9 @@ def run_mobile_fleet(
         unique_latency=uniq_lat,
         unique_tuning=uniq_tun,
         unique_counts=task_counts,
+        backend=backend,
         schedule_policy=getattr(schedule, "policy", "flat"),
+        backend_reason=backend_reason,
     )
 
 

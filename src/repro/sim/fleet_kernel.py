@@ -48,19 +48,57 @@ falling back to the reference -- when one fails):
 
 Per hop every live lane picks the earliest-arriving candidate table.  All
 DSI tables air on one channel (the control channel when striped), so
-arrival order from any clock is a rotation of the fixed position-sorted
-table order and the argmin needs no arrival matrix -- a cyclic index
-suffices, and ties are impossible (distinct tables, distinct starts), which
-also realises the reference's lowest-rank tie-break vacuously.  A lane
-exits when its candidate set empties, which happens exactly when all its
-relevant ranks are processed -- the reference loop's termination condition.
+arrival is modular arithmetic over that channel's cycle.  On *replicated*
+(demand-aware) schedules a rank may air several times per cycle; the hop
+keeps a per-rank **occurrence matrix** (padded with the first airing) and
+takes the wait to each rank's *nearest* copy -- ``min`` over the matrix
+columns -- before the candidate argmin.  Distinct airings occupy distinct
+cycle offsets, so waits never tie and the reference's lowest-rank tie-break
+stays vacuous.  Visits replay through
+:meth:`~repro.broadcast.timeline.CompiledTimeline.next_occurrences`, whose
+replicated branch already takes the minimum over every copy of a directory
+or data bucket.  A lane exits when its candidate set empties, which happens
+exactly when all its relevant ranks are processed -- the reference loop's
+termination condition.
 
-Latency is ``exit clock - tune-in``; tuning accumulates *per phase*
-(identical within a lane: every phase of a lane pays the same probe, table,
-directory and data packets).  Answers are phase-independent (fact 3), so
-verification runs once per query.  Everything matches the reference walk
-integer for integer; ``tests/test_fleet_kernel.py`` pins both against a
-brute-force per-phase replay.
+**Link errors** (``scope="index"``, the experiments' default) vectorise
+too: every execution owns one PCG64 stream seeded exactly like its
+reference :class:`~repro.broadcast.errors.LinkErrorModel`, and under the
+index scope that model draws one uniform per index-*table* reception
+attempt, in walk order, and nothing else (probes read no bucket; directory
+and data buckets are out of scope).  A chunked stream prefix equals the
+same number of scalar ``.random()`` calls, so the kernel buffers each
+lane's stream in batched array reads (:class:`_ErrStreams`, which advances
+every lane's PCG64 as flat uint64 arrays -- no per-lane ``Generator``
+objects -- seeded bit-identically to numpy's) and replays the
+reference's retry rules draw for draw: a lost entry read re-seeks the next
+table airing (giving up, like the reference's ``RuntimeError``, after
+``n_frames + 1`` attempts -- the kernel declines so the fallback reproduces
+the error); a lost in-walk read chains to the *next broadcast position*'s
+table until one lands (cap ``n_frames``).  Lost reads pay latency and
+tuning but teach nothing, and because knowledge still only ever grows, the
+candidacy argument above survives unchanged.  Error lanes are per
+``(query, phase)`` -- distinct seeds, no dedup -- and diverge freely: the
+retry chain advances each lane independently.
+
+**Warm journeys** reuse the same hop engine with persistent lanes: the
+knowledge bitmask and the parked channel survive across hops (exactly what
+a warm :class:`~repro.mobility.continuous.ContinuousClient` session
+carries), while examined/processed reset per hop (``begin_query``).  Hop 1
+runs the cold entry (probe + first table + opportunistic entry
+processing); later hops advance the clock by the step's dwell, pay the
+re-armed probe, and walk with the same global-minimum clamp -- every table
+teaches rank 0, so the warm clamp equals the cold one and the per-hop
+precompute is hop-invariant.  The hop-1 entry-landmark collapse carries
+over whole journeys: lanes are ``(journey, entry occurrence)`` pairs.
+
+Latency is ``exit clock - tune-in`` (summed over hops for journeys);
+tuning accumulates *per phase* (identical within a lane: every phase of a
+lane pays the same probe, table, directory and data packets).  Answers are
+phase-independent (fact 3), so verification runs once per query.
+Everything matches the reference walk integer for integer;
+``tests/test_fleet_kernel.py`` pins both against a brute-force per-phase
+replay across schedules, error models and journeys.
 """
 
 from __future__ import annotations
@@ -75,16 +113,23 @@ from ..core.knowledge import ClientKnowledge
 from ..core.structure import DsiIndex
 from ..queries.types import WindowQuery
 
-__all__ = ["KernelUnsupported", "simulate_window_fleet"]
+__all__ = [
+    "KernelUnsupported",
+    "simulate_window_fleet",
+    "simulate_window_journeys",
+]
 
 
 class KernelUnsupported(Exception):
     """The SoA kernel cannot reproduce the reference walk for this run.
 
-    Raised (and caught by :func:`repro.sim.fleet.run_fleet`, which falls
-    back to the per-phase reference path) for non-DSI indexes, kNN trials,
-    directory-less layouts, duplicate frame minima, or any precompute
+    Raised (and caught by :func:`repro.sim.fleet.run_fleet` /
+    :func:`repro.sim.fleet.run_mobile_fleet`, which fall back to the
+    per-phase reference path) for non-DSI indexes, kNN trials,
+    directory-less layouts, duplicate frame minima, non-index error scopes,
+    exhausted loss retries (where the reference raises), or any precompute
     invariant the kernel's exactness argument relies on failing to hold.
+    The message is surfaced as ``backend_reason`` on the fleet result.
     """
 
 
@@ -180,76 +225,284 @@ def _qualified_mask(hcs: np.ndarray, bounds: np.ndarray) -> np.ndarray:
     return (np.searchsorted(flat, hcs, side="right") & 1) == 1
 
 
-def simulate_window_fleet(
-    index: Any,
-    view: Any,
-    config: Any,
-    trials: Sequence[Any],
-    key_qids: np.ndarray,
-    key_phases: np.ndarray,
-    *,
-    n_phases: int,
-    cycle: int,
-    verify: bool,
-    dataset: Any,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Simulate every ``(query, phase)`` execution in lockstep.
+class _Geometry:
+    """Compiled channel geometry of one (index, schedule view) pair.
 
-    Returns ``(latency_bytes, tuning_bytes, correct)`` aligned with the
-    ``key_qids`` / ``key_phases`` order -- the exact triple the reference
-    per-phase path emits (``correct`` is -1 when not verifying).  Raises
-    :class:`KernelUnsupported` whenever the run falls outside the kernel's
-    proven-exact envelope.
+    Verifies the layout facts the lockstep walk relies on (all index
+    tables on the clients' home channel, every rank aired) and bundles the
+    multiplicity-aware arrival tables: per-airing arrays for the entry
+    kind-seek and the padded per-rank occurrence matrix for in-walk wait
+    arithmetic.
     """
-    static = _static_of(index)
-    for trial in trials:
-        if not isinstance(trial.query, WindowQuery):
-            raise KernelUnsupported("kNN trials take the reference path")
 
-    timeline = timeline_of(view)
-    if getattr(timeline, "max_multiplicity", 1) > 1:
-        # The kernel's wait arithmetic uses the single-occurrence
-        # bucket_start/bucket_cycle tables; replicated (demand-aware)
-        # schedules need the per-airing minimum the reference path takes.
-        raise KernelUnsupported("replicated schedules take the reference path")
-    tables = timeline._kind_tables.get(BucketKind.DSI_TABLE)
-    if not tables or len(tables) != 1:
-        raise KernelUnsupported("index tables must air on exactly one channel")
-    ktable = tables[0]
-    if ktable.channel != timeline.home_channel:
-        raise KernelUnsupported("tables must air on the clients' home channel")
-    n_frames = static.n_frames
-    if len(ktable.starts) != n_frames:
-        raise KernelUnsupported("table occurrences and frames disagree")
-
-    switch = (
-        int(getattr(config, "channel_switch_packets", 0))
-        if timeline.n_channels > 1
-        else 0
+    __slots__ = (
+        "timeline", "switch", "capacity", "ctrl", "cc",
+        "airing_starts", "airing_rank", "occ_rank", "occ_small", "wdtype",
+        "pk_of_rank", "rank_of_pos", "bchan", "bpk",
     )
-    capacity = int(config.packet_capacity)
-    ctrl = int(ktable.channel)
-    cc = int(ktable.cycle)  # control-channel cycle (all tables share it)
-    tsort_starts = ktable.starts  # position-sorted table offsets in [0, cc)
-    bucket_frame = timeline.bucket_frame[ktable.bucket_ids]
-    m = index.params.n_segments
-    seg_size = n_frames // m
-    tsort_rank = (bucket_frame % m) * seg_size + bucket_frame // m
-    if not np.array_equal(np.sort(tsort_rank), np.arange(n_frames)):
-        raise KernelUnsupported("table occurrences do not cover every rank once")
-    s_of_rank = np.empty(n_frames, dtype=np.int64)
-    s_of_rank[tsort_rank] = np.arange(n_frames)
-    start_of_rank = tsort_starts[s_of_rank]  # control-cycle offset per rank
-    bucket_of_rank = ktable.bucket_ids[s_of_rank]
-    pk_of_rank = timeline.bucket_packets[bucket_of_rank]
 
-    bstart = timeline.bucket_start
-    bcycle = timeline.bucket_cycle
-    bchan = timeline.bucket_channel
-    bpk = timeline.bucket_packets
+    def __init__(self, static: _Static, index: Any, config: Any, timeline) -> None:
+        tables = timeline._kind_tables.get(BucketKind.DSI_TABLE)
+        if not tables or len(tables) != 1:
+            raise KernelUnsupported("index tables must air on exactly one channel")
+        kt = tables[0]
+        if kt.channel != timeline.home_channel:
+            raise KernelUnsupported("tables must air on the clients' home channel")
+        n_frames = static.n_frames
+        self.timeline = timeline
+        self.switch = (
+            int(getattr(config, "channel_switch_packets", 0))
+            if timeline.n_channels > 1
+            else 0
+        )
+        self.capacity = int(config.packet_capacity)
+        self.ctrl = int(kt.channel)
+        self.cc = int(kt.cycle)  # the table channel's cycle
 
-    # -- per-query precompute: relevance, visit sequences, answers -------------
-    n_q = len(trials)
+        m = index.params.n_segments
+        seg_size = n_frames // m
+        # Per *airing* (possibly several per rank on replicated schedules):
+        # sorted cycle offsets plus the rank airing at each, for entry seeks.
+        bf = timeline.bucket_frame[kt.bucket_ids]
+        self.airing_starts = kt.starts
+        self.airing_rank = (bf % m) * seg_size + bf // m
+        # Per *rank*: the padded occurrence matrix and packet size.
+        ids, occ = kt.occurrence_matrix()
+        if len(ids) != n_frames:
+            raise KernelUnsupported("table buckets and frames disagree")
+        bfd = timeline.bucket_frame[ids]
+        rank_of_row = (bfd % m) * seg_size + bfd // m
+        if not np.array_equal(np.sort(rank_of_row), np.arange(n_frames)):
+            raise KernelUnsupported("table buckets do not cover every rank once")
+        row_of_rank = np.empty(n_frames, dtype=np.int64)
+        row_of_rank[rank_of_row] = np.arange(n_frames)
+        self.occ_rank = occ[row_of_rank]
+        self.pk_of_rank = timeline.bucket_packets[ids[row_of_rank]]
+        rank_of_pos = np.empty(n_frames, dtype=np.int64)
+        rank_of_pos[static.pos_of_rank] = np.arange(n_frames)
+        self.rank_of_pos = rank_of_pos
+        # The hop loop is memory-bound: wait matrices use the smallest
+        # dtype the cycle fits (offsets and waits both live in [0, cc)).
+        self.wdtype = np.int32 if self.cc < np.iinfo(np.int32).max else np.int64
+        self.occ_small = self.occ_rank.astype(self.wdtype)
+        self.bchan = timeline.bucket_channel
+        self.bpk = timeline.bucket_packets
+
+    def entry_seek(self, nb: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """First table airing at/after ``nb``: ``(start, rank)`` arrays.
+
+        The kind-seek the reference's ``read_first_table`` performs, over
+        every airing -- on replicated schedules the nearest *copy* wins.
+        """
+        base = (nb // self.cc) * self.cc
+        off = nb - base
+        j = np.searchsorted(self.airing_starts, off, side="left")
+        wrap = j == len(self.airing_starts)
+        j = np.where(wrap, 0, j)
+        start = base + self.airing_starts[j] + wrap * self.cc
+        return start, self.airing_rank[j]
+
+    def wait_matrix(self, off: np.ndarray) -> np.ndarray:
+        """``(rows, F)`` packets until each rank's *nearest* airing.
+
+        ``off`` holds within-cycle offsets; the elementwise min over the
+        occurrence-matrix columns realises the replicated-schedule wait
+        (padding repeats the first airing, which never wins wrongly).
+        """
+        occ = self.occ_small
+        o = off.astype(self.wdtype)[:, None]
+        cyc = self.wdtype(self.cc)
+        w = (occ[:, 0][None, :] - o) % cyc
+        for c in range(1, occ.shape[1]):
+            np.minimum(w, (occ[:, c][None, :] - o) % cyc, out=w)
+        return w
+
+    def wait_rows(self, nb: np.ndarray, ranks: np.ndarray) -> np.ndarray:
+        """Packets from absolute clocks ``nb`` to the nearest airing of
+        ``ranks`` (one rank per row; the error retry chain's arrival)."""
+        occ = self.occ_rank[ranks]
+        off = nb - (nb // self.cc) * self.cc
+        return ((occ - off[:, None]) % self.cc).min(axis=1)
+
+
+# --- vectorized PCG64 lanes -----------------------------------------------
+#
+# ``np.random.default_rng(seed)`` is Generator(PCG64(SeedSequence(seed))).
+# Building thousands of those objects costs more than the whole lockstep
+# walk (~15 us apiece), so the error streams run the same algorithms as
+# flat uint64 lanes instead: O'Neill's seed-hash (SeedSequence) to expand
+# each 32-bit seed into PCG64's 256-bit init, then the 128-bit LCG with
+# XSL-RR output, carried as (hi, lo) uint64 pairs.  Every constant below is
+# numpy's; `tests/test_fleet_kernel.py` pins the streams draw-for-draw
+# against ``default_rng`` (numpy guarantees stream stability per seed).
+
+_U32 = np.uint64(0xFFFFFFFF)
+_S32 = np.uint64(32)
+_XSHIFT = np.uint64(16)
+_M32 = (1 << 32) - 1
+_PCG_MULT_HI = np.uint64(0x2360ED051FC65DA4)
+_PCG_MULT_LO = np.uint64(0x4385DF649FCCF645)
+_D53 = 1.0 / 9007199254740992.0  # 2**-53, Generator.random's scaling
+
+
+def _seedseq_state(seeds: np.ndarray) -> np.ndarray:
+    """``SeedSequence(s).generate_state(4, uint64)`` for a vector of scalar
+    32-bit entropies: (4, n) uint64 -- PCG64's (state, inc) init words."""
+    n = len(seeds)
+    ent = np.asarray(seeds, dtype=np.uint64) & _U32
+    # hash constants evolve identically across lanes (data-independent),
+    # so they stay python scalars while the values vectorise.
+    hc = [0x43B0D7E5]  # INIT_A
+
+    def hashmix(val: np.ndarray) -> np.ndarray:
+        val = (val ^ np.uint64(hc[0])) & _U32
+        hc[0] = (hc[0] * 0x931E8875) & _M32  # MULT_A
+        val = (val * np.uint64(hc[0])) & _U32
+        return val ^ (val >> _XSHIFT)
+
+    def mix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        r = ((x * np.uint64(0xCA01F9DD)) - (y * np.uint64(0x4973F715))) & _U32
+        return r ^ (r >> _XSHIFT)
+
+    pool = [hashmix(ent)]
+    for _ in range(3):
+        pool.append(hashmix(np.zeros(n, dtype=np.uint64)))
+    for i_src in range(4):
+        for i_dst in range(4):
+            if i_src != i_dst:
+                pool[i_dst] = mix(pool[i_dst], hashmix(pool[i_src]))
+    hcb = 0x8B51F9DD  # INIT_B
+    out32 = []
+    for i in range(8):
+        v = pool[i % 4] ^ np.uint64(hcb)
+        hcb = (hcb * 0x58F38DED) & _M32  # MULT_B
+        v = (v * np.uint64(hcb)) & _U32
+        out32.append(v ^ (v >> _XSHIFT))
+    out64 = np.empty((4, n), dtype=np.uint64)
+    for j in range(4):  # uint32 word pairs assemble little-endian
+        out64[j] = out32[2 * j] | (out32[2 * j + 1] << _S32)
+    return out64
+
+
+def _pcg64_step(shi, slo, ihi, ilo):
+    """One LCG step ``state = state * PCG_MULT + inc`` in 128 bits."""
+    al, ah = slo & _U32, slo >> _S32
+    bl, bh = _PCG_MULT_LO & _U32, _PCG_MULT_LO >> _S32
+    ll = al * bl
+    lh = al * bh
+    hl = ah * bl
+    mid = (ll >> _S32) + (lh & _U32) + (hl & _U32)
+    lo = (ll & _U32) | ((mid & _U32) << _S32)
+    hi = ah * bh + (lh >> _S32) + (hl >> _S32) + (mid >> _S32)
+    hi = hi + slo * _PCG_MULT_HI + shi * _PCG_MULT_LO
+    lo2 = lo + ilo
+    return hi + ihi + (lo2 < lo), lo2
+
+
+def _pcg64_init(seeds: np.ndarray):
+    """Per-lane (state_hi, state_lo, inc_hi, inc_lo) after PCG64 seeding:
+    ``inc = (initseq << 1) | 1; state = 0; step; state += initstate; step``."""
+    init_hi, init_lo, seq_hi, seq_lo = _seedseq_state(seeds)
+    ihi = (seq_hi << np.uint64(1)) | (seq_lo >> np.uint64(63))
+    ilo = (seq_lo << np.uint64(1)) | np.uint64(1)
+    shi, slo = _pcg64_step(np.zeros_like(ihi), np.zeros_like(ilo), ihi, ilo)
+    lo2 = slo + init_lo
+    shi, slo = shi + init_hi + (lo2 < slo), lo2
+    shi, slo = _pcg64_step(shi, slo, ihi, ilo)
+    return shi, slo, ihi, ilo
+
+
+class _ErrStreams:
+    """Per-lane link-error draw streams, bit-equal to the reference models.
+
+    The reference path seeds one :class:`LinkErrorModel` per ``(query,
+    phase)`` execution; under ``scope="index"`` it draws exactly one
+    uniform per index-table reception attempt, in walk order.  This helper
+    advances the matching PCG64 stream for every lane at once (flat uint64
+    state arrays, no ``Generator`` objects) and serves the draws from a
+    batched buffer: the chunked prefix of a lane's stream equals the same
+    number of scalar ``.random()`` calls, so extending every lane's buffer
+    by chunks preserves draw-for-draw equality.
+    """
+
+    __slots__ = ("theta", "_shi", "_slo", "_ihi", "_ilo", "_buf", "_ptr")
+
+    _CHUNK = 16
+
+    def __init__(self, seeds: np.ndarray, theta: float) -> None:
+        self.theta = float(theta)
+        self._shi, self._slo, self._ihi, self._ilo = _pcg64_init(seeds)
+        self._buf = self._draw(self._CHUNK)
+        self._ptr = np.zeros(len(seeds), dtype=np.int64)
+
+    def _draw(self, k: int) -> np.ndarray:
+        """Advance every lane ``k`` draws: (n, k) uniforms in [0, 1).
+
+        ``Generator.random`` is ``(next_uint64 >> 11) * 2**-53``; the
+        XSL-RR output mixes the *post-step* 128-bit state (rotate the
+        xor-folded halves by the top 6 bits).
+        """
+        shi, slo = self._shi, self._slo
+        ihi, ilo = self._ihi, self._ilo
+        out = np.empty((len(slo), k), dtype=np.float64)
+        r11, r58, r63, r64 = (np.uint64(11), np.uint64(58), np.uint64(63),
+                              np.uint64(64))
+        for j in range(k):
+            shi, slo = _pcg64_step(shi, slo, ihi, ilo)
+            rot = shi >> r58
+            x = shi ^ slo
+            word = (x >> rot) | (x << ((r64 - rot) & r63))
+            out[:, j] = (word >> r11).astype(np.float64) * _D53
+        self._shi, self._slo = shi, slo
+        return out
+
+    def lost(self, lanes: np.ndarray) -> np.ndarray:
+        """One loss draw per requested lane (lanes must be unique)."""
+        width = self._buf.shape[1]
+        if len(lanes) and int(self._ptr[lanes].max()) >= width:
+            self._buf = np.concatenate([self._buf, self._draw(width)], axis=1)
+        p = self._ptr[lanes]
+        self._ptr[lanes] = p + 1
+        return self._buf[lanes, p] < self.theta
+
+
+def _make_err_streams(
+    error_theta: Optional[float],
+    error_scope: str,
+    error_seed: int,
+    key_ids: np.ndarray,
+    key_phases: np.ndarray,
+    n_phases: int,
+) -> Optional[_ErrStreams]:
+    """The per-execution loss streams, or None when the run is lossless.
+
+    ``theta == 0`` and ``scope == "none"`` sessions draw nothing and run
+    the (deduplicated) lossless path; any lossy scope other than ``index``
+    reads buckets the kernel's visit replay does not model losing.
+    """
+    if error_theta is None or float(error_theta) == 0.0 or error_scope == "none":
+        return None
+    if error_scope != "index":
+        raise KernelUnsupported(
+            f"error scope {error_scope!r} takes the reference path"
+        )
+    keys = key_ids * np.int64(n_phases) + key_phases
+    seeds = (np.int64(int(error_seed) * 1_000_003) + keys) & np.int64(0x7FFFFFFF)
+    return _ErrStreams(seeds, float(error_theta))
+
+
+def _precompute_queries(
+    static: _Static, index: Any, queries: Sequence[WindowQuery], verify: bool,
+    dataset: Any,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-query relevance masks, visit sequences and (optional) answers.
+
+    Returns ``(rel, vlen, voff, vflat, correct)``: the relevant-rank mask,
+    the flattened per-(query, rank) visit bucket sequences, and the
+    verification verdict per query (-1 when not verifying).
+    """
+    n_q = len(queries)
+    n_frames = static.n_frames
     curve = index.curve
     max_depth = min(curve.order, _MAX_DEPTH_CAP)
     rel = np.zeros((n_q, n_frames), dtype=bool)
@@ -260,8 +513,8 @@ def simulate_window_fleet(
     if verify:
         from ..queries.ground_truth import answer, matches_truth
 
-    for qid, trial in enumerate(trials):
-        window = trial.query.window
+    for qid, query in enumerate(queries):
+        window = query.window
         cover = curve.ranges_for_rect(
             window, max_ranges=_MAX_RANGES, max_depth=max_depth
         )
@@ -302,158 +555,424 @@ def simulate_window_fleet(
                 vflat.extend(seq)
         if verify:
             final = [o for o in objs if window.contains_point(o.point)]
-            truth = answer(dataset, trial.query)
-            correct_q[qid] = int(matches_truth(trial.query, truth, final))
-    vflat_arr = np.asarray(vflat, dtype=np.int64)
+            truth = answer(dataset, query)
+            correct_q[qid] = int(matches_truth(query, truth, final))
+    return rel, vlen, voff, np.asarray(vflat, dtype=np.int64), correct_q
 
-    # -- entry step: probe + first table read, one lane per (query, occurrence)
-    key_qids = np.asarray(key_qids, dtype=np.int64)
-    key_phases = np.asarray(key_phases, dtype=np.int64)
-    start_p = (key_phases * cycle) // n_phases
-    clock0 = start_p + 1  # the initial probe costs one packet
-    base0 = (clock0 // cc) * cc
-    off0 = clock0 - base0
-    j0 = np.searchsorted(tsort_starts, off0, side="left")
-    wrap0 = j0 == n_frames
-    j0 = np.where(wrap0, 0, j0)
-    entry_start = base0 + tsort_starts[j0] + wrap0 * cc
-    entry_rank = tsort_rank[j0]
 
-    entry_key = key_qids * np.int64(2 * (cycle + cc) + 4) + entry_start
-    _, first_idx, lane_of_phase = np.unique(
-        entry_key, return_index=True, return_inverse=True
-    )
-    n_lanes = len(first_idx)
-    # Per-lane state, kept *compacted* to the live lanes: exiting lanes are
-    # filtered out and their slot in these arrays disappears, so every hop
-    # touches exactly the state that is still walking.  ``lane_ids`` maps a
-    # compacted row back to its lane for the exit-time scatter.
-    lane_ids = np.arange(n_lanes, dtype=np.int64)
-    qid_c = key_qids[first_idx]
-    rank0 = entry_rank[first_idx]
-    pk0 = pk_of_rank[rank0]
-    clock = entry_start[first_idx] + pk0
-    chan = np.full(n_lanes, ctrl, dtype=np.int64)
-    # Tuning is identical for every phase of a lane (same probe, same reads;
-    # only the tune-in offset -- pure latency -- differs), so it accumulates
-    # per lane and fans out to phases once at the end.
-    tun_c = 1 + pk0  # probe + entry table
+class _Walker:
+    """Per-lane lockstep state plus the hop engine both kernels share.
 
-    know = static.learn[rank0].copy()  # K: known-rank bitmask per lane
-    examined = np.zeros((n_lanes, n_frames), dtype=bool)
-    processed = np.zeros((n_lanes, n_frames), dtype=bool)
-    rel_c = rel[qid_c]
+    The master arrays (``clock`` / ``chan`` / ``tun`` / ``know`` /
+    ``examined`` / ``processed``) always hold every lane; the hop loop
+    works on live-lane compactions and scatters back at lane exit, so the
+    journey kernel can carry session state into the next hop and the fleet
+    kernel reads final clocks straight off the masters.
+    """
 
-    def _visit(rows: np.ndarray, ranks: np.ndarray) -> None:
+    def __init__(
+        self,
+        geo: _Geometry,
+        static: _Static,
+        rel: np.ndarray,
+        vlen: np.ndarray,
+        voff: np.ndarray,
+        vflat: np.ndarray,
+        n_lanes: int,
+        err: Optional[_ErrStreams],
+    ) -> None:
+        self.geo = geo
+        self.static = static
+        self.rel = rel
+        self.vlen = vlen
+        self.voff = voff
+        self.vflat = vflat
+        self.err = err
+        self.n_lanes = n_lanes
+        n_frames = static.n_frames
+        self.clock = np.zeros(n_lanes, dtype=np.int64)
+        self.chan = np.full(n_lanes, geo.ctrl, dtype=np.int64)
+        self.tun = np.zeros(n_lanes, dtype=np.int64)
+        self.know = np.zeros((n_lanes, n_frames), dtype=bool)
+        self.examined = np.zeros((n_lanes, n_frames), dtype=bool)
+        self.processed = np.zeros((n_lanes, n_frames), dtype=bool)
+
+    def _visit_on(
+        self,
+        clock: np.ndarray,
+        chan: np.ndarray,
+        tun: np.ndarray,
+        rows: np.ndarray,
+        ranks: np.ndarray,
+        qr: np.ndarray,
+    ) -> None:
         """Replay the visit sequences of ``ranks`` for compacted ``rows``:
-        pure occurrence arithmetic, advancing clock/channel/tuning."""
+        pure occurrence arithmetic advancing clock/channel/tuning.  Visits
+        read directory and data buckets only, which the index error scope
+        never loses, so the lossless and error paths share this replay."""
         if not len(rows):
             return
-        lengths = vlen[qid_c[rows], ranks]
-        offsets = voff[qid_c[rows], ranks]
+        geo = self.geo
+        timeline = geo.timeline
+        lengths = self.vlen[qr[rows], ranks]
+        offsets = self.voff[qr[rows], ranks]
         vclock = clock[rows]
         vchan = chan[rows]
         paid = np.zeros(len(rows), dtype=np.int64)
         for i in range(int(lengths.max(initial=0))):
             on = lengths > i
-            b = vflat_arr[offsets[on] + i]
-            s, cyc, ch, pk = bstart[b], bcycle[b], bchan[b], bpk[b]
+            b = self.vflat[offsets[on] + i]
+            ch = geo.bchan[b]
             nb = vclock[on]
-            if switch:
-                nb = nb + switch * (ch != vchan[on])
-            k = (nb - s + cyc - 1) // cyc
-            np.maximum(k, 0, out=k)
-            vclock[on] = s + k * cyc + pk
+            if geo.switch:
+                nb = nb + geo.switch * (ch != vchan[on])
+            # next_occurrences handles replicated buckets (min over copies).
+            vclock[on] = timeline.next_occurrences(b, nb) + geo.bpk[b]
             vchan[on] = ch
-            paid[on] += pk
+            paid[on] += geo.bpk[b]
         clock[rows] = vclock
         chan[rows] = vchan
-        tun_c[rows] += paid
+        tun[rows] += paid
 
-    # Entry frame: opportunistically processed when relevant; when not, the
-    # table alone proved it irrelevant but it is *not* marked examined (the
-    # reference only marks frames whose tables were read inside the walk).
-    ev = np.flatnonzero(rel_c[np.arange(n_lanes), rank0])
-    examined[ev, rank0[ev]] = True
-    processed[ev, rank0[ev]] = True
-    _visit(ev, rank0[ev])
+    def cold_entry(self, qrow: np.ndarray, start_clock: np.ndarray) -> np.ndarray:
+        """The probe plus the first index-table read (with loss retries),
+        then the reference's opportunistic entry-frame processing."""
+        geo, st, err = self.geo, self.static, self.err
+        self.clock[:] = np.asarray(start_clock, dtype=np.int64) + 1  # the probe
+        self.tun[:] = 1
+        if err is None:
+            start, rank0 = geo.entry_seek(self.clock)
+            pk = geo.pk_of_rank[rank0]
+            self.clock[:] = start + pk
+            self.tun += pk
+            self.know |= st.learn[rank0]
+        else:
+            rank0 = np.zeros(self.n_lanes, dtype=np.int64)
+            pend = np.arange(self.n_lanes)
+            attempts = 0
+            while len(pend):
+                start, r = geo.entry_seek(self.clock[pend])
+                pk = geo.pk_of_rank[r]
+                self.clock[pend] = start + pk
+                self.tun[pend] += pk
+                lost = err.lost(pend)
+                ok = pend[~lost]
+                rank0[ok] = r[~lost]
+                self.know[ok] |= st.learn[r[~lost]]
+                pend = pend[lost]
+                attempts += 1
+                if len(pend) and attempts > st.n_frames + 1:
+                    # The reference raises RuntimeError here; decline so the
+                    # fallback path reproduces it.
+                    raise KernelUnsupported("entry-table retries exhausted")
+        # Entry frame: opportunistically processed when relevant; when not,
+        # the table alone proved it irrelevant but it is *not* marked
+        # examined (the reference only marks frames read inside the walk).
+        ev = np.flatnonzero(self.rel[qrow, rank0])
+        self.examined[ev, rank0[ev]] = True
+        self.processed[ev, rank0[ev]] = True
+        self._visit_on(self.clock, self.chan, self.tun, ev, rank0[ev], qrow)
+        return rank0
 
-    # -- the lockstep hop loop -------------------------------------------------
-    # Rank-valued working arrays use the smallest dtype that fits: the hop
-    # loop is memory-bound and every byte per cell is wall-clock.
-    rdt = np.int16 if n_frames < np.iinfo(np.int16).max else np.int32
-    ranks_row = np.arange(n_frames, dtype=rdt)
-    fill_lo = rdt(0)
-    fill_hi = rdt(n_frames)
-    none_lo = rdt(-1)
-    s_of_rank32 = s_of_rank.astype(np.int32)
-    fp32 = np.int32(n_frames)
-    final_clock = np.zeros(n_lanes, dtype=np.int64)
-    tun_lane = np.zeros(n_lanes, dtype=np.int64)
-    hop_limit = 8 * n_frames + 64  # the reference walk's safety bound
-    for hop in range(hop_limit + 1):
-        if not len(lane_ids):
-            break
-        # Candidacy, gather-free: r is a candidate iff it is unexamined and
-        # some unprocessed relevant rank r' lies in [B(r), A(r)), with B/A
-        # the nearest known ranks at/below and strictly above r.  Any such
-        # r' <= r satisfies r' < A(r) outright, so the test splits at r:
-        #   (largest r' <= r) >= B(r)   or   (smallest r' > r) < A(r)
-        # -- four running sweeps and two elementwise compares.
-        unproc = rel_c & ~processed
-        below = np.maximum.accumulate(np.where(know, ranks_row, fill_lo), axis=1)
-        prev_u = np.maximum.accumulate(np.where(unproc, ranks_row, none_lo), axis=1)
-        above_ge = np.minimum.accumulate(
-            np.where(know, ranks_row, fill_hi)[:, ::-1], axis=1
-        )[:, ::-1]
-        next_u_ge = np.minimum.accumulate(
-            np.where(unproc, ranks_row, fill_hi)[:, ::-1], axis=1
-        )[:, ::-1]
-        cand = np.empty((len(lane_ids), n_frames), dtype=bool)
-        cand[:, :-1] = next_u_ge[:, 1:] < above_ge[:, 1:]
-        cand[:, -1] = False
-        cand |= prev_u >= below
-        cand &= ~examined
-        has = cand.any(axis=1)
-
-        if not has.all():
-            done = lane_ids[~has]
-            final_clock[done] = clock[~has]
-            tun_lane[done] = tun_c[~has]
-            lane_ids = lane_ids[has]
-            if not len(lane_ids):
+    def walk(self, qrow: np.ndarray) -> None:
+        """Advance every lane to pending-set exhaustion (one query hop)."""
+        geo, st, err = self.geo, self.static, self.err
+        n_frames = st.n_frames
+        idx = np.arange(self.n_lanes)
+        cl = self.clock.copy()
+        ch = self.chan.copy()
+        tn = self.tun.copy()
+        kn = self.know.copy()
+        ex = self.examined.copy()
+        pr = self.processed.copy()
+        qr = np.asarray(qrow, dtype=np.int64)
+        rl = self.rel[qr]
+        # Rank-valued working arrays use the smallest dtype that fits: the
+        # hop loop is memory-bound and every byte per cell is wall-clock.
+        rdt = np.int16 if n_frames < np.iinfo(np.int16).max else np.int32
+        ranks_row = np.arange(n_frames, dtype=rdt)
+        fill_lo = rdt(0)
+        fill_hi = rdt(n_frames)
+        none_lo = rdt(-1)
+        big = geo.wdtype(geo.cc)
+        hop_limit = 8 * n_frames + 64  # the reference walk's safety bound
+        for hop in range(hop_limit + 1):
+            if not len(idx):
                 break
-            qid_c, clock, chan, tun_c = qid_c[has], clock[has], chan[has], tun_c[has]
-            know, examined = know[has], examined[has]
-            processed, rel_c, cand = processed[has], rel_c[has], cand[has]
-        if hop == hop_limit:
-            raise KernelUnsupported("hop limit exceeded")  # pragma: no cover
+            # Candidacy, gather-free: r is a candidate iff it is unexamined
+            # and some unprocessed relevant rank r' lies in [B(r), A(r)),
+            # with B/A the nearest known ranks at/below and strictly above
+            # r.  Any such r' <= r satisfies r' < A(r) outright, so the
+            # test splits at r:
+            #   (largest r' <= r) >= B(r)   or   (smallest r' > r) < A(r)
+            # -- four running sweeps and two elementwise compares.
+            unproc = rl & ~pr
+            below = np.maximum.accumulate(np.where(kn, ranks_row, fill_lo), axis=1)
+            prev_u = np.maximum.accumulate(np.where(unproc, ranks_row, none_lo), axis=1)
+            above_ge = np.minimum.accumulate(
+                np.where(kn, ranks_row, fill_hi)[:, ::-1], axis=1
+            )[:, ::-1]
+            next_u_ge = np.minimum.accumulate(
+                np.where(unproc, ranks_row, fill_hi)[:, ::-1], axis=1
+            )[:, ::-1]
+            cand = np.empty((len(idx), n_frames), dtype=bool)
+            cand[:, :-1] = next_u_ge[:, 1:] < above_ge[:, 1:]
+            cand[:, -1] = False
+            cand |= prev_u >= below
+            cand &= ~ex
+            has = cand.any(axis=1)
 
-        # Earliest-arriving candidate = first candidate in cyclic table
-        # order from the (switch-adjusted) clock; ties cannot occur.
-        nb = clock
-        if switch:
-            nb = nb + switch * (chan != ctrl)
-        base = (nb // cc) * cc
-        off = nb - base
-        jrot = np.searchsorted(tsort_starts, off, side="left").astype(np.int32)
-        cyc_index = (s_of_rank32[None, :] - jrot[:, None]) % fp32
-        chosen = np.argmin(np.where(cand, cyc_index, fp32), axis=1)
+            if not has.all():
+                done = idx[~has]
+                self.clock[done] = cl[~has]
+                self.chan[done] = ch[~has]
+                self.tun[done] = tn[~has]
+                self.know[done] = kn[~has]
+                idx = idx[has]
+                if not len(idx):
+                    break
+                cl, ch, tn = cl[has], ch[has], tn[has]
+                kn, ex, pr = kn[has], ex[has], pr[has]
+                rl, qr, cand = rl[has], qr[has], cand[has]
+            if hop == hop_limit:
+                raise KernelUnsupported("hop limit exceeded")  # pragma: no cover
 
-        koff = start_of_rank[chosen]
-        arrive = base + koff + cc * (koff < off)
-        pk = pk_of_rank[chosen]
-        clock = arrive + pk
-        chan = np.full(len(lane_ids), ctrl, dtype=np.int64)
-        tun_c = tun_c + pk
+            # Earliest-arriving candidate: wait to each rank's *nearest*
+            # airing from the (switch-adjusted) clock; distinct airings sit
+            # at distinct cycle offsets, so waits never tie and the
+            # reference's lowest-rank tie-break stays vacuous.
+            nb = cl
+            if geo.switch:
+                nb = nb + geo.switch * (ch != geo.ctrl)
+            base = (nb // geo.cc) * geo.cc
+            off = nb - base
+            wait = geo.wait_matrix(off)
+            rows_all = np.arange(len(idx))
+            chosen = np.argmin(np.where(cand, wait, big), axis=1)
 
-        know |= static.learn[chosen]
-        rows_all = np.arange(len(lane_ids))
-        examined[rows_all, chosen] = True
-        rel_rows = np.flatnonzero(rel_c[rows_all, chosen])
-        processed[rel_rows, chosen[rel_rows]] = True
-        _visit(rel_rows, chosen[rel_rows])
+            if err is None:
+                pk = geo.pk_of_rank[chosen]
+                cl = nb + wait[rows_all, chosen].astype(np.int64) + pk
+                ch = np.full(len(idx), geo.ctrl, dtype=np.int64)
+                tn = tn + pk
+                fr = chosen
+            else:
+                # The reference's read_table retry chain: a lost read pays
+                # its packets (parking the radio on the table channel) and
+                # retries the *next broadcast position*'s table from the
+                # new clock, up to n_frames failures.
+                fr = chosen.copy()
+                pos = st.pos_of_rank[chosen]
+                active = rows_all
+                nbv = nb  # first attempt: the switch-adjusted clock
+                attempts = 0
+                while True:
+                    r = fr[active]
+                    w = geo.wait_rows(nbv, r)
+                    pk = geo.pk_of_rank[r]
+                    cl[active] = nbv + w + pk
+                    tn[active] += pk
+                    ch[active] = geo.ctrl
+                    lost = err.lost(idx[active])
+                    still = active[lost]
+                    if not len(still):
+                        break
+                    attempts += 1
+                    if attempts > n_frames:
+                        # The reference raises RuntimeError; decline so the
+                        # fallback path reproduces it.
+                        raise KernelUnsupported("index-table retries exhausted")
+                    pos[still] = (pos[still] + 1) % n_frames
+                    fr[still] = geo.rank_of_pos[pos[still]]
+                    active = still
+                    nbv = cl[active]
 
-    lat_p = (final_clock[lane_of_phase] - start_p) * capacity
-    tun_bytes = tun_lane[lane_of_phase] * capacity
-    return lat_p, tun_bytes, correct_q[key_qids]
+            # Absorb the (successfully read) table; process when relevant
+            # and not already processed -- exactly overlaps_pending.
+            kn |= st.learn[fr]
+            ex[rows_all, fr] = True
+            do = rl[rows_all, fr] & ~pr[rows_all, fr]
+            rows = np.flatnonzero(do)
+            pr[rows, fr[rows]] = True
+            self._visit_on(cl, ch, tn, rows, fr[rows], qr)
+
+
+def _entry_lanes(
+    geo: _Geometry,
+    key_ids: np.ndarray,
+    start_p: np.ndarray,
+    cycle: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Collapse ``(id, phase)`` keys onto ``(id, entry occurrence)`` lanes.
+
+    Two error-free phases whose first table read is the same absolute
+    airing share their whole absolute trace (the landmark collapse), so
+    they share a lane; the entry *occurrence index* -- the absolute start,
+    not just the bucket -- keys the dedup, which is what lets replicated
+    (demand-aware) schedules collapse exactly like striped ones.  Returns
+    ``(first_idx, lane_of_key)``.
+    """
+    entry_start, _ = geo.entry_seek(start_p + 1)
+    # entry_start < cycle + 2*cc, so the multiplier keeps keys collision-free.
+    entry_key = key_ids * np.int64(2 * (cycle + geo.cc) + 4) + entry_start
+    _, first_idx, lane_of = np.unique(entry_key, return_index=True, return_inverse=True)
+    return first_idx, lane_of
+
+
+def simulate_window_fleet(
+    index: Any,
+    view: Any,
+    config: Any,
+    trials: Sequence[Any],
+    key_qids: np.ndarray,
+    key_phases: np.ndarray,
+    *,
+    n_phases: int,
+    cycle: int,
+    verify: bool,
+    dataset: Any,
+    error_theta: Optional[float] = None,
+    error_scope: str = "index",
+    error_seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Simulate every ``(query, phase)`` execution in lockstep.
+
+    Returns ``(latency_bytes, tuning_bytes, correct)`` aligned with the
+    ``key_qids`` / ``key_phases`` order -- the exact triple the reference
+    per-phase path emits (``correct`` is -1 when not verifying).  Raises
+    :class:`KernelUnsupported` whenever the run falls outside the kernel's
+    proven-exact envelope.
+    """
+    static = _static_of(index)
+    queries: List[WindowQuery] = []
+    for trial in trials:
+        if not isinstance(trial.query, WindowQuery):
+            raise KernelUnsupported("kNN trials take the reference path")
+        queries.append(trial.query)
+
+    timeline = timeline_of(view)
+    geo = _Geometry(static, index, config, timeline)
+    key_qids = np.asarray(key_qids, dtype=np.int64)
+    key_phases = np.asarray(key_phases, dtype=np.int64)
+    err = _make_err_streams(
+        error_theta, error_scope, error_seed, key_qids, key_phases, n_phases
+    )
+    rel, vlen, voff, vflat, correct_q = _precompute_queries(
+        static, index, queries, verify, dataset
+    )
+
+    start_p = (key_phases * cycle) // n_phases
+    if err is None:
+        first_idx, lane_of = _entry_lanes(geo, key_qids, start_p, cycle)
+        qrow = key_qids[first_idx]
+        lane_start = start_p[first_idx]
+    else:
+        # Every execution draws its own loss realisation: one lane per key.
+        lane_of = np.arange(len(key_qids))
+        qrow = key_qids
+        lane_start = start_p
+
+    walker = _Walker(geo, static, rel, vlen, voff, vflat, len(qrow), err)
+    walker.cold_entry(qrow, lane_start)
+    walker.walk(qrow)
+
+    lat_b = (walker.clock[lane_of] - start_p) * geo.capacity
+    tun_b = walker.tun[lane_of] * geo.capacity
+    return lat_b, tun_b, correct_q[key_qids]
+
+
+def simulate_window_journeys(
+    index: Any,
+    view: Any,
+    config: Any,
+    journeys: Sequence[Any],
+    key_jids: np.ndarray,
+    key_phases: np.ndarray,
+    *,
+    n_phases: int,
+    cycle: int,
+    verify: bool,
+    dataset: Any,
+    error_theta: Optional[float] = None,
+    error_scope: str = "index",
+    error_seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Simulate every warm ``(journey, phase)`` execution in lockstep.
+
+    Returns ``(journey_latency_bytes, journey_tuning_bytes, correct_hops)``
+    aligned with the key order -- the exact triple the reference per-phase
+    journey path emits (``correct_hops`` is -1 when not verifying).  Lanes
+    persist across hops: knowledge and the parked channel carry over, while
+    examined/processed reset per hop, exactly like a warm session.
+    """
+    static = _static_of(index)
+    n_steps = 0
+    queries: List[WindowQuery] = []
+    dwell: List[List[int]] = []
+    for journey in journeys:
+        steps = journey.steps
+        if n_steps == 0:
+            n_steps = len(steps)
+        elif len(steps) != n_steps:
+            raise KernelUnsupported("journeys have unequal step counts")
+        for step in steps:
+            if not isinstance(step.query, WindowQuery):
+                raise KernelUnsupported("kNN journeys take the reference path")
+            queries.append(step.query)
+        dwell.append([int(step.dwell_packets) for step in steps])
+    if not n_steps:
+        raise KernelUnsupported("empty journeys take the reference path")
+    dwell_arr = np.asarray(dwell, dtype=np.int64)
+
+    timeline = timeline_of(view)
+    geo = _Geometry(static, index, config, timeline)
+    key_jids = np.asarray(key_jids, dtype=np.int64)
+    key_phases = np.asarray(key_phases, dtype=np.int64)
+    err = _make_err_streams(
+        error_theta, error_scope, error_seed, key_jids, key_phases, n_phases
+    )
+    # One precompute row per (journey, step): knowledge clamps pending at
+    # the global minimum, which hop 1's entry read always teaches (every
+    # table teaches rank 0), so warm hops share the cold clamp and the
+    # per-row tables are hop-invariant.
+    rel, vlen, voff, vflat, correct_q = _precompute_queries(
+        static, index, queries, verify, dataset
+    )
+    if verify:
+        correct_hops = correct_q.reshape(len(dwell), n_steps).sum(axis=1)
+    else:
+        correct_hops = np.full(len(dwell), -1, dtype=np.int64)
+
+    start_p = (key_phases * cycle) // n_phases
+    if err is None:
+        first_idx, lane_of = _entry_lanes(geo, key_jids, start_p, cycle)
+        jid_c = key_jids[first_idx]
+        lane_start = start_p[first_idx]
+    else:
+        lane_of = np.arange(len(key_jids))
+        jid_c = key_jids
+        lane_start = start_p
+
+    walker = _Walker(geo, static, rel, vlen, voff, vflat, len(jid_c), err)
+    total_lat = np.zeros(len(jid_c), dtype=np.int64)
+    qrow = jid_c * n_steps
+    walker.cold_entry(qrow, lane_start)
+    walker.walk(qrow)
+    total_lat += walker.clock - lane_start
+    for h in range(1, n_steps):
+        # next_query: advance by the step's dwell, snapshot the hop start,
+        # re-arm the probe; per-query state resets, session state persists.
+        walker.clock += dwell_arr[jid_c, h]
+        hop_start = walker.clock.copy()
+        walker.clock += 1
+        walker.tun += 1
+        walker.examined[:] = False
+        walker.processed[:] = False
+        walker.walk(jid_c * n_steps + h)
+        total_lat += walker.clock - hop_start
+
+    # Only hop 1's latency depends on the tune-in: shift each phase by its
+    # offset from the lane representative (the landmark collapse).
+    lat_b = (total_lat[lane_of] + (lane_start[lane_of] - start_p)) * geo.capacity
+    tun_b = walker.tun[lane_of] * geo.capacity
+    return lat_b, tun_b, correct_hops[key_jids]

@@ -211,6 +211,23 @@ class TestExperimentComposition:
         )
         assert rows[1]["latency_bytes"] > rows[0]["latency_bytes"]
 
+    def test_fleet_rows_surface_backend_and_reason(self, dataset):
+        """Sweep rows show which engine ran each cell -- and why the slow
+        one ran, when it did (kernel declines must not be silent)."""
+        rows = (
+            Experiment(dataset)
+            .indexes("dsi", "rtree")
+            .window_workload(n_queries=4, seed=5)
+            .fleet(1_000, seed=1, max_phases=32)
+            .run(parallel=False)
+            .rows
+        )
+        by_index = {r["index"]: r for r in rows}
+        assert by_index["dsi"]["backend"] == "numpy"
+        assert by_index["dsi"]["backend_reason"] == ""
+        assert by_index["rtree"]["backend"] == "reference"
+        assert "DSI" in by_index["rtree"]["backend_reason"]
+
     def test_fleet_rejects_shared_error_model_instance(self, dataset):
         from repro.broadcast import LinkErrorModel
 

@@ -3,31 +3,36 @@
 :func:`repro.sim.fleet.run_fleet` reaches its per-execution numbers through
 two layers of batching -- the entry-lane collapse (distinct ``(query,
 phase)`` executions deduplicated by their first entry-structure read) and,
-for error-free DSI window fleets, the structure-of-arrays numpy kernel
+for DSI window fleets -- flat or demand-optimized schedules, lossless or
+under the index-scope link-error model, stationary or warm multi-hop
+journeys -- the structure-of-arrays numpy kernel
 (:mod:`repro.sim.fleet_kernel`).  Both must be *invisible*: the
 ``unique_latency`` / ``unique_tuning`` histograms have to equal what a
 per-client brute force computes, bit for bit.
 
 The brute force here shares nothing with either layer: it replays the
 fleet's seeded client draw, then simulates every distinct execution with a
-fresh :class:`ClientSession` and the scalar query walk -- no collapse, no
-kernel, no compiled timeline.  Hypothesis drives dataset, workload and
-fleet seeds across all three index families, single- and four-channel
-schedules, and the lossless and link-error regimes.
+fresh :class:`ClientSession` (or a fresh warm :class:`ContinuousClient`
+for journeys) and the scalar query walk -- no collapse, no kernel.
+Hypothesis drives dataset, workload and fleet seeds across all three index
+families, single- and four-channel schedules, flat and replicated
+(multiplicity 2--9) layouts, and the lossless and link-error regimes.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
 from repro.broadcast.client import ClientSession
 from repro.broadcast.config import SystemConfig
 from repro.broadcast.errors import LinkErrorModel
 from repro.broadcast.schedule import BroadcastSchedule
+from repro.broadcast.timeline import timeline_of
+from repro.mobility import run_journey, trajectory_workload
 from repro.queries.workload import window_workload
-from repro.sim.fleet import run_fleet
+from repro.sim.fleet import run_fleet, run_mobile_fleet
 from repro.sim.runner import build_index, execute_query
 from repro.spatial.datasets import uniform_dataset
 
@@ -42,7 +47,7 @@ _SETTINGS = dict(
 
 
 def _brute_force_uniques(index, config, trials, *, n_clients, seed, max_phases,
-                         theta, error_seed):
+                         theta, error_seed, schedule=None):
     """Per-execution (latency_bytes, tuning_bytes, counts) with no batching.
 
     Replays :func:`repro.sim.fleet._draw_batches`'s seeded generator (one
@@ -52,7 +57,8 @@ def _brute_force_uniques(index, config, trials, *, n_clients, seed, max_phases,
     fleet's per-key loss realisation -- ``seed = (error_seed * 1_000_003 +
     key) & 0x7FFFFFFF`` -- so the comparison is exact, not statistical.
     """
-    schedule = BroadcastSchedule.for_config(index.program, config)
+    if schedule is None:
+        schedule = BroadcastSchedule.for_config(index.program, config)
     view = schedule.view()
     cycle = view.cycle_packets
     n_phases = min(cycle, max_phases)
@@ -81,6 +87,42 @@ def _brute_force_uniques(index, config, trials, *, n_clients, seed, max_phases,
         outcome = execute_query(index, trials[qid].query, session)
         lat.append(outcome.metrics.latency_packets * capacity)
         tun.append(outcome.metrics.tuning_bytes)
+    return (np.array(lat, dtype=np.float64), np.array(tun, dtype=np.float64),
+            counts[keys])
+
+
+def _brute_force_journeys(index, config, journeys, *, n_clients, seed,
+                          max_phases, theta, error_seed, schedule=None):
+    """Per-(journey, phase) totals with no batching: one fresh warm
+    :class:`ContinuousClient` per distinct execution, scalar walks only."""
+    if schedule is None:
+        schedule = BroadcastSchedule.for_config(index.program, config)
+    view = schedule.view()
+    cycle = view.cycle_packets
+    n_phases = min(cycle, max_phases)
+    n_j = len(journeys)
+
+    rng = np.random.default_rng(seed)
+    jids = rng.integers(0, n_j, size=n_clients, dtype=np.int64)
+    fracs = rng.random(n_clients)
+    phases = (fracs * n_phases).astype(np.int64)
+    counts = np.bincount(jids * n_phases + phases, minlength=n_j * n_phases)
+    keys = np.flatnonzero(counts)
+
+    lat, tun = [], []
+    for key in keys.tolist():
+        jid, phase = divmod(key, n_phases)
+        start_packet = (phase * cycle) // n_phases
+        model = None
+        if theta is not None:
+            model = LinkErrorModel(
+                theta=theta, scope="index",
+                seed=(error_seed * 1_000_003 + key) & 0x7FFFFFFF,
+            )
+        out = run_journey(index, view, config, journeys[jid],
+                          start_packet=start_packet, error_model=model)
+        lat.append(out.total_latency_bytes)
+        tun.append(out.total_tuning_bytes)
     return (np.array(lat, dtype=np.float64), np.array(tun, dtype=np.float64),
             counts[keys])
 
@@ -116,14 +158,133 @@ def test_fleet_matches_brute_force(kind, channels, theta, data):
     np.testing.assert_array_equal(result.unique_counts, counts)
     np.testing.assert_array_equal(result.unique_latency, lat)
     np.testing.assert_array_equal(result.unique_tuning, tun)
+    if kind == "dsi":
+        assert result.backend == "numpy"
+        assert result.backend_reason is None
+
+
+@pytest.mark.parametrize("theta", [None, 0.12], ids=["lossless", "errors"])
+@pytest.mark.parametrize("channels", [1, 4])
+@given(data=st.data())
+@settings(**_SETTINGS)
+def test_optimized_fleet_matches_brute_force(channels, theta, data):
+    """Demand-optimized (replicated) schedules stay on the kernel, exactly.
+
+    The optimizer re-airs hot data buckets 2--9x per macro-cycle, so the
+    kernel's multiplicity-aware occurrence arithmetic (nearest-copy waits,
+    entry-occurrence lane keys, replicated visit seeks) is what's under
+    test here -- against scalar sessions walking the same explicit layout.
+    """
+    n_objects = data.draw(st.integers(min_value=40, max_value=90))
+    dataset_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
+    workload_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
+    fleet_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
+    budget = data.draw(st.floats(min_value=1.4, max_value=3.0))
+
+    dataset = uniform_dataset(n_objects, seed=dataset_seed)
+    workload = window_workload(4, 0.15, seed=workload_seed)
+    config = SystemConfig(packet_capacity=64, n_channels=channels)
+    index = build_index("dsi", dataset, config, use_cache=False)
+    demand = workload.bucket_demand(index, dataset)
+    schedule = BroadcastSchedule.optimized(
+        index.program, demand, channels=channels, budget=budget
+    )
+    mult = timeline_of(schedule.view()).max_multiplicity
+    assume(2 <= mult <= 9)
+    trials = list(workload)
+
+    result = run_fleet(
+        index, dataset, config, workload, N_CLIENTS, seed=fleet_seed,
+        max_phases=MAX_PHASES, error_theta=theta, error_seed=5,
+        schedule=schedule,
+    )
+    lat, tun, counts = _brute_force_uniques(
+        index, config, trials, n_clients=N_CLIENTS, seed=fleet_seed,
+        max_phases=MAX_PHASES, theta=theta, error_seed=5, schedule=schedule,
+    )
+
+    assert result.backend == "numpy"
+    assert result.schedule_policy == "optimized"
+    assert result.n_executions == len(lat)
+    np.testing.assert_array_equal(result.unique_counts, counts)
+    np.testing.assert_array_equal(result.unique_latency, lat)
+    np.testing.assert_array_equal(result.unique_tuning, tun)
+
+
+@pytest.mark.parametrize("theta", [None, 0.12], ids=["lossless", "errors"])
+@pytest.mark.parametrize("channels", [1, 4])
+@pytest.mark.parametrize("kind", ["dsi", "rtree", "hci"])
+@given(data=st.data())
+@settings(**_SETTINGS)
+def test_mobile_fleet_matches_brute_force(kind, channels, theta, data):
+    """Warm 3-hop journey fleets equal per-journey scalar clients exactly.
+
+    Exercises the journey kernel's persistent lanes (knowledge and parked
+    channel carried across hops, per-hop examined/processed resets) for
+    DSI, and the reference fan-out for the tree-walk indexes.
+    """
+    n_objects = data.draw(st.integers(min_value=40, max_value=90))
+    dataset_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
+    traj_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
+    fleet_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
+
+    dataset = uniform_dataset(n_objects, seed=dataset_seed)
+    trajectories = trajectory_workload(
+        n_journeys=4, n_steps=3, seed=traj_seed, win_side_ratio=0.12
+    )
+    config = SystemConfig(packet_capacity=64, n_channels=channels)
+    index = build_index(kind, dataset, config, use_cache=False)
+
+    result = run_mobile_fleet(
+        index, dataset, config, trajectories, N_CLIENTS, seed=fleet_seed,
+        max_phases=MAX_PHASES, error_theta=theta, error_seed=7,
+    )
+    lat, tun, counts = _brute_force_journeys(
+        index, config, list(trajectories), n_clients=N_CLIENTS,
+        seed=fleet_seed, max_phases=MAX_PHASES, theta=theta, error_seed=7,
+    )
+
+    assert result.n_executions == len(lat)
+    np.testing.assert_array_equal(result.unique_counts, counts)
+    np.testing.assert_array_equal(result.unique_latency, lat)
+    np.testing.assert_array_equal(result.unique_tuning, tun)
+    if kind == "dsi":
+        assert result.backend == "numpy"
+
+
+@given(
+    seeds=st.lists(st.integers(0, 2**31 - 1), min_size=1, max_size=32),
+    rounds=st.integers(1, 40),
+)
+@settings(max_examples=30, deadline=None)
+def test_err_streams_match_default_rng(seeds, rounds):
+    """The vectorized PCG64 lanes reproduce numpy's seeded streams exactly.
+
+    `_ErrStreams` reimplements SeedSequence hashing and the 128-bit LCG in
+    flat uint64 arrays; every buffered uniform must equal what
+    ``np.random.default_rng(seed).random()`` would have drawn, including
+    across buffer growths.
+    """
+    from repro.sim.fleet_kernel import _ErrStreams
+
+    streams = _ErrStreams(np.asarray(seeds, dtype=np.int64), theta=0.5)
+    all_lanes = np.arange(len(seeds))
+    for _ in range(rounds):
+        streams.lost(all_lanes)  # lockstep draws force periodic growth
+    width = streams._buf.shape[1]
+    reference = np.array(
+        [np.random.default_rng(int(s)).random(width) for s in seeds]
+    )
+    assert np.array_equal(streams._buf, reference)
 
 
 def test_kernel_backend_selection():
     """The numpy kernel takes exactly the envelope it proves exact.
 
-    Error-free DSI window fleets run on the kernel (both channel layouts);
-    tree-walk indexes and link-error runs fall back to the per-execution
-    reference simulator.
+    DSI window fleets -- lossless or index-scope lossy -- run on the
+    kernel (both channel layouts); tree-walk indexes and non-index error
+    scopes fall back to the per-execution reference simulator, and the
+    decline reason is recorded on the result.
     """
     dataset = uniform_dataset(200, seed=7)
     workload = window_workload(6, 0.1, seed=3)
@@ -133,13 +294,22 @@ def test_kernel_backend_selection():
         out = run_fleet(index, dataset, config, workload, 2_000, seed=9,
                         max_phases=32)
         assert out.backend == "numpy"
+        assert out.backend_reason is None
         err = run_fleet(index, dataset, config, workload, 2_000, seed=9,
                         max_phases=32, error_theta=0.05)
-        assert err.backend == "reference"
+        assert err.backend == "numpy"
+        assert err.backend_reason is None
     config = SystemConfig(packet_capacity=64)
+    index = build_index("dsi", dataset, config, use_cache=False)
+    all_scope = run_fleet(index, dataset, config, workload, 2_000, seed=9,
+                          max_phases=32, error_theta=0.05, error_scope="all")
+    assert all_scope.backend == "reference"
+    assert "scope" in all_scope.backend_reason
+    assert all_scope.as_row()["backend_reason"] == all_scope.backend_reason
     rtree = build_index("rtree", dataset, config, use_cache=False)
     out = run_fleet(rtree, dataset, config, workload, 2_000, seed=9, max_phases=32)
     assert out.backend == "reference"
+    assert "DSI" in out.backend_reason
 
 
 def test_kernel_verify_counts_clients():

@@ -5,18 +5,25 @@ schedules, serial vs parallel unique-execution fan-out) and writes
 clients-per-second figures to ``BENCH_fleet.json`` at the repository root
 so later PRs can track the population-scaling trajectory.
 
-Three regimes are measured:
+Four regimes are measured:
 
-* the **lossless stages** run on the batched numpy fleet kernel
+* the **lossless DSI stages** run on the batched numpy fleet kernel
   (``backend == "numpy"``) and must clear hard clients-per-second floors
   at full scale -- 1M/s on one channel, 300k/s on four;
+* the **tree and kNN stages** (PR 9) run the R-tree and HCI window fleets
+  on the frontier-sweep kernel and the DSI kNN fleet on the deduplicated
+  planner lanes (``backend == "lanes"``), with 200k/s (tree) and 10k/s
+  (kNN) full-scale floors;
 * the **index-scope error stage** injects link errors on navigation
   buckets -- the experiments' error model -- which since PR 8 also runs on
   the kernel (vectorized per-lane loss streams), with a 500k/s floor;
-* the **all-scope error stage** loses data buckets too, which the kernel
-  declines (``backend == "reference"``) -- the regime where the multicore
-  fan-out has real per-execution work to shard, so the parallel-speedup
-  figure is measured there.
+* the **all-scope error stage** loses data buckets too, which every
+  kernel declines (``backend == "reference"``) -- the regime where the
+  multicore fan-out has real per-execution work to shard, so the
+  parallel-speedup figure is measured there.  Serial and parallel legs
+  must produce bit-identical per-execution histograms (on one CPU the
+  "parallel" leg degrades to the serial path rather than paying executor
+  overhead for nothing).
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the fleet so CI can run the bench on every
 push; the acceptance-style wall-clock assertion (< 30 s for the 100k run)
@@ -35,8 +42,10 @@ import os
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.broadcast.config import SystemConfig
-from repro.queries.workload import window_workload
+from repro.queries.workload import knn_workload, window_workload
 from repro.sim.fleet import run_fleet
 from repro.sim.runner import build_index
 from repro.spatial.datasets import uniform_dataset
@@ -56,6 +65,13 @@ PARALLEL_SLACK = 0.9
 MIN_CPS = {1: 1_000_000.0, 4: 300_000.0}
 #: Full-scale floor for the index-scope error stage (kernel-backed since PR 8).
 MIN_ERR_CPS = 500_000.0
+#: Full-scale floors for the PR 9 stages: tree-index window fleets on the
+#: frontier-sweep kernel and DSI kNN fleets on the planner-lane backend.
+MIN_TREE_CPS = 200_000.0
+#: kNN lanes still pay one real radius-driven planner walk per distinct
+#: (query, entry-landmark) lane, so the floor is population-scale but far
+#: below the window kernels'.
+MIN_KNN_CPS = 10_000.0
 
 #: Optional hard gate on the all-scope error stage's parallel speedup.
 REQUIRE_SPEEDUP = float(os.environ.get("REPRO_REQUIRE_PARALLEL_SPEEDUP", "0") or "0")
@@ -119,6 +135,54 @@ def test_fleet_bench():
             )
         reference = None
 
+    # Tree-index window fleets (PR 9): the frontier-sweep kernel walks the
+    # R-tree and HCI programs for every lane in lockstep; one- and
+    # four-channel schedules, full population.
+    for kind in ("rtree", "hci"):
+        for channels in (1, 4):
+            config = SystemConfig(packet_capacity=64, n_channels=channels)
+            index = build_index(kind, dataset, config, use_cache=True)
+            t0 = time.perf_counter()
+            result = run_fleet(
+                index, dataset, config, workload, N_CLIENTS, seed=9,
+            )
+            wall = time.perf_counter() - t0
+            key = f"fleet_{kind}_{channels}ch"
+            stages[f"{key}_s"] = wall
+            stages[f"{key}_clients_per_sec"] = N_CLIENTS / wall
+            stages[f"{key}_executions"] = result.n_executions
+            stages[f"{key}_backend"] = result.backend
+            if not os.environ.get("REPRO_PURE"):
+                assert result.backend == "numpy", result.backend_reason
+                if not BENCH_SMOKE:
+                    cps = stages[f"{key}_clients_per_sec"]
+                    assert cps >= MIN_TREE_CPS, (
+                        f"{kind} frontier kernel below floor at {channels} "
+                        f"channel(s): {cps:,.0f} < {MIN_TREE_CPS:,.0f} clients/s"
+                    )
+
+    # DSI kNN fleet (PR 9): deduplicated planner lanes -- one real
+    # radius-driven walk per distinct (query, entry landmark), every other
+    # phase collapsed onto it.
+    knn = knn_workload(N_QUERIES, k=10, seed=3)
+    config = SystemConfig(packet_capacity=64, n_channels=1)
+    index = build_index("dsi", dataset, config, use_cache=True)
+    t0 = time.perf_counter()
+    result = run_fleet(index, dataset, config, knn, N_CLIENTS, seed=9)
+    wall = time.perf_counter() - t0
+    stages["fleet_knn_1ch_s"] = wall
+    stages["fleet_knn_1ch_clients_per_sec"] = N_CLIENTS / wall
+    stages["fleet_knn_1ch_executions"] = result.n_executions
+    stages["fleet_knn_1ch_backend"] = result.backend
+    if not os.environ.get("REPRO_PURE"):
+        assert result.backend == "lanes", result.backend_reason
+        if not BENCH_SMOKE:
+            cps = stages["fleet_knn_1ch_clients_per_sec"]
+            assert cps >= MIN_KNN_CPS, (
+                f"kNN lane backend below floor: "
+                f"{cps:,.0f} < {MIN_KNN_CPS:,.0f} clients/s"
+            )
+
     # Index-scope error stage: the experiments' error model (navigation
     # losses only), kernel-backed since PR 8 -- vectorized per-lane loss
     # streams, bit-equal to the reference per-execution simulator.
@@ -147,8 +211,10 @@ def test_fleet_bench():
     # envelope, so both legs run the per-execution reference simulator --
     # the regime where the multicore shard fan-out (key-only chunks, views
     # rebuilt per worker) does real work.  Serial and parallel must agree
-    # bit for bit.
-    err_mean = None
+    # bit for bit, per execution -- on one CPU the parallel leg degrades to
+    # the serial path (no executor overhead), which this equality also
+    # certifies.
+    err_uniques = None
     for mode, parallel in (("serial", False), ("parallel", True)):
         t0 = time.perf_counter()
         result = run_fleet(
@@ -163,10 +229,11 @@ def test_fleet_bench():
         stages[f"{key}_executions"] = result.n_executions
         stages[f"{key}_backend"] = result.backend
         assert result.backend == "reference"
-        if err_mean is None:
-            err_mean = result.result.latency.mean
+        if err_uniques is None:
+            err_uniques = (result.unique_latency, result.unique_tuning)
         else:
-            assert result.result.latency.mean == err_mean
+            np.testing.assert_array_equal(result.unique_latency, err_uniques[0])
+            np.testing.assert_array_equal(result.unique_tuning, err_uniques[1])
     stages["fleet_err_all_parallel_speedup"] = (
         stages["fleet_err_all_serial_s"] / stages["fleet_err_all_parallel_s"]
     )

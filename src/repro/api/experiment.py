@@ -147,6 +147,20 @@ class ExperimentRun:
     def rows(self) -> List[Dict[str, Any]]:
         return [row for point in self.points for row in point.rows]
 
+    @property
+    def kernel_coverage(self) -> "OrderedDict[str, Any]":
+        """Backend coverage across the grid's fleet rows.
+
+        Aggregates every row's ``backend``/``backend_reason`` (fleet and
+        mobility cells tag them; figure cells are skipped) via
+        :func:`repro.sim.report.kernel_coverage` -- the at-a-glance check
+        that the structure-of-arrays kernels still carry the grid and the
+        reference fallback only fires for its documented decline reasons.
+        """
+        from ..sim.report import kernel_coverage
+
+        return kernel_coverage(self.rows)
+
     def results(self) -> "OrderedDict[str, ExperimentResult]":
         """Results of a single-point run keyed by index display name."""
         if len(self.points) != 1:

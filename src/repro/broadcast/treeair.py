@@ -263,16 +263,23 @@ class TreeOnAir:
         buckets (every copy of every pending node, every pending object) are
         ranked in one batched timeline lookup -- the same buckets, in the
         very same arrival order, as the scalar occurrence sweep computed.
+
+        Candidates are iterated in sorted id order (nodes before objects),
+        so arrival ties resolve deterministically: lowest pending node id,
+        then lowest pending object id.  On one channel ties are impossible
+        (distinct buckets occupy distinct cycle offsets), so the ordering
+        only ever decides cross-channel ties -- and it is the ordering the
+        lockstep fleet kernel (:mod:`repro.sim.fleet_kernel`) mirrors.
         """
         buckets: List[int] = []
         events: List[Tuple[str, int]] = []
         firsts: List[int] = []
-        for node_id in node_ids:
+        for node_id in sorted(node_ids):
             copies = self.node_buckets[node_id]
             firsts.append(len(buckets))
             buckets.extend(copies)
             events.append(("node", node_id))
-        for oid in oids:
+        for oid in sorted(oids):
             firsts.append(len(buckets))
             buckets.append(self.object_bucket[oid])
             events.append(("data", oid))

@@ -430,11 +430,22 @@ class DsiIndex(AirIndex):
 
         return run(self.air_view(), session, window, knowledge=state)
 
-    def knn_query(self, q: Point, k: int, session, strategy: str = "conservative", state=None):
-        """Run a kNN query through an existing :class:`ClientSession`."""
+    def knn_query(
+        self, q: Point, k: int, session, strategy: str = "conservative",
+        state=None, est_cache=None,
+    ):
+        """Run a kNN query through an existing :class:`ClientSession`.
+
+        ``est_cache`` optionally shares the planner's pure hc-to-distance
+        memo across re-executions of the same query (see
+        :func:`repro.core.knn.knn_query`).
+        """
         from .knn import knn_query as run
 
-        return run(self.air_view(), session, q, k, strategy=strategy, knowledge=state)
+        return run(
+            self.air_view(), session, q, k,
+            strategy=strategy, knowledge=state, est_cache=est_cache,
+        )
 
     def new_client_state(self):
         """Warm-session state: an empty :class:`ClientKnowledge` a continuous

@@ -87,13 +87,25 @@ class HciAirIndex(AirIndex):
 
     # -- window query -----------------------------------------------------------
 
+    def window_cover(self, window: Rect) -> List[HCRange]:
+        """The conservative HC-range cover a window query traverses for.
+
+        Shared by :meth:`window_query` and the lockstep fleet kernel's
+        per-query precompute (:mod:`repro.sim.fleet_kernel`), so both map
+        windows to the identical interval set (an empty cover means the
+        query reads nothing beyond its initial probe).
+        """
+        return self.curve.ranges_for_rect(
+            window, max_ranges=96, max_depth=min(self.curve.order, 10)
+        )
+
     def window_query(
         self,
         window: Rect,
         session: ClientSession,
         state: Optional[Dict[int, AirTreeNode]] = None,
     ) -> TreeQueryResult:
-        cover = self.curve.ranges_for_rect(window, max_ranges=96, max_depth=min(self.curve.order, 10))
+        cover = self.window_cover(window)
         session.initial_probe()
         retrieved, nodes_read, objects_read = self._range_sweep(
             session, cover, collect_data=True, cache=state
@@ -266,6 +278,29 @@ class HciAirIndex(AirIndex):
             self._expand(result.payload, ranges, pending_nodes, sink, found)
         return found, nodes_read
 
+    @staticmethod
+    def range_children(
+        node: AirTreeNode, ranges: Sequence[HCRange]
+    ) -> Tuple[List[int], List[int]]:
+        """The range sweep's pruning rule: ``(child_ids, oids)`` of the
+        entries whose HC interval intersects any of ``ranges``.
+
+        The single source of truth for which subtrees and objects a range
+        sweep must read -- shared by :meth:`_expand` and the lockstep fleet
+        kernel's per-query frontier precompute
+        (:mod:`repro.sim.fleet_kernel`), so both prune identically.
+        """
+        children: List[int] = []
+        oids: List[int] = []
+        for entry in node.entries:
+            if not _intersects_any(entry.key, ranges):
+                continue
+            if entry.is_leaf_entry:
+                oids.append(entry.oid)
+            else:
+                children.append(entry.child)
+        return children, oids
+
     def _expand(
         self,
         node: AirTreeNode,
@@ -274,13 +309,15 @@ class HciAirIndex(AirIndex):
         pending_objects: Set[int],
         found_hcs: Optional[List[int]] = None,
     ) -> None:
+        if found_hcs is None:
+            children, oids = self.range_children(node, ranges)
+            pending_nodes.update(children)
+            pending_objects.update(oids)
+            return
         for entry in node.entries:
             if not _intersects_any(entry.key, ranges):
                 continue
             if entry.is_leaf_entry:
-                if found_hcs is not None:
-                    found_hcs.append(entry.key[0])
-                else:
-                    pending_objects.add(entry.oid)
+                found_hcs.append(entry.key[0])
             else:
                 pending_nodes.add(entry.child)

@@ -158,16 +158,35 @@ class RTreeAirIndex(AirIndex):
         )
 
     @staticmethod
-    def _expand_window(
-        node: AirTreeNode, window: Rect, pending_nodes: Set[int], pending_objects: Set[int]
-    ) -> None:
+    def window_children(
+        node: AirTreeNode, window: Rect
+    ) -> Tuple[List[int], List[int]]:
+        """The window query's pruning rule: ``(child_ids, oids)`` of the
+        entries whose MBR intersects ``window``.
+
+        The single source of truth for which subtrees and objects a window
+        sweep must read -- shared by the reference sweep above and the
+        lockstep fleet kernel's per-query frontier precompute
+        (:mod:`repro.sim.fleet_kernel`), so both prune identically.
+        """
+        children: List[int] = []
+        oids: List[int] = []
         for entry in node.entries:
             if not entry.key.intersects(window):
                 continue
             if entry.is_leaf_entry:
-                pending_objects.add(entry.oid)
+                oids.append(entry.oid)
             else:
-                pending_nodes.add(entry.child)
+                children.append(entry.child)
+        return children, oids
+
+    @staticmethod
+    def _expand_window(
+        node: AirTreeNode, window: Rect, pending_nodes: Set[int], pending_objects: Set[int]
+    ) -> None:
+        children, oids = RTreeAirIndex.window_children(node, window)
+        pending_nodes.update(children)
+        pending_objects.update(oids)
 
     # -- kNN query ----------------------------------------------------------------
 

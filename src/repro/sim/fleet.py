@@ -183,8 +183,10 @@ class FleetResult:
     unique_tuning: np.ndarray = field(repr=False)
     unique_counts: np.ndarray = field(repr=False)
     #: Which engine simulated the distinct executions: ``"numpy"`` for the
-    #: structure-of-arrays kernel (:mod:`repro.sim.fleet_kernel`),
-    #: ``"reference"`` for the per-phase object-model path.
+    #: structure-of-arrays kernels (:mod:`repro.sim.fleet_kernel` -- DSI
+    #: and tree-index window fleets), ``"lanes"`` for deduplicated real-
+    #: planner replays (DSI kNN fleets), ``"reference"`` for the per-phase
+    #: object-model path.
     backend: str = "reference"
     #: Which schedule the fleet tuned into: ``"flat"`` for the config-derived
     #: round-robin layout, ``"optimized"`` for a demand-aware
@@ -548,25 +550,27 @@ def run_fleet(
                 index, view, config, trials, key_qids, key_phases,
                 n_phases=n_phases, cycle=cycle, verify=verify, dataset=dataset,
                 error_theta=error_theta, error_scope=error_scope,
-                error_seed=error_seed,
+                error_seed=error_seed, knn_strategy=knn_strategy,
             )
         except KernelUnsupported as exc:
             backend_reason = str(exc)
             kernel_out = None
 
     if kernel_out is not None:
-        backend = "numpy"
-        lat_b, tun_b, corrects = kernel_out
+        lat_b, tun_b, corrects, backend = kernel_out
         uniq_lat = lat_b.astype(np.float64)
         uniq_tun = tun_b.astype(np.float64)
     else:
         # Reference path, batched per query.  One task per (query,
         # phase-run): queries are contiguous in key order, and large phase
         # runs are split so the pool has a few chunks per worker to balance
-        # -- each task ships two ints and a phase list.
+        # -- each task ships two ints and a phase list.  A 1-worker "pool"
+        # adds fork overhead for nothing, so the fan-out degrades to the
+        # serial path (identical results either way).
         tasks: List[Tuple[int, List[int]]] = []
         n_workers = processes if processes is not None else default_processes()
-        target_chunks = max(n_q, 2 * n_workers) if parallel else n_q
+        use_parallel = parallel and n_workers > 1
+        target_chunks = max(n_q, 2 * n_workers) if use_parallel else n_q
         max_chunk = max(1, -(-len(keys) // max(target_chunks, 1)))
         q_starts = np.flatnonzero(np.diff(key_qids, prepend=-1))
         for i, start in enumerate(q_starts):
@@ -582,7 +586,7 @@ def run_fleet(
         )
         if verify:
             ctx["dataset"] = dataset
-        if not parallel or explicit_schedule:
+        if not use_parallel or explicit_schedule:
             # Workers rebuild the view from (program, config) -- see
             # _install_sim_ctx; in-process runs reuse the one already built,
             # and an explicit schedule MUST ship because for_config cannot
@@ -592,7 +596,7 @@ def run_fleet(
             outs = parallel_map(
                 _simulate_query_batch,
                 tasks,
-                processes=processes if parallel else 1,
+                processes=processes if use_parallel else 1,
                 initializer=_install_sim_ctx,
                 initargs=(ctx,),
             )
@@ -767,9 +771,9 @@ class MobileFleetResult:
     unique_tuning: np.ndarray = field(repr=False)
     unique_counts: np.ndarray = field(repr=False)
     #: Which engine simulated the distinct journeys: ``"numpy"`` for the
-    #: SoA journey kernel (:func:`repro.sim.fleet_kernel.simulate_window_journeys`,
-    #: warm window journeys with persistent lanes), ``"reference"`` for the
-    #: per-phase object-model path.
+    #: SoA journey kernels (:func:`repro.sim.fleet_kernel.simulate_window_journeys`,
+    #: warm window journeys -- DSI or tree-index -- with persistent lanes),
+    #: ``"reference"`` for the per-phase object-model path.
     backend: str = "reference"
     #: Which schedule the fleet tuned into (see :class:`FleetResult`).
     schedule_policy: str = "flat"
@@ -932,21 +936,21 @@ def run_mobile_fleet(
                 index, view, config, journeys, key_jids, key_phases,
                 n_phases=n_phases, cycle=cycle, verify=verify, dataset=dataset,
                 error_theta=error_theta, error_scope=error_scope,
-                error_seed=error_seed,
+                error_seed=error_seed, knn_strategy=knn_strategy,
             )
         except KernelUnsupported as exc:
             backend_reason = str(exc)
             kernel_out = None
 
     if kernel_out is not None:
-        backend = "numpy"
-        lat_b, tun_b, correct_hops = kernel_out
+        lat_b, tun_b, correct_hops, backend = kernel_out
         uniq_lat = lat_b.astype(np.float64)
         uniq_tun = tun_b.astype(np.float64)
     else:
         tasks: List[Tuple[int, List[int]]] = []
         n_workers = processes if processes is not None else default_processes()
-        target_chunks = max(n_j, 2 * n_workers) if parallel else n_j
+        use_parallel = parallel and n_workers > 1
+        target_chunks = max(n_j, 2 * n_workers) if use_parallel else n_j
         max_chunk = max(1, -(-len(keys) // max(target_chunks, 1)))
         j_starts = np.flatnonzero(np.diff(key_jids, prepend=-1))
         for i, start in enumerate(j_starts):
@@ -962,7 +966,7 @@ def run_mobile_fleet(
         )
         if verify:
             ctx["dataset"] = dataset
-        if not parallel or explicit_schedule:
+        if not use_parallel or explicit_schedule:
             # An explicit schedule must ship: workers' for_config rebuild
             # cannot reproduce an optimized layout (see run_fleet).
             ctx["view"] = view
@@ -970,7 +974,7 @@ def run_mobile_fleet(
             outs = parallel_map(
                 _simulate_journey_batch,
                 tasks,
-                processes=processes if parallel else 1,
+                processes=processes if use_parallel else 1,
                 initializer=_install_sim_ctx,
                 initargs=(ctx,),
             )

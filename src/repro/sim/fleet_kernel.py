@@ -96,22 +96,64 @@ Latency is ``exit clock - tune-in`` (summed over hops for journeys);
 tuning accumulates *per phase* (identical within a lane: every phase of a
 lane pays the same probe, table, directory and data packets).  Answers are
 phase-independent (fact 3), so verification runs once per query.
+
+**Tree indexes** (the R-tree-on-air and HCI baselines) run the same
+lockstep discipline over a different structure: their window sweeps keep a
+*pending set* of tree nodes and data objects and always read the pending
+bucket that arrives next.  The kernel compiles each
+:class:`~repro.broadcast.treeair.TreeOnAir` into flat node tables (dense
+node ids, padded per-node copy matrices, packet sizes) and each query into
+its **qualifying subtree** -- the nodes and objects reachable from the root
+through entries that intersect the window (R-tree MBRs) or its HC-range
+cover (HCI intervals), computed with the indexes' own pruning rules
+(``window_children`` / ``range_children``).  That set is timing-independent:
+whichever order buckets arrive in, the sweep reads exactly the reachable
+nodes and objects, because a successful node read always expands the same
+children and a lost read leaves the node pending.  Each query's events
+(qualifying nodes in sorted id order, then objects in sorted id order --
+the reference's deterministic candidate order) carry a padded copy-bucket
+matrix, a static child-adjacency matrix and a root-expansion mask; a hop
+then advances every lane as a frontier sweep: batched
+``next_occurrences`` over all pending copies, masked argmin (first minimum
+= the reference's tie-break), clear the landed event and OR in its
+adjacency row.  Node reads draw link errors exactly like the reference
+(navigation kind, per-lane streams, in walk order); data reads never do
+under the index scope.  Warm journeys add a per-lane node-cache bitmask:
+cached pending nodes are expanded for free to a fixpoint at the top of
+every step, the vectorised counterpart of ``drain_cached_nodes`` (the
+cascade is order-independent for window sweeps, which only union pending
+sets).  The entry-landmark collapse keys on the first root-copy arrival --
+exactly :meth:`TreeOnAir.entry_landmark` -- so lossless lanes dedup just
+like DSI ones.
+
+**kNN fleets** over DSI run as *lanes* rather than lockstep arrays: the
+radius-driven planner's control flow is deeply value-dependent, so each
+deduplicated ``(query, entry landmark)`` lane replays the real
+:func:`repro.core.knn.knn_query` planner once (bit-exact by construction)
+and phases sharing a landmark share the trace, shifted by their tune-in
+offset -- the very collapse the reference applies per query batch, hoisted
+above the batch machinery and sharing one distance-estimate memo per query
+across lanes.  The fleet result reports this path as backend ``"lanes"``.
+
 Everything matches the reference walk integer for integer;
 ``tests/test_fleet_kernel.py`` pins both against a brute-force per-phase
-replay across schedules, error models and journeys.
+replay across indexes, schedules, error models and journeys.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+import weakref
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..broadcast.client import ClientSession
 from ..broadcast.program import BucketKind
 from ..broadcast.timeline import timeline_of
+from ..broadcast.treeair import TreeOnAir
 from ..core.knowledge import ClientKnowledge
 from ..core.structure import DsiIndex
-from ..queries.types import WindowQuery
+from ..queries.types import KnnQuery, WindowQuery
 
 __all__ = [
     "KernelUnsupported",
@@ -819,11 +861,11 @@ def _entry_lanes(
     return first_idx, lane_of
 
 
-def simulate_window_fleet(
+def _simulate_dsi_fleet(
     index: Any,
     view: Any,
     config: Any,
-    trials: Sequence[Any],
+    queries: Sequence[WindowQuery],
     key_qids: np.ndarray,
     key_phases: np.ndarray,
     *,
@@ -831,11 +873,11 @@ def simulate_window_fleet(
     cycle: int,
     verify: bool,
     dataset: Any,
-    error_theta: Optional[float] = None,
-    error_scope: str = "index",
-    error_seed: int = 0,
+    error_theta: Optional[float],
+    error_scope: str,
+    error_seed: int,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Simulate every ``(query, phase)`` execution in lockstep.
+    """Simulate every DSI ``(query, phase)`` execution in lockstep.
 
     Returns ``(latency_bytes, tuning_bytes, correct)`` aligned with the
     ``key_qids`` / ``key_phases`` order -- the exact triple the reference
@@ -844,12 +886,6 @@ def simulate_window_fleet(
     proven-exact envelope.
     """
     static = _static_of(index)
-    queries: List[WindowQuery] = []
-    for trial in trials:
-        if not isinstance(trial.query, WindowQuery):
-            raise KernelUnsupported("kNN trials take the reference path")
-        queries.append(trial.query)
-
     timeline = timeline_of(view)
     geo = _Geometry(static, index, config, timeline)
     key_qids = np.asarray(key_qids, dtype=np.int64)
@@ -881,11 +917,13 @@ def simulate_window_fleet(
     return lat_b, tun_b, correct_q[key_qids]
 
 
-def simulate_window_journeys(
+def _simulate_dsi_journeys(
     index: Any,
     view: Any,
     config: Any,
-    journeys: Sequence[Any],
+    queries: Sequence[WindowQuery],
+    dwell_arr: np.ndarray,
+    n_steps: int,
     key_jids: np.ndarray,
     key_phases: np.ndarray,
     *,
@@ -893,11 +931,11 @@ def simulate_window_journeys(
     cycle: int,
     verify: bool,
     dataset: Any,
-    error_theta: Optional[float] = None,
-    error_scope: str = "index",
-    error_seed: int = 0,
+    error_theta: Optional[float],
+    error_scope: str,
+    error_seed: int,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Simulate every warm ``(journey, phase)`` execution in lockstep.
+    """Simulate every warm DSI ``(journey, phase)`` execution in lockstep.
 
     Returns ``(journey_latency_bytes, journey_tuning_bytes, correct_hops)``
     aligned with the key order -- the exact triple the reference per-phase
@@ -906,24 +944,6 @@ def simulate_window_journeys(
     examined/processed reset per hop, exactly like a warm session.
     """
     static = _static_of(index)
-    n_steps = 0
-    queries: List[WindowQuery] = []
-    dwell: List[List[int]] = []
-    for journey in journeys:
-        steps = journey.steps
-        if n_steps == 0:
-            n_steps = len(steps)
-        elif len(steps) != n_steps:
-            raise KernelUnsupported("journeys have unequal step counts")
-        for step in steps:
-            if not isinstance(step.query, WindowQuery):
-                raise KernelUnsupported("kNN journeys take the reference path")
-            queries.append(step.query)
-        dwell.append([int(step.dwell_packets) for step in steps])
-    if not n_steps:
-        raise KernelUnsupported("empty journeys take the reference path")
-    dwell_arr = np.asarray(dwell, dtype=np.int64)
-
     timeline = timeline_of(view)
     geo = _Geometry(static, index, config, timeline)
     key_jids = np.asarray(key_jids, dtype=np.int64)
@@ -938,10 +958,11 @@ def simulate_window_journeys(
     rel, vlen, voff, vflat, correct_q = _precompute_queries(
         static, index, queries, verify, dataset
     )
+    n_j = len(queries) // n_steps
     if verify:
-        correct_hops = correct_q.reshape(len(dwell), n_steps).sum(axis=1)
+        correct_hops = correct_q.reshape(n_j, n_steps).sum(axis=1)
     else:
-        correct_hops = np.full(len(dwell), -1, dtype=np.int64)
+        correct_hops = np.full(n_j, -1, dtype=np.int64)
 
     start_p = (key_phases * cycle) // n_phases
     if err is None:
@@ -976,3 +997,806 @@ def simulate_window_journeys(
     lat_b = (total_lat[lane_of] + (lane_start[lane_of] - start_p)) * geo.capacity
     tun_b = walker.tun[lane_of] * geo.capacity
     return lat_b, tun_b, correct_hops[key_jids]
+
+
+# --- tree-index lanes (R-tree on air, HCI) ----------------------------------
+
+#: Attribute caching the schedule-independent tree tables on the TreeOnAir.
+_TREE_STATIC_ATTR = "_soa_tree_static"
+
+
+class _TreeStatic:
+    """Per-tree constants: dense node ids and padded copy/packet tables."""
+
+    __slots__ = ("node_ids", "dense_of", "n_nodes", "root_dense", "copy_mat",
+                 "node_pk")
+
+    def __init__(self, air: TreeOnAir) -> None:
+        node_ids = sorted(air.node_buckets)
+        self.node_ids = node_ids
+        self.dense_of = {nid: i for i, nid in enumerate(node_ids)}
+        self.n_nodes = len(node_ids)
+        self.root_dense = self.dense_of[air.root_id]
+        width = max((len(c) for c in air.node_buckets.values()), default=1)
+        copy_mat = np.empty((self.n_nodes, max(width, 1)), dtype=np.int64)
+        node_pk = np.empty(self.n_nodes, dtype=np.int64)
+        buckets = air.program.buckets
+        for i, nid in enumerate(node_ids):
+            copies = air.node_buckets[nid]
+            if not copies:
+                raise KernelUnsupported("tree node without a broadcast copy")
+            copy_mat[i, : len(copies)] = copies
+            # Padding repeats the first copy: a duplicate candidate never
+            # changes the min-over-copies arrival.
+            copy_mat[i, len(copies):] = copies[0]
+            pks = {buckets[b].n_packets for b in copies}
+            if len(pks) != 1:
+                raise KernelUnsupported("node copies differ in packet count")
+            node_pk[i] = pks.pop()
+        self.copy_mat = copy_mat
+        self.node_pk = node_pk
+
+
+def _tree_static_of(air: TreeOnAir) -> _TreeStatic:
+    static = getattr(air, _TREE_STATIC_ATTR, None)
+    if static is None:
+        static = _TreeStatic(air)
+        setattr(air, _TREE_STATIC_ATTR, static)
+    return static
+
+
+class _TreeGeometry:
+    """Verified channel geometry of one (tree, schedule view, config) triple.
+
+    The frontier sweep's argmin tie-break (first minimum over the sorted
+    event axis) equals :meth:`TreeOnAir.next_pending_event`'s lowest-id
+    tie-break only because every node bucket airs on the clients' home
+    channel (ties are impossible within one channel, and cross-channel
+    node-vs-data ties resolve by event order on both paths only when the
+    candidate order matches -- which it does, nodes sorted before objects).
+    """
+
+    __slots__ = ("timeline", "switch", "capacity", "ctrl", "root_ids",
+                 "root_pk", "guard")
+
+    def __init__(self, static: _TreeStatic, air: TreeOnAir, config: Any,
+                 timeline) -> None:
+        home = timeline.home_channel
+        if home is None:
+            home = 0
+        ch = timeline.bucket_channel[static.copy_mat]
+        if not np.all(ch == int(home)):
+            raise KernelUnsupported(
+                "tree nodes must air on the clients' home channel"
+            )
+        if not np.array_equal(
+            timeline.bucket_packets[static.copy_mat],
+            np.broadcast_to(static.node_pk[:, None], static.copy_mat.shape),
+        ):
+            raise KernelUnsupported("node packet sizes disagree with the timeline")
+        self.timeline = timeline
+        self.switch = (
+            int(getattr(config, "channel_switch_packets", 0))
+            if timeline.n_channels > 1
+            else 0
+        )
+        self.capacity = int(config.packet_capacity)
+        self.ctrl = int(home)
+        self.root_ids = np.asarray(air.node_buckets[air.root_id], dtype=np.int64)
+        self.root_pk = int(static.node_pk[static.root_dense])
+        self.guard = 64 * len(air.program) + 256
+
+
+def _tree_geometry_of(
+    static: _TreeStatic, air: TreeOnAir, config: Any, timeline
+) -> _TreeGeometry:
+    """The verified geometry, cached on the timeline's scratch ``aux`` slot.
+
+    Keyed weakly by the air layout plus the config facts that enter the
+    geometry (capacity, switch cost), so repeated fleet calls over the same
+    schedule skip re-verification without ever serving a stale geometry.
+    """
+    cache = timeline.aux.get("tree_geometry")
+    if cache is None:
+        cache = weakref.WeakKeyDictionary()
+        timeline.aux["tree_geometry"] = cache
+    per_air = cache.get(air)
+    if per_air is None:
+        per_air = {}
+        cache[air] = per_air
+    key = (
+        int(config.packet_capacity),
+        int(getattr(config, "channel_switch_packets", 0)),
+    )
+    geo = per_air.get(key)
+    if geo is None:
+        geo = _TreeGeometry(static, air, config, timeline)
+        per_air[key] = geo
+    return geo
+
+
+class _TreeQueries:
+    """Per-query qualifying subtrees on a padded common event axis.
+
+    Event ``e`` of query ``q`` is either a qualifying tree node (sorted id
+    order first) or a qualifying data object (sorted oid order after) --
+    exactly the candidate order ``next_pending_event`` iterates, so the
+    sweep's first-minimum argmin reproduces its tie-breaks.  ``ev_adj[q]``
+    is the static expansion: reading node event ``e`` adds the events in
+    row ``e``; ``root_mask[q]`` is the root's own expansion row.
+    """
+
+    __slots__ = ("n_events", "n_nodes", "ev_ids", "ev_pk", "ev_chan",
+                 "ev_node", "ev_dense", "ev_adj", "root_mask", "has_root",
+                 "correct")
+
+
+def _precompute_tree_queries(
+    static: _TreeStatic,
+    index: Any,
+    air: TreeOnAir,
+    geo: _TreeGeometry,
+    queries: Sequence[WindowQuery],
+    verify: bool,
+    dataset: Any,
+) -> _TreeQueries:
+    """Compile each window query's qualifying subtree into flat event tables.
+
+    The qualifying subtree -- every node/object reachable from the root
+    through entries the index's own pruning rule accepts -- is timing
+    independent (a successful read always expands the same children, a lost
+    read leaves the node pending), so answers and adjacency are static and
+    verification runs once per query.
+    """
+    from ..hci.air import HciAirIndex
+    from ..rtree.air import RTreeAirIndex
+
+    timeline = geo.timeline
+    is_rtree = isinstance(index, RTreeAirIndex)
+    is_hci = isinstance(index, HciAirIndex)
+    if not (is_rtree or is_hci):
+        raise KernelUnsupported("no lockstep kernel for this index type")
+    if verify:
+        from ..queries.ground_truth import answer, matches_truth
+
+    n_q = len(queries)
+    width = static.copy_mat.shape[1]
+    per_query: List[Optional[Tuple[List[int], List[int], Dict[int, Tuple[List[int], List[int]]]]]] = []
+    has_root = np.ones(n_q, dtype=bool)
+    correct_q = np.full(n_q, -1, dtype=np.int64)
+    n_events = 1
+    for qid, query in enumerate(queries):
+        window = query.window
+        if is_rtree:
+            def prune(node):
+                return RTreeAirIndex.window_children(node, window)
+        else:
+            cover = index.window_cover(window)
+            if not cover:
+                # The reference's empty-cover early return: the probe is
+                # paid but not even the root is read.
+                has_root[qid] = False
+                per_query.append(None)
+                if verify:
+                    truth = answer(dataset, query)
+                    correct_q[qid] = int(matches_truth(query, truth, []))
+                continue
+
+            def prune(node):
+                return HciAirIndex.range_children(node, cover)
+
+        children_of: Dict[int, Tuple[List[int], List[int]]] = {}
+        oid_set: Set[int] = set()
+        stack = [air.root_id]
+        while stack:
+            nid = stack.pop()
+            if nid in children_of:
+                continue
+            kids, oids = prune(air.nodes[nid])
+            children_of[nid] = (kids, oids)
+            oid_set.update(oids)
+            stack.extend(kids)
+        nodes = sorted(children_of.keys() - {air.root_id})
+        oids = sorted(oid_set)
+        per_query.append((nodes, oids, children_of))
+        n_events = max(n_events, len(nodes) + len(oids))
+        if verify:
+            objs = [
+                air.program.buckets[air.object_bucket[oid]].payload
+                for oid in oids
+            ]
+            final = [o for o in objs if window.contains_point(o.point)]
+            truth = answer(dataset, query)
+            correct_q[qid] = int(matches_truth(query, truth, final))
+
+    tq = _TreeQueries()
+    tq.n_events = n_events
+    tq.n_nodes = static.n_nodes
+    tq.ev_ids = np.zeros((n_q, n_events, width), dtype=np.int64)
+    tq.ev_pk = np.zeros((n_q, n_events), dtype=np.int64)
+    tq.ev_chan = np.full((n_q, n_events), geo.ctrl, dtype=np.int64)
+    tq.ev_node = np.zeros((n_q, n_events), dtype=bool)
+    tq.ev_dense = np.full((n_q, n_events), -1, dtype=np.int64)
+    tq.ev_adj = np.zeros((n_q, n_events, n_events), dtype=bool)
+    tq.root_mask = np.zeros((n_q, n_events), dtype=bool)
+    tq.has_root = has_root
+    tq.correct = correct_q
+    for qid, ev in enumerate(per_query):
+        if ev is None:
+            continue
+        nodes, oids, children_of = ev
+        e_of: Dict[Tuple[str, int], int] = {
+            ("node", nid): e for e, nid in enumerate(nodes)
+        }
+        base = len(nodes)
+        for e, oid in enumerate(oids):
+            e_of[("data", oid)] = base + e
+        for e, nid in enumerate(nodes):
+            d = static.dense_of[nid]
+            tq.ev_ids[qid, e] = static.copy_mat[d]
+            tq.ev_pk[qid, e] = static.node_pk[d]
+            tq.ev_node[qid, e] = True
+            tq.ev_dense[qid, e] = d
+        for e, oid in enumerate(oids):
+            b = air.object_bucket[oid]
+            tq.ev_ids[qid, base + e] = b
+            tq.ev_pk[qid, base + e] = timeline.bucket_packets[b]
+            tq.ev_chan[qid, base + e] = timeline.bucket_channel[b]
+        for nid, (kids, n_oids) in children_of.items():
+            row = (
+                tq.root_mask[qid]
+                if nid == air.root_id
+                else tq.ev_adj[qid, e_of[("node", nid)]]
+            )
+            for child in kids:
+                row[e_of[("node", child)]] = True
+            for oid in n_oids:
+                row[e_of[("data", oid)]] = True
+    return tq
+
+
+class _TreeWalker:
+    """Per-lane lockstep state plus the frontier-sweep hop engine.
+
+    The master arrays (``clock`` / ``chan`` / ``tun``, plus the node-cache
+    bitmask on warm journeys) always hold every lane; the sweep loop works
+    on live-lane compactions and scatters back at lane exit, so the journey
+    kernel carries session state into the next hop and the fleet kernel
+    reads final clocks straight off the masters.
+    """
+
+    def __init__(
+        self,
+        geo: _TreeGeometry,
+        tq: _TreeQueries,
+        n_lanes: int,
+        err: Optional[_ErrStreams],
+        caching: bool,
+    ) -> None:
+        self.geo = geo
+        self.tq = tq
+        self.err = err
+        self.n_lanes = n_lanes
+        self.caching = caching
+        self.clock = np.zeros(n_lanes, dtype=np.int64)
+        self.chan = np.full(n_lanes, geo.ctrl, dtype=np.int64)
+        self.tun = np.zeros(n_lanes, dtype=np.int64)
+        if caching:
+            self.cached = np.zeros((n_lanes, tq.n_nodes), dtype=bool)
+            self.root_cached = np.zeros(n_lanes, dtype=bool)
+
+    def begin(self, start_clock: np.ndarray) -> None:
+        """Tune in: the initial probe of a cold session."""
+        self.clock[:] = np.asarray(start_clock, dtype=np.int64) + 1
+        self.tun[:] = 1
+
+    def probe(self) -> None:
+        """The re-armed probe of a warm hop (after ``next_query``)."""
+        self.clock += 1
+        self.tun += 1
+
+    def _root_arrival(self, rows: np.ndarray) -> np.ndarray:
+        geo = self.geo
+        nb = self.clock[rows]
+        if geo.switch:
+            nb = nb + geo.switch * (self.chan[rows] != geo.ctrl)
+        return geo.timeline.next_occurrences(
+            geo.root_ids[None, :], nb[:, None]
+        ).min(axis=1)
+
+    def _read_root(self, rows: np.ndarray) -> None:
+        """Doze to the next root copy and read it (with loss retries)."""
+        geo, err = self.geo, self.err
+        if not len(rows):
+            return
+        if err is None:
+            self.clock[rows] = self._root_arrival(rows) + geo.root_pk
+            self.tun[rows] += geo.root_pk
+            self.chan[rows] = geo.ctrl
+            return
+        pend = rows
+        attempts = 0
+        while len(pend):
+            self.clock[pend] = self._root_arrival(pend) + geo.root_pk
+            self.tun[pend] += geo.root_pk
+            self.chan[pend] = geo.ctrl
+            lost = err.lost(pend)
+            pend = pend[lost]
+            attempts += 1
+            if len(pend) and attempts >= 48:
+                # read_node's max_attempts: the reference raises
+                # RuntimeError; decline so the fallback reproduces it.
+                raise KernelUnsupported("root read retries exhausted")
+
+    def hop(self, qrow: np.ndarray) -> None:
+        """Run one window sweep per lane from the current session state."""
+        tq = self.tq
+        qr = np.asarray(qrow, dtype=np.int64)
+        has_root = tq.has_root[qr]
+        if self.caching:
+            self._read_root(np.flatnonzero(has_root & ~self.root_cached))
+            self.root_cached |= has_root
+        else:
+            self._read_root(np.flatnonzero(has_root))
+        pending = np.zeros((self.n_lanes, tq.n_events), dtype=bool)
+        pending[has_root] = tq.root_mask[qr[has_root]]
+        self._walk(qr, pending)
+
+    def _drain(self, idx: np.ndarray, qv: np.ndarray, P: np.ndarray) -> np.ndarray:
+        """Expand cached pending nodes for free, to a fixpoint.
+
+        The vectorised ``drain_cached_nodes`` cascade: the reference drains
+        one cached node per step, but a window sweep's expansion only ever
+        unions pending sets, so draining all of them (and whatever cached
+        nodes that uncovers) before the next on-air read is order
+        independent and lands in the identical pending state.
+        """
+        tq = self.tq
+        dense = tq.ev_dense[qv]
+        node_ev = dense >= 0
+        while True:
+            lr, ev = np.nonzero(P & node_ev)
+            if not len(lr):
+                return P
+            hit = self.cached[idx[lr], dense[lr, ev]]
+            lr, ev = lr[hit], ev[hit]
+            if not len(lr):
+                return P
+            P[lr, ev] = False
+            np.logical_or.at(P, lr, tq.ev_adj[qv[lr], ev])
+
+    def _walk(self, qr: np.ndarray, pending: np.ndarray) -> None:
+        geo, tq, err = self.geo, self.tq, self.err
+        timeline = geo.timeline
+        idx = np.arange(self.n_lanes)
+        cl = self.clock.copy()
+        ch = self.chan.copy()
+        tn = self.tun.copy()
+        qv = qr.copy()
+        P = pending
+        ids = tq.ev_ids[qv]
+        chn = tq.ev_chan[qv]
+        pk = tq.ev_pk[qv]
+        isn = tq.ev_node[qv]
+        big = np.iinfo(np.int64).max
+        steps = 0
+        # Incremental arrival cache: ``arr[l, e]`` is the next on-air start
+        # of event ``e`` at-or-after the doze point ``vfrom[l, e]`` it was
+        # computed for.  An entry stays valid while the lane's doze point
+        # sits inside ``[vfrom, arr]`` -- occurrences are immutable, only
+        # the lane moves -- so each select step re-resolves just the pairs
+        # the last read overran (``arr < nb``) or that a channel hop pulled
+        # closer (``nb < vfrom``: the switch penalty fell away, so an
+        # earlier copy may now be reachable).  That turns the per-step cost
+        # from every (lane, event, copy) triple into the handful of
+        # arrivals the sweep actually perturbed.
+        if geo.switch:
+            nb = cl[:, None] + geo.switch * (chn != ch[:, None])
+        else:
+            nb = np.broadcast_to(cl[:, None], chn.shape)
+        arr = timeline.next_occurrences(ids, nb[:, :, None]).min(axis=2)
+        vfrom = nb.copy()
+        while True:
+            if self.caching:
+                P = self._drain(idx, qv, P)
+            live = P.any(axis=1)
+            if not live.all():
+                done = ~live
+                self.clock[idx[done]] = cl[done]
+                self.chan[idx[done]] = ch[done]
+                self.tun[idx[done]] = tn[done]
+                idx, cl, ch, tn, qv = idx[live], cl[live], ch[live], tn[live], qv[live]
+                P, ids, chn, pk, isn = P[live], ids[live], chn[live], pk[live], isn[live]
+                arr, vfrom = arr[live], vfrom[live]
+            if not len(idx):
+                return
+            # All live lanes have walked the same number of select steps, so
+            # one scalar counter realises the reference's per-sweep guard.
+            steps += 1
+            if steps > geo.guard:
+                # The reference *truncates* the sweep here; the kernel
+                # cannot, so it declines and the fallback reproduces it.
+                raise KernelUnsupported("tree sweep guard exceeded")
+            if geo.switch:
+                nb = cl[:, None] + geo.switch * (chn != ch[:, None])
+            else:
+                nb = np.broadcast_to(cl[:, None], chn.shape)
+            stale = P & ((arr < nb) | (nb < vfrom))
+            sl, se = np.nonzero(stale)
+            if len(sl):
+                snb = nb[sl, se]
+                arr[sl, se] = timeline.next_occurrences(
+                    ids[sl, se], snb[:, None]
+                ).min(axis=1)
+                vfrom[sl, se] = snb
+            rows = np.arange(len(idx))
+            e = np.argmin(np.where(P, arr, big), axis=1)
+            epk = pk[rows, e]
+            cl = arr[rows, e] + epk
+            tn = tn + epk
+            ch = chn[rows, e].copy()
+            node_ev = isn[rows, e]
+            if err is None:
+                ok = np.ones(len(idx), dtype=bool)
+            else:
+                # Only navigation buckets draw under the index scope, in
+                # walk order -- one uniform per node reception attempt.
+                ok = np.ones(len(idx), dtype=bool)
+                nodes = np.flatnonzero(node_ev)
+                if len(nodes):
+                    ok[nodes] = ~err.lost(idx[nodes])
+            okr = np.flatnonzero(ok)
+            P[okr, e[okr]] = False
+            expand = np.flatnonzero(ok & node_ev)
+            if len(expand):
+                P[expand] |= tq.ev_adj[qv[expand], e[expand]]
+                if self.caching:
+                    self.cached[idx[expand], tq.ev_dense[qv[expand], e[expand]]] = True
+
+
+def _tree_entry_lanes(
+    geo: _TreeGeometry, key_ids: np.ndarray, start_p: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Collapse ``(id, phase)`` keys onto ``(id, root occurrence)`` lanes.
+
+    The tree landmark is the first root-copy read
+    (:meth:`TreeOnAir.entry_landmark`): error-free phases sharing it share
+    their whole absolute trace.  All root copies air on the home channel
+    the radio tunes in on, so the arrival alone keys the dedup (one
+    channel: a start determines its bucket).
+    """
+    arr = geo.timeline.next_occurrences(
+        geo.root_ids[None, :],
+        (np.asarray(start_p, dtype=np.int64) + 1)[:, None],
+    ).min(axis=1)
+    entry_key = key_ids * np.int64(int(arr.max(initial=0)) + 2) + arr
+    _, first_idx, lane_of = np.unique(
+        entry_key, return_index=True, return_inverse=True
+    )
+    return first_idx, lane_of
+
+
+def _simulate_tree_fleet(
+    index: Any,
+    air: TreeOnAir,
+    view: Any,
+    config: Any,
+    queries: Sequence[WindowQuery],
+    key_qids: np.ndarray,
+    key_phases: np.ndarray,
+    *,
+    n_phases: int,
+    cycle: int,
+    verify: bool,
+    dataset: Any,
+    error_theta: Optional[float],
+    error_scope: str,
+    error_seed: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Lockstep frontier sweeps for every tree-index ``(query, phase)``."""
+    static = _tree_static_of(air)
+    timeline = timeline_of(view)
+    geo = _tree_geometry_of(static, air, config, timeline)
+    key_qids = np.asarray(key_qids, dtype=np.int64)
+    key_phases = np.asarray(key_phases, dtype=np.int64)
+    err = _make_err_streams(
+        error_theta, error_scope, error_seed, key_qids, key_phases, n_phases
+    )
+    tq = _precompute_tree_queries(static, index, air, geo, queries, verify, dataset)
+
+    start_p = (key_phases * cycle) // n_phases
+    if err is None:
+        first_idx, lane_of = _tree_entry_lanes(geo, key_qids, start_p)
+        qrow = key_qids[first_idx]
+        lane_start = start_p[first_idx]
+    else:
+        lane_of = np.arange(len(key_qids))
+        qrow = key_qids
+        lane_start = start_p
+
+    walker = _TreeWalker(geo, tq, len(qrow), err, caching=False)
+    walker.begin(lane_start)
+    walker.hop(qrow)
+
+    lat_b = (walker.clock[lane_of] - start_p) * geo.capacity
+    tun_b = walker.tun[lane_of] * geo.capacity
+    return lat_b, tun_b, tq.correct[key_qids]
+
+
+def _simulate_tree_journeys(
+    index: Any,
+    air: TreeOnAir,
+    view: Any,
+    config: Any,
+    queries: Sequence[WindowQuery],
+    dwell_arr: np.ndarray,
+    n_steps: int,
+    key_jids: np.ndarray,
+    key_phases: np.ndarray,
+    *,
+    n_phases: int,
+    cycle: int,
+    verify: bool,
+    dataset: Any,
+    error_theta: Optional[float],
+    error_scope: str,
+    error_seed: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Warm tree journeys: persistent node caches, per-hop frontier sweeps."""
+    static = _tree_static_of(air)
+    timeline = timeline_of(view)
+    geo = _tree_geometry_of(static, air, config, timeline)
+    key_jids = np.asarray(key_jids, dtype=np.int64)
+    key_phases = np.asarray(key_phases, dtype=np.int64)
+    err = _make_err_streams(
+        error_theta, error_scope, error_seed, key_jids, key_phases, n_phases
+    )
+    tq = _precompute_tree_queries(static, index, air, geo, queries, verify, dataset)
+    n_j = len(queries) // n_steps
+    if verify:
+        correct_hops = tq.correct.reshape(n_j, n_steps).sum(axis=1)
+    else:
+        correct_hops = np.full(n_j, -1, dtype=np.int64)
+
+    start_p = (key_phases * cycle) // n_phases
+    if err is None:
+        first_idx, lane_of = _tree_entry_lanes(geo, key_jids, start_p)
+        jid_c = key_jids[first_idx]
+        lane_start = start_p[first_idx]
+    else:
+        lane_of = np.arange(len(key_jids))
+        jid_c = key_jids
+        lane_start = start_p
+
+    walker = _TreeWalker(geo, tq, len(jid_c), err, caching=True)
+    total_lat = np.zeros(len(jid_c), dtype=np.int64)
+    walker.begin(lane_start)
+    walker.hop(jid_c * n_steps)
+    total_lat += walker.clock - lane_start
+    for h in range(1, n_steps):
+        walker.clock += dwell_arr[jid_c, h]
+        hop_start = walker.clock.copy()
+        walker.probe()
+        walker.hop(jid_c * n_steps + h)
+        total_lat += walker.clock - hop_start
+
+    lat_b = (total_lat[lane_of] + (lane_start[lane_of] - start_p)) * geo.capacity
+    tun_b = walker.tun[lane_of] * geo.capacity
+    return lat_b, tun_b, correct_hops[key_jids]
+
+
+# --- kNN lanes (DSI) --------------------------------------------------------
+
+
+def _simulate_knn_fleet(
+    index: Any,
+    view: Any,
+    config: Any,
+    queries: Sequence[KnnQuery],
+    key_qids: np.ndarray,
+    key_phases: np.ndarray,
+    *,
+    n_phases: int,
+    cycle: int,
+    verify: bool,
+    dataset: Any,
+    error_theta: Optional[float],
+    error_scope: str,
+    error_seed: int,
+    knn_strategy: str,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deduplicated per-lane replays of the real DSI kNN planner.
+
+    The radius-driven planner's control flow is value-dependent, so no
+    lockstep form is attempted: instead the entry-landmark collapse is
+    hoisted above the batch machinery -- one real
+    :meth:`DsiIndex.knn_query` session per distinct ``(query, entry
+    landmark)`` lane, other phases shifted by their tune-in offset -- with
+    one shared distance-estimate memo per query across lanes.
+    """
+    if not isinstance(index, DsiIndex):
+        raise KernelUnsupported("kNN trials on tree indexes take the reference path")
+    if error_theta is not None and float(error_theta) != 0.0 and error_scope != "none":
+        raise KernelUnsupported("kNN fleets with link errors take the reference path")
+
+    timeline = timeline_of(view)
+    home = getattr(view, "home_channel", None)
+    switch = (
+        int(getattr(config, "channel_switch_packets", 0)) if home is not None else 0
+    )
+    capacity = int(config.packet_capacity)
+    key_qids = np.asarray(key_qids, dtype=np.int64)
+    key_phases = np.asarray(key_phases, dtype=np.int64)
+    start_p = (key_phases * cycle) // n_phases
+    try:
+        # The exact mark DsiIndex.entry_landmark computes, batched.
+        lm_bucket, lm_start = timeline.next_kind_occurrence_pairs(
+            BucketKind.DSI_TABLE,
+            start_p + 1,
+            from_channel=home,
+            switch_packets=switch,
+        )
+    except KeyError:
+        raise KernelUnsupported("no index tables on air")
+    trip = np.stack([key_qids, lm_bucket, lm_start], axis=1)
+    _, first_idx, lane_of = np.unique(
+        trip, axis=0, return_index=True, return_inverse=True
+    )
+    lane_of = lane_of.reshape(-1)
+
+    if verify:
+        from ..queries.ground_truth import answer, matches_truth
+
+    n_lanes = len(first_idx)
+    lat_l = np.empty(n_lanes, dtype=np.int64)
+    tun_l = np.empty(n_lanes, dtype=np.int64)
+    cor_l = np.full(n_lanes, -1, dtype=np.int64)
+    truths: Dict[int, Any] = {}
+    memos: Dict[int, Dict[int, float]] = {}
+    for lane, at in enumerate(first_idx):
+        qid = int(key_qids[at])
+        query = queries[qid]
+        session = ClientSession(view, config, start_packet=int(start_p[at]))
+        outcome = index.knn_query(
+            query.point,
+            query.k,
+            session,
+            strategy=knn_strategy,
+            est_cache=memos.setdefault(qid, {}),
+        )
+        lat_l[lane] = outcome.metrics.latency_packets
+        tun_l[lane] = outcome.metrics.tuning_bytes
+        if verify:
+            truth = truths.get(qid)
+            if truth is None:
+                truth = answer(dataset, queries[qid])
+                truths[qid] = truth
+            cor_l[lane] = int(matches_truth(queries[qid], truth, outcome.objects))
+
+    rep_start = start_p[first_idx]
+    lat_b = (lat_l[lane_of] - (start_p - rep_start[lane_of])) * capacity
+    tun_b = tun_l[lane_of]
+    return lat_b, tun_b, cor_l[lane_of]
+
+
+# --- dispatch ---------------------------------------------------------------
+
+
+def simulate_window_fleet(
+    index: Any,
+    view: Any,
+    config: Any,
+    trials: Sequence[Any],
+    key_qids: np.ndarray,
+    key_phases: np.ndarray,
+    *,
+    n_phases: int,
+    cycle: int,
+    verify: bool,
+    dataset: Any,
+    error_theta: Optional[float] = None,
+    error_scope: str = "index",
+    error_seed: int = 0,
+    knn_strategy: str = "conservative",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, str]:
+    """Simulate every ``(query, phase)`` execution off the reference path.
+
+    Dispatches on the index and workload shape: DSI window fleets and tree
+    (R-tree / HCI) window fleets run the lockstep numpy kernels, DSI kNN
+    fleets run deduplicated planner lanes.  Returns ``(latency_bytes,
+    tuning_bytes, correct, backend)`` aligned with the ``key_qids`` /
+    ``key_phases`` order -- the exact triple the reference per-phase path
+    emits (``correct`` is -1 when not verifying) plus the backend tag the
+    fleet result reports.  Raises :class:`KernelUnsupported` whenever the
+    run falls outside the kernels' proven-exact envelope.
+    """
+    queries = [trial.query for trial in trials]
+    if all(isinstance(q, WindowQuery) for q in queries):
+        common = dict(
+            n_phases=n_phases, cycle=cycle, verify=verify, dataset=dataset,
+            error_theta=error_theta, error_scope=error_scope,
+            error_seed=error_seed,
+        )
+        if isinstance(index, DsiIndex):
+            out = _simulate_dsi_fleet(
+                index, view, config, queries, key_qids, key_phases, **common
+            )
+            return out + ("numpy",)
+        air = getattr(index, "air", None)
+        if isinstance(air, TreeOnAir):
+            out = _simulate_tree_fleet(
+                index, air, view, config, queries, key_qids, key_phases, **common
+            )
+            return out + ("numpy",)
+        raise KernelUnsupported("no lockstep kernel for this index type")
+    if all(isinstance(q, KnnQuery) for q in queries):
+        out = _simulate_knn_fleet(
+            index, view, config, queries, key_qids, key_phases,
+            n_phases=n_phases, cycle=cycle, verify=verify, dataset=dataset,
+            error_theta=error_theta, error_scope=error_scope,
+            error_seed=error_seed, knn_strategy=knn_strategy,
+        )
+        return out + ("lanes",)
+    raise KernelUnsupported("mixed window/kNN workloads take the reference path")
+
+
+def simulate_window_journeys(
+    index: Any,
+    view: Any,
+    config: Any,
+    journeys: Sequence[Any],
+    key_jids: np.ndarray,
+    key_phases: np.ndarray,
+    *,
+    n_phases: int,
+    cycle: int,
+    verify: bool,
+    dataset: Any,
+    error_theta: Optional[float] = None,
+    error_scope: str = "index",
+    error_seed: int = 0,
+    knn_strategy: str = "conservative",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, str]:
+    """Simulate every warm ``(journey, phase)`` execution off the reference.
+
+    Equal-step window journeys run the lockstep kernels (DSI or tree);
+    anything else declines with the reason the fleet result surfaces.
+    Returns ``(journey_latency_bytes, journey_tuning_bytes, correct_hops,
+    backend)`` aligned with the key order.
+    """
+    n_steps = 0
+    queries: List[WindowQuery] = []
+    dwell: List[List[int]] = []
+    for journey in journeys:
+        steps = journey.steps
+        if n_steps == 0:
+            n_steps = len(steps)
+        elif len(steps) != n_steps:
+            raise KernelUnsupported("journeys have unequal step counts")
+        for step in steps:
+            if not isinstance(step.query, WindowQuery):
+                raise KernelUnsupported("kNN journeys take the reference path")
+            queries.append(step.query)
+        dwell.append([int(step.dwell_packets) for step in steps])
+    if not n_steps:
+        raise KernelUnsupported("empty journeys take the reference path")
+    dwell_arr = np.asarray(dwell, dtype=np.int64)
+
+    common = dict(
+        n_phases=n_phases, cycle=cycle, verify=verify, dataset=dataset,
+        error_theta=error_theta, error_scope=error_scope, error_seed=error_seed,
+    )
+    if isinstance(index, DsiIndex):
+        out = _simulate_dsi_journeys(
+            index, view, config, queries, dwell_arr, n_steps,
+            key_jids, key_phases, **common
+        )
+        return out + ("numpy",)
+    air = getattr(index, "air", None)
+    if isinstance(air, TreeOnAir):
+        out = _simulate_tree_journeys(
+            index, air, view, config, queries, dwell_arr, n_steps,
+            key_jids, key_phases, **common
+        )
+        return out + ("numpy",)
+    raise KernelUnsupported("no lockstep kernel for this index type")

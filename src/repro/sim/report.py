@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence
 
 
@@ -88,6 +88,63 @@ def pivot_metric(
             entry[s] = values[x].get(s)
         out.append(entry)
     return out
+
+
+def kernel_coverage(rows: Sequence[Dict[str, object]]) -> "OrderedDict[str, object]":
+    """Aggregate fleet-row ``backend``/``backend_reason`` into one stat.
+
+    Fleet-mode cells tag every row with the simulation backend that
+    produced it (``"numpy"`` for the structure-of-arrays kernels,
+    ``"lanes"`` for the deduplicated planner replays, ``"reference"`` for
+    the scalar fallback) plus the decline reason when a kernel stood down.
+    This rolls a whole experiment grid up so a regression in kernel
+    applicability -- a gate accidentally widened, a new config shape the
+    kernels decline -- shows as a ``kernel_fraction`` drop at a glance
+    instead of hiding in per-row columns.
+
+    Rows without a ``backend`` column (figure rows, per-trial cells) are
+    skipped; an all-skipped grid reports zero coverage over zero rows.
+    """
+    backends: Counter = Counter()
+    reasons: Counter = Counter()
+    for row in rows:
+        backend = row.get("backend")
+        if not backend:
+            continue
+        backends[str(backend)] += 1
+        reason = row.get("backend_reason")
+        if str(backend) == "reference" and reason:
+            reasons[str(reason)] += 1
+    total = sum(backends.values())
+    kernel_rows = total - backends.get("reference", 0)
+    stat: "OrderedDict[str, object]" = OrderedDict()
+    stat["rows"] = total
+    stat["kernel_rows"] = kernel_rows
+    stat["kernel_fraction"] = (kernel_rows / total) if total else 0.0
+    stat["backends"] = OrderedDict(sorted(backends.items()))
+    stat["decline_reasons"] = OrderedDict(
+        sorted(reasons.items(), key=lambda kv: (-kv[1], kv[0]))
+    )
+    return stat
+
+
+def kernel_coverage_report(rows: Sequence[Dict[str, object]]) -> str:
+    """Render :func:`kernel_coverage` as a short text block."""
+    stat = kernel_coverage(rows)
+    lines = [
+        "kernel coverage: {kernel_rows}/{rows} rows on a kernel backend "
+        "({frac:.0%})".format(
+            kernel_rows=stat["kernel_rows"], rows=stat["rows"],
+            frac=stat["kernel_fraction"],
+        )
+    ]
+    for backend, count in stat["backends"].items():
+        lines.append(f"  {backend}: {count}")
+    if stat["decline_reasons"]:
+        lines.append("  decline reasons:")
+        for reason, count in stat["decline_reasons"].items():
+            lines.append(f"    {count}x {reason}")
+    return "\n".join(lines)
 
 
 def figure_report(

@@ -223,3 +223,79 @@ class TestRowsAndSweeps:
             .rows
         )
         assert math.isnan(rows[0]["accuracy"])
+
+
+class TestKernelCoverage:
+    def test_fleet_grid_coverage_counts_backends(self, dataset):
+        run = (
+            Experiment(dataset)
+            .indexes("dsi", "rtree", "hci")
+            .window_workload(n_queries=3, seed=12)
+            .fleet(400, seed=1)
+            .run(parallel=False)
+        )
+        stat = run.kernel_coverage
+        assert stat["rows"] == 3
+        assert stat["kernel_rows"] == 3
+        assert stat["kernel_fraction"] == 1.0
+        assert stat["backends"] == {"numpy": 3}
+        assert stat["decline_reasons"] == {}
+
+    def test_declines_surface_their_reasons(self, dataset):
+        # scope="data" errors are outside every kernel's envelope, so all
+        # three cells fall back -- and the reason rolls up verbatim.
+        run = (
+            Experiment(dataset)
+            .indexes("dsi", "rtree")
+            .window_workload(n_queries=3, seed=12)
+            .errors(theta=0.2, scope="data", seed=5)
+            .fleet(400, seed=1)
+            .run(parallel=False)
+        )
+        stat = run.kernel_coverage
+        assert stat["rows"] == 2
+        assert stat["kernel_rows"] == 0
+        assert stat["backends"] == {"reference": 2}
+        assert len(stat["decline_reasons"]) == 1
+        (reason, count), = stat["decline_reasons"].items()
+        assert count == 2
+        assert "reference path" in reason
+
+    def test_knn_fleet_rows_count_as_lanes(self, dataset):
+        run = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .knn_workload(n_queries=3, k=3, seed=13)
+            .fleet(300, seed=2)
+            .run(parallel=False)
+        )
+        stat = run.kernel_coverage
+        assert stat["backends"] == {"lanes": 1}
+        assert stat["kernel_fraction"] == 1.0
+
+    def test_figure_rows_are_skipped(self, dataset):
+        run = (
+            Experiment(dataset)
+            .indexes("dsi")
+            .window_workload(n_queries=2, seed=14)
+            .run(parallel=False)
+        )
+        stat = run.kernel_coverage
+        assert stat == {
+            "rows": 0, "kernel_rows": 0, "kernel_fraction": 0.0,
+            "backends": {}, "decline_reasons": {},
+        }
+
+    def test_report_renders_fraction_and_reasons(self):
+        from repro.sim.report import kernel_coverage_report
+
+        rows = [
+            {"backend": "numpy", "backend_reason": ""},
+            {"backend": "reference",
+             "backend_reason": "link errors with scope='data' take the reference path"},
+            {"latency_bytes": 1.0},  # figure row: no backend column
+        ]
+        text = kernel_coverage_report(rows)
+        assert "1/2 rows on a kernel backend (50%)" in text
+        assert "numpy: 1" in text
+        assert "1x link errors with scope='data'" in text

@@ -225,8 +225,22 @@ class TestExperimentComposition:
         by_index = {r["index"]: r for r in rows}
         assert by_index["dsi"]["backend"] == "numpy"
         assert by_index["dsi"]["backend_reason"] == ""
-        assert by_index["rtree"]["backend"] == "reference"
-        assert "DSI" in by_index["rtree"]["backend_reason"]
+        assert by_index["rtree"]["backend"] == "numpy"
+        assert by_index["rtree"]["backend_reason"] == ""
+
+    def test_fleet_rows_surface_kernel_decline(self, dataset):
+        """A cell outside every kernel's envelope reports the decline."""
+        rows = (
+            Experiment(dataset)
+            .indexes("rtree")
+            .window_workload(n_queries=4, seed=5)
+            .fleet(1_000, seed=1, max_phases=32)
+            .errors(theta=0.1, scope="data", seed=3)
+            .run(parallel=False)
+            .rows
+        )
+        assert rows[0]["backend"] == "reference"
+        assert "reference path" in rows[0]["backend_reason"]
 
     def test_fleet_rejects_shared_error_model_instance(self, dataset):
         from repro.broadcast import LinkErrorModel

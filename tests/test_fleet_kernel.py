@@ -31,7 +31,7 @@ from repro.broadcast.errors import LinkErrorModel
 from repro.broadcast.schedule import BroadcastSchedule
 from repro.broadcast.timeline import timeline_of
 from repro.mobility import run_journey, trajectory_workload
-from repro.queries.workload import window_workload
+from repro.queries.workload import knn_workload, window_workload
 from repro.sim.fleet import run_fleet, run_mobile_fleet
 from repro.sim.runner import build_index, execute_query
 from repro.spatial.datasets import uniform_dataset
@@ -158,22 +158,23 @@ def test_fleet_matches_brute_force(kind, channels, theta, data):
     np.testing.assert_array_equal(result.unique_counts, counts)
     np.testing.assert_array_equal(result.unique_latency, lat)
     np.testing.assert_array_equal(result.unique_tuning, tun)
-    if kind == "dsi":
-        assert result.backend == "numpy"
-        assert result.backend_reason is None
+    assert result.backend == "numpy"
+    assert result.backend_reason is None
 
 
 @pytest.mark.parametrize("theta", [None, 0.12], ids=["lossless", "errors"])
 @pytest.mark.parametrize("channels", [1, 4])
+@pytest.mark.parametrize("kind", ["dsi", "rtree", "hci"])
 @given(data=st.data())
 @settings(**_SETTINGS)
-def test_optimized_fleet_matches_brute_force(channels, theta, data):
+def test_optimized_fleet_matches_brute_force(kind, channels, theta, data):
     """Demand-optimized (replicated) schedules stay on the kernel, exactly.
 
     The optimizer re-airs hot data buckets 2--9x per macro-cycle, so the
-    kernel's multiplicity-aware occurrence arithmetic (nearest-copy waits,
-    entry-occurrence lane keys, replicated visit seeks) is what's under
-    test here -- against scalar sessions walking the same explicit layout.
+    kernels' multiplicity-aware occurrence arithmetic (nearest-copy waits,
+    entry-occurrence lane keys, replicated visit seeks for DSI; per-copy
+    frontier arrivals for the tree sweeps) is what's under test here --
+    against scalar sessions walking the same explicit layout.
     """
     n_objects = data.draw(st.integers(min_value=40, max_value=90))
     dataset_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
@@ -184,7 +185,7 @@ def test_optimized_fleet_matches_brute_force(channels, theta, data):
     dataset = uniform_dataset(n_objects, seed=dataset_seed)
     workload = window_workload(4, 0.15, seed=workload_seed)
     config = SystemConfig(packet_capacity=64, n_channels=channels)
-    index = build_index("dsi", dataset, config, use_cache=False)
+    index = build_index(kind, dataset, config, use_cache=False)
     demand = workload.bucket_demand(index, dataset)
     schedule = BroadcastSchedule.optimized(
         index.program, demand, channels=channels, budget=budget
@@ -219,9 +220,10 @@ def test_optimized_fleet_matches_brute_force(channels, theta, data):
 def test_mobile_fleet_matches_brute_force(kind, channels, theta, data):
     """Warm 3-hop journey fleets equal per-journey scalar clients exactly.
 
-    Exercises the journey kernel's persistent lanes (knowledge and parked
-    channel carried across hops, per-hop examined/processed resets) for
-    DSI, and the reference fan-out for the tree-walk indexes.
+    Exercises the journey kernels' persistent lanes: knowledge and the
+    parked channel carried across hops with per-hop examined/processed
+    resets for DSI, and the warm node-cache bitmask (free drain cascades)
+    for the tree-walk indexes.
     """
     n_objects = data.draw(st.integers(min_value=40, max_value=90))
     dataset_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
@@ -248,8 +250,81 @@ def test_mobile_fleet_matches_brute_force(kind, channels, theta, data):
     np.testing.assert_array_equal(result.unique_counts, counts)
     np.testing.assert_array_equal(result.unique_latency, lat)
     np.testing.assert_array_equal(result.unique_tuning, tun)
-    if kind == "dsi":
-        assert result.backend == "numpy"
+    assert result.backend == "numpy"
+
+
+@pytest.mark.parametrize("channels", [1, 4])
+@given(data=st.data())
+@settings(**_SETTINGS)
+def test_knn_fleet_matches_brute_force(channels, data):
+    """DSI kNN fleets on the planner-lane backend equal brute force exactly.
+
+    The lanes replay the real radius-driven planner once per distinct
+    ``(query, entry landmark)`` and shift the other phases by their tune-in
+    offset -- the very collapse the reference applies -- so every unique
+    execution must match a fresh scalar session bit for bit.
+    """
+    n_objects = data.draw(st.integers(min_value=40, max_value=90))
+    dataset_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
+    workload_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
+    fleet_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
+    k = data.draw(st.integers(min_value=1, max_value=6))
+
+    dataset = uniform_dataset(n_objects, seed=dataset_seed)
+    workload = knn_workload(4, k=k, seed=workload_seed)
+    config = SystemConfig(packet_capacity=64, n_channels=channels)
+    index = build_index("dsi", dataset, config, use_cache=False)
+    trials = list(workload)
+
+    result = run_fleet(
+        index, dataset, config, workload, N_CLIENTS, seed=fleet_seed,
+        max_phases=MAX_PHASES, verify=True,
+    )
+    lat, tun, counts = _brute_force_uniques(
+        index, config, trials, n_clients=N_CLIENTS, seed=fleet_seed,
+        max_phases=MAX_PHASES, theta=None, error_seed=0,
+    )
+
+    assert result.backend == "lanes"
+    assert result.backend_reason is None
+    assert result.n_executions == len(lat)
+    np.testing.assert_array_equal(result.unique_counts, counts)
+    np.testing.assert_array_equal(result.unique_latency, lat)
+    np.testing.assert_array_equal(result.unique_tuning, tun)
+    total = result.result.correct_trials + result.result.incorrect_trials
+    assert total == N_CLIENTS
+
+
+def test_repro_pure_stands_down(monkeypatch):
+    """REPRO_PURE=1 forces the reference path -- and its numbers agree.
+
+    Every kernel family (DSI windows, tree windows, kNN lanes) must stand
+    down cleanly: backend "reference", the REPRO_PURE note as the reason,
+    and identical population statistics.
+    """
+    dataset = uniform_dataset(80, seed=11)
+    config = SystemConfig(packet_capacity=64, n_channels=4)
+    cases = [
+        ("dsi", window_workload(4, 0.12, seed=3)),
+        ("rtree", window_workload(4, 0.12, seed=3)),
+        ("hci", window_workload(4, 0.12, seed=3)),
+        ("dsi", knn_workload(3, k=4, seed=3)),
+    ]
+    for kind, workload in cases:
+        index = build_index(kind, dataset, config, use_cache=False)
+        fast = run_fleet(index, dataset, config, workload, 500, seed=9,
+                         max_phases=8)
+        assert fast.backend in ("numpy", "lanes")
+        monkeypatch.setenv("REPRO_PURE", "1")
+        try:
+            pure = run_fleet(index, dataset, config, workload, 500, seed=9,
+                             max_phases=8)
+        finally:
+            monkeypatch.delenv("REPRO_PURE")
+        assert pure.backend == "reference"
+        assert "REPRO_PURE" in pure.backend_reason
+        np.testing.assert_array_equal(fast.unique_latency, pure.unique_latency)
+        np.testing.assert_array_equal(fast.unique_tuning, pure.unique_tuning)
 
 
 @given(
@@ -281,24 +356,25 @@ def test_err_streams_match_default_rng(seeds, rounds):
 def test_kernel_backend_selection():
     """The numpy kernel takes exactly the envelope it proves exact.
 
-    DSI window fleets -- lossless or index-scope lossy -- run on the
-    kernel (both channel layouts); tree-walk indexes and non-index error
-    scopes fall back to the per-execution reference simulator, and the
-    decline reason is recorded on the result.
+    Window fleets -- DSI, R-tree and HCI, lossless or index-scope lossy --
+    run on the lockstep kernels (both channel layouts); DSI kNN fleets run
+    planner lanes; non-index error scopes fall back to the per-execution
+    reference simulator, and the decline reason is recorded on the result.
     """
     dataset = uniform_dataset(200, seed=7)
     workload = window_workload(6, 0.1, seed=3)
     for channels in (1, 4):
         config = SystemConfig(packet_capacity=64, n_channels=channels)
-        index = build_index("dsi", dataset, config, use_cache=False)
-        out = run_fleet(index, dataset, config, workload, 2_000, seed=9,
-                        max_phases=32)
-        assert out.backend == "numpy"
-        assert out.backend_reason is None
-        err = run_fleet(index, dataset, config, workload, 2_000, seed=9,
-                        max_phases=32, error_theta=0.05)
-        assert err.backend == "numpy"
-        assert err.backend_reason is None
+        for kind in ("dsi", "rtree", "hci"):
+            index = build_index(kind, dataset, config, use_cache=False)
+            out = run_fleet(index, dataset, config, workload, 2_000, seed=9,
+                            max_phases=32)
+            assert out.backend == "numpy"
+            assert out.backend_reason is None
+            err = run_fleet(index, dataset, config, workload, 2_000, seed=9,
+                            max_phases=32, error_theta=0.05)
+            assert err.backend == "numpy"
+            assert err.backend_reason is None
     config = SystemConfig(packet_capacity=64)
     index = build_index("dsi", dataset, config, use_cache=False)
     all_scope = run_fleet(index, dataset, config, workload, 2_000, seed=9,
@@ -306,10 +382,19 @@ def test_kernel_backend_selection():
     assert all_scope.backend == "reference"
     assert "scope" in all_scope.backend_reason
     assert all_scope.as_row()["backend_reason"] == all_scope.backend_reason
+
+    knn = knn_workload(4, k=5, seed=3)
+    out = run_fleet(index, dataset, config, knn, 2_000, seed=9, max_phases=32)
+    assert out.backend == "lanes"
+    assert out.backend_reason is None
+    err = run_fleet(index, dataset, config, knn, 2_000, seed=9, max_phases=32,
+                    error_theta=0.05)
+    assert err.backend == "reference"
+    assert "kNN fleets with link errors" in err.backend_reason
     rtree = build_index("rtree", dataset, config, use_cache=False)
-    out = run_fleet(rtree, dataset, config, workload, 2_000, seed=9, max_phases=32)
+    out = run_fleet(rtree, dataset, config, knn, 2_000, seed=9, max_phases=32)
     assert out.backend == "reference"
-    assert "DSI" in out.backend_reason
+    assert "kNN trials on tree indexes" in out.backend_reason
 
 
 def test_kernel_verify_counts_clients():

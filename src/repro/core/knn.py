@@ -61,6 +61,9 @@ class KnnQueryResult:
     tables_read: int = 0
     objects_downloaded: int = 0
     lost_objects: int = 0
+    #: True when the planner's safety cap stopped the search while candidate
+    #: frames remained -- the result may then be a truncated (inexact) answer.
+    iterations_capped: bool = False
 
     @property
     def object_ids(self) -> List[int]:
@@ -132,6 +135,23 @@ class _SearchSpace:
         for hc in fresh:
             self.estimates[hc] = self.estimate_distance(hc)
         self._radius = None
+
+    def estimate_distances(self, hcs: Iterable[int]) -> np.ndarray:
+        """Batch :meth:`estimate_distance`: one decode pass + memo gather.
+
+        Representative points of all memo-missing HC values are decoded in
+        one vectorised batch; each distance itself stays a scalar
+        ``math.hypot`` (its numpy counterpart is not bit-equal), so the
+        gathered floats are identical to the per-value path.
+        """
+        hcs = [int(hc) for hc in hcs]
+        memo = self._est_memo
+        missing = [hc for hc in hcs if hc not in memo]
+        if missing:
+            self.view.curve.warm_representative_points(missing)
+            for hc in missing:
+                self.estimate_distance(hc)
+        return np.fromiter((memo[hc] for hc in hcs), dtype=np.float64, count=len(hcs))
 
     def add_object(self, obj: DataObject) -> None:
         if obj.oid in self.retrieved:
@@ -239,11 +259,17 @@ def knn_query(
 
     safety = 4 * view.n_frames + 256
     iterations = 0
-    while iterations < safety:
-        iterations += 1
+    iterations_capped = False
+    while True:
         needed = _needed_ranks(view, knowledge, space, q, max_ranges)
         if not needed.size:
             break
+        if iterations >= safety:
+            # The safety cap only ever fires on pathological schedules (e.g.
+            # heavy loss); surface the truncation instead of hiding it.
+            iterations_capped = True
+            break
+        iterations += 1
         rank = _choose_rank(view, session, knowledge, space, needed, strategy)
         pos = knowledge.pos_of_rank(rank)
         actual_pos, table = read_table(session, view, knowledge, pos)
@@ -258,6 +284,7 @@ def knn_query(
         tables_read=knowledge.tables_read - tables_before,
         objects_downloaded=len(space.retrieved),
         lost_objects=space.lost_objects,
+        iterations_capped=iterations_capped,
     )
 
 
@@ -310,10 +337,7 @@ def _choose_rank(
         mins = knowledge.known_mins(needed)
         known = needed[mins >= 0]
         if known.size:
-            hcs = knowledge.known_mins(known)
-            distances = np.array(
-                [space.estimate_distance(int(hc)) for hc in hcs], dtype=np.float64
-            )
+            distances = space.estimate_distances(knowledge.known_mins(known))
             arrivals = session.next_arrivals(view.table_buckets_of_ranks(known))
             return int(known[np.lexsort((arrivals, distances))[0]])
     arrivals = session.next_arrivals(view.table_buckets_of_ranks(needed))

@@ -140,7 +140,16 @@ class ClientKnowledge:
             self._known += 1
             self._dirty = self._lists_dirty = True
 
-    def _table_pairs(self, table: DsiTable) -> Tuple[Tuple[int, int], ...]:
+    def table_pairs(self, table: DsiTable) -> Tuple[Tuple[int, int], ...]:
+        """Everything ``table`` teaches, as ``(rank, min_hc)`` pairs.
+
+        This is the exact unpacking :meth:`learn_table` performs (own rank,
+        successor, entry targets, segment boundaries), exposed so batch
+        planners -- the fleet kernel compiles it into a static learn matrix
+        -- absorb tables identically to a live session.  Pairs are cached
+        on the (frozen, static) table itself, keyed by this knowledge's
+        layout.
+        """
         layout = (self.n_frames, self.n_segments, self.hc_space)
         cached = getattr(table, "_learn_pairs", None)
         if cached is not None and cached[0] == layout:
@@ -162,6 +171,9 @@ class ClientKnowledge:
         # so every later session reads it back as one attribute lookup.
         object.__setattr__(table, "_learn_pairs", (layout, result))
         return result
+
+    #: Backwards-compatible private alias (pre-PR 10 callers).
+    _table_pairs = table_pairs
 
     def learn_table(self, table: DsiTable) -> None:
         """Absorb everything a DSI index table reveals."""

@@ -171,6 +171,28 @@ class DsiDirectory:
     records: Tuple[DirectoryRecord, ...]
 
 
+@dataclass(frozen=True)
+class RankObjects:
+    """Flat rank-ordered object geometry of a built DSI index.
+
+    One row per object, ordered frame-rank major / slot minor -- the
+    global HC order of the broadcast.  ``obj_start[r] + slot`` is the flat
+    id of the object at ``slot`` of the frame ranked ``r``, which is what
+    lets batch planners (the fleet kernel's kNN lanes) address every
+    candidate object with plain integer arithmetic instead of HC-keyed
+    dictionaries.  ``dir_bucket`` is -1 for frames without an intra-frame
+    directory.
+    """
+
+    flen: np.ndarray        # (F,) objects per frame, rank order
+    obj_start: np.ndarray   # (F,) flat id of each frame's slot-0 object
+    hcs: np.ndarray         # (N,) object HC values, flat order
+    oids: np.ndarray        # (N,) object ids, flat order
+    buckets: np.ndarray     # (N,) broadcast bucket id of each object
+    dir_bucket: np.ndarray  # (F,) directory bucket id per rank (-1 if none)
+    objects: Tuple[DataObject, ...]  # the objects themselves, flat order
+
+
 @dataclass
 class DsiFrame:
     """Build-time description of one frame."""
@@ -455,6 +477,48 @@ class DsiIndex(AirIndex):
         return ClientKnowledge(
             self.layout.n_frames, self.params.n_segments, self.curve.max_value
         )
+
+    def rank_object_arrays(self) -> RankObjects:
+        """Flat rank-ordered object geometry (cached; see :class:`RankObjects`).
+
+        Built once per index: the batched kNN fleet kernel compiles its
+        per-query distance tables and per-frame visit loops against these
+        arrays, so they live here next to the structures they flatten.
+        """
+        cached = getattr(self, "_rank_objects", None)
+        if cached is None:
+            n_frames = self.layout.n_frames
+            flen = np.fromiter(
+                (len(f.objects) for f in self.frames_by_rank),
+                dtype=np.int64, count=n_frames,
+            )
+            obj_start = np.concatenate(([0], np.cumsum(flen)[:-1]))
+            objects = tuple(o for f in self.frames_by_rank for o in f.objects)
+            n = len(objects)
+            hcs = np.fromiter((o.hc for o in objects), dtype=np.int64, count=n)
+            oids = np.fromiter((o.oid for o in objects), dtype=np.int64, count=n)
+            buckets = np.fromiter(
+                (
+                    b
+                    for f in self.frames_by_rank
+                    for b in self.frame_object_buckets[f.broadcast_pos]
+                ),
+                dtype=np.int64, count=n,
+            )
+            dir_bucket = np.fromiter(
+                (
+                    -1 if self.directory_bucket[f.broadcast_pos] is None
+                    else self.directory_bucket[f.broadcast_pos]
+                    for f in self.frames_by_rank
+                ),
+                dtype=np.int64, count=n_frames,
+            )
+            cached = RankObjects(
+                flen=flen, obj_start=obj_start, hcs=hcs, oids=oids,
+                buckets=buckets, dir_bucket=dir_bucket, objects=objects,
+            )
+            self._rank_objects = cached
+        return cached
 
     def entry_landmark(self, view, position: int, switch_packets: int = 0):
         """First index-table read from ``position`` (fleet trace collapse).

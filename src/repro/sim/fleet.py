@@ -184,9 +184,8 @@ class FleetResult:
     unique_counts: np.ndarray = field(repr=False)
     #: Which engine simulated the distinct executions: ``"numpy"`` for the
     #: structure-of-arrays kernels (:mod:`repro.sim.fleet_kernel` -- DSI
-    #: and tree-index window fleets), ``"lanes"`` for deduplicated real-
-    #: planner replays (DSI kNN fleets), ``"reference"`` for the per-phase
-    #: object-model path.
+    #: and tree-index window fleets plus the batched DSI kNN lanes),
+    #: ``"reference"`` for the per-phase object-model path.
     backend: str = "reference"
     #: Which schedule the fleet tuned into: ``"flat"`` for the config-derived
     #: round-robin layout, ``"optimized"`` for a demand-aware
@@ -197,6 +196,11 @@ class FleetResult:
     #: REPRO_PURE note.  ``None`` on kernel runs -- surfaced as a sweep row
     #: column so perf cliffs are visible instead of silent.
     backend_reason: Optional[str] = None
+    #: How many distinct executions ended with the kNN planner's safety cap
+    #: truncating the search (``KnnQueryResult.iterations_capped``).  Always
+    #: 0 for window workloads and on kernel runs (the kernels decline
+    #: cap-bound lanes); nonzero means some answers may be inexact.
+    capped_executions: int = 0
     #: Realized per-query client draw counts (length = number of workload
     #: queries), retained -- with references to the run's workload, index and
     #: dataset -- so :meth:`demand_profile` can extract the fleet's actual
@@ -284,6 +288,8 @@ class FleetResult:
         row["backend"] = self.backend
         row["backend_reason"] = self.backend_reason or ""
         row["schedule_policy"] = self.schedule_policy
+        if self.capped_executions:
+            row["capped_executions"] = self.capped_executions
         return row
 
 
@@ -362,7 +368,7 @@ def _install_sim_ctx(ctx: Dict[str, Any]) -> None:
         _SIM_CTX["view"] = schedule.view()
 
 
-def _simulate_query_batch(qid: int, phases: Sequence[int]) -> List[Tuple[int, int, int]]:
+def _simulate_query_batch(qid: int, phases: Sequence[int]) -> List[Tuple[int, int, int, int]]:
     """Simulate every requested phase of one query (module-level: picklable).
 
     Batching by query keeps all per-query invariants -- the trial, its HC
@@ -396,13 +402,16 @@ def _simulate_query_batch(qid: int, phases: Sequence[int]) -> List[Tuple[int, in
 
         truth = answer(ctx["dataset"], query)
 
-    def simulate(start_packet: int, error_model: Optional[LinkErrorModel]) -> Tuple[int, int, int]:
+    def simulate(
+        start_packet: int, error_model: Optional[LinkErrorModel]
+    ) -> Tuple[int, int, int, int]:
         session = ClientSession(
             view, config, start_packet=start_packet, error_model=error_model
         )
         outcome = execute_query(index, query, session, knn_strategy=knn_strategy)
         correct = -1 if truth is None else int(matches_truth(query, truth, outcome.objects))
-        return outcome.metrics.latency_packets, outcome.metrics.tuning_bytes, correct
+        capped = int(getattr(outcome, "iterations_capped", False))
+        return outcome.metrics.latency_packets, outcome.metrics.tuning_bytes, correct, capped
 
     landmark = getattr(index, "entry_landmark", None)
     switch = (
@@ -410,8 +419,9 @@ def _simulate_query_batch(qid: int, phases: Sequence[int]) -> List[Tuple[int, in
         if getattr(view, "home_channel", None) is not None
         else 0
     )
-    out: List[Tuple[int, int, int]] = []
-    traces: Dict[Any, Tuple[int, int, int, int]] = {}  # landmark -> (p_rep, lat, tun, ok)
+    out: List[Tuple[int, int, int, int]] = []
+    # landmark -> (p_rep, lat, tun, ok, capped)
+    traces: Dict[Any, Tuple[int, int, int, int, int]] = {}
     for phase in phases:
         phase = int(phase)
         start_packet = (phase * cycle) // n_phases
@@ -422,22 +432,22 @@ def _simulate_query_batch(qid: int, phases: Sequence[int]) -> List[Tuple[int, in
             error_model = LinkErrorModel(
                 theta=theta, scope=scope, seed=(error_seed * 1_000_003 + key) & 0x7FFFFFFF
             )
-            lat_packets, tun_bytes, correct = simulate(start_packet, error_model)
+            lat_packets, tun_bytes, correct, capped = simulate(start_packet, error_model)
         else:
             mark = None if landmark is None else landmark(view, start_packet + 1, switch)
             if mark is None:
-                lat_packets, tun_bytes, correct = simulate(start_packet, None)
+                lat_packets, tun_bytes, correct, capped = simulate(start_packet, None)
             else:
                 trace = traces.get(mark)
                 if trace is None:
-                    lat_packets, tun_bytes, correct = simulate(start_packet, None)
-                    traces[mark] = (start_packet, lat_packets, tun_bytes, correct)
+                    lat_packets, tun_bytes, correct, capped = simulate(start_packet, None)
+                    traces[mark] = (start_packet, lat_packets, tun_bytes, correct, capped)
                 else:
                     # Same absolute trace as the representative execution;
                     # only the tune-in offset differs in latency.
-                    p_rep, rep_lat, tun_bytes, correct = trace
+                    p_rep, rep_lat, tun_bytes, correct, capped = trace
                     lat_packets = rep_lat - (start_packet - p_rep)
-        out.append((lat_packets * capacity, tun_bytes, correct))
+        out.append((lat_packets * capacity, tun_bytes, correct, capped))
     return out
 
 
@@ -560,6 +570,9 @@ def run_fleet(
         lat_b, tun_b, corrects, backend = kernel_out
         uniq_lat = lat_b.astype(np.float64)
         uniq_tun = tun_b.astype(np.float64)
+        # The kernels decline any lane whose search would hit the planner's
+        # safety cap, so kernel-run executions are never truncated.
+        capped = np.zeros(len(keys), dtype=np.int64)
     else:
         # Reference path, batched per query.  One task per (query,
         # phase-run): queries are contiguous in key order, and large phase
@@ -606,6 +619,7 @@ def run_fleet(
         uniq_lat = np.array([s[0] for s in sims], dtype=np.float64)
         uniq_tun = np.array([s[1] for s in sims], dtype=np.float64)
         corrects = np.array([s[2] for s in sims], dtype=np.int64)
+        capped = np.array([s[3] for s in sims], dtype=np.int64)
 
     # -- stream the population through the summaries ---------------------------
     # Replaying the seeded client stream (same generator, same seed) maps each
@@ -644,6 +658,7 @@ def run_fleet(
         backend=backend,
         schedule_policy=getattr(schedule, "policy", "flat"),
         backend_reason=backend_reason,
+        capped_executions=int(np.count_nonzero(capped)),
         query_draws=counts.reshape(n_q, n_phases).sum(axis=1),
         _workload=workload,
         _index=index,
@@ -656,7 +671,7 @@ def run_fleet(
 # ---------------------------------------------------------------------------
 
 
-def _simulate_journey_batch(jid: int, phases: Sequence[int]) -> List[Tuple[int, int, int]]:
+def _simulate_journey_batch(jid: int, phases: Sequence[int]) -> List[Tuple[int, int, int, int]]:
     """Simulate every requested tune-in phase of one journey (picklable).
 
     The stationary fleet's *landmark collapse* generalizes to whole warm
@@ -694,7 +709,9 @@ def _simulate_journey_batch(jid: int, phases: Sequence[int]) -> List[Tuple[int, 
 
         truths = [answer(ctx["dataset"], step.query) for step in journey.steps]
 
-    def simulate(start_packet: int, error_model: Optional[LinkErrorModel]) -> Tuple[int, int, int]:
+    def simulate(
+        start_packet: int, error_model: Optional[LinkErrorModel]
+    ) -> Tuple[int, int, int, int]:
         result = run_journey(
             index, view, config, journey,
             start_packet=start_packet, error_model=error_model,
@@ -706,7 +723,15 @@ def _simulate_journey_batch(jid: int, phases: Sequence[int]) -> List[Tuple[int, 
                 int(matches_truth(step.query, truth, hop.outcome.objects))
                 for step, truth, hop in zip(journey.steps, truths, result.hops)
             )
-        return result.total_latency_packets, result.total_tuning_bytes, correct_hops
+        capped_hops = sum(
+            int(getattr(hop.outcome, "iterations_capped", False)) for hop in result.hops
+        )
+        return (
+            result.total_latency_packets,
+            result.total_tuning_bytes,
+            correct_hops,
+            capped_hops,
+        )
 
     landmark = getattr(index, "entry_landmark", None)
     switch = (
@@ -714,8 +739,9 @@ def _simulate_journey_batch(jid: int, phases: Sequence[int]) -> List[Tuple[int, 
         if getattr(view, "home_channel", None) is not None
         else 0
     )
-    out: List[Tuple[int, int, int]] = []
-    traces: Dict[Any, Tuple[int, int, int, int]] = {}  # mark -> (p_rep, lat, tun, ok)
+    out: List[Tuple[int, int, int, int]] = []
+    # mark -> (p_rep, lat, tun, ok, capped)
+    traces: Dict[Any, Tuple[int, int, int, int, int]] = {}
     for phase in phases:
         phase = int(phase)
         start_packet = (phase * cycle) // n_phases
@@ -724,23 +750,31 @@ def _simulate_journey_batch(jid: int, phases: Sequence[int]) -> List[Tuple[int, 
             error_model = LinkErrorModel(
                 theta=theta, scope=scope, seed=(error_seed * 1_000_003 + key) & 0x7FFFFFFF
             )
-            lat_packets, tun_bytes, correct_hops = simulate(start_packet, error_model)
+            lat_packets, tun_bytes, correct_hops, capped_hops = simulate(
+                start_packet, error_model
+            )
         else:
             mark = None if landmark is None else landmark(view, start_packet + 1, switch)
             if mark is None:
-                lat_packets, tun_bytes, correct_hops = simulate(start_packet, None)
+                lat_packets, tun_bytes, correct_hops, capped_hops = simulate(
+                    start_packet, None
+                )
             else:
                 trace = traces.get(mark)
                 if trace is None:
-                    lat_packets, tun_bytes, correct_hops = simulate(start_packet, None)
-                    traces[mark] = (start_packet, lat_packets, tun_bytes, correct_hops)
+                    lat_packets, tun_bytes, correct_hops, capped_hops = simulate(
+                        start_packet, None
+                    )
+                    traces[mark] = (
+                        start_packet, lat_packets, tun_bytes, correct_hops, capped_hops
+                    )
                 else:
                     # Hop 1 shares the representative's absolute trace (only
                     # the tune-in offset differs); all later hops start from
                     # the same absolute state and are identical outright.
-                    p_rep, rep_lat, tun_bytes, correct_hops = trace
+                    p_rep, rep_lat, tun_bytes, correct_hops, capped_hops = trace
                     lat_packets = rep_lat - (start_packet - p_rep)
-        out.append((lat_packets * capacity, tun_bytes, correct_hops))
+        out.append((lat_packets * capacity, tun_bytes, correct_hops, capped_hops))
     return out
 
 
@@ -772,13 +806,16 @@ class MobileFleetResult:
     unique_counts: np.ndarray = field(repr=False)
     #: Which engine simulated the distinct journeys: ``"numpy"`` for the
     #: SoA journey kernels (:func:`repro.sim.fleet_kernel.simulate_window_journeys`,
-    #: warm window journeys -- DSI or tree-index -- with persistent lanes),
-    #: ``"reference"`` for the per-phase object-model path.
+    #: warm window or kNN journeys -- DSI or tree-index -- with persistent
+    #: lanes), ``"reference"`` for the per-phase object-model path.
     backend: str = "reference"
     #: Which schedule the fleet tuned into (see :class:`FleetResult`).
     schedule_policy: str = "flat"
     #: Why the reference path ran, when it did (see :class:`FleetResult`).
     backend_reason: Optional[str] = None
+    #: Distinct journeys with at least one hop truncated by the kNN
+    #: planner's safety cap (see :class:`FleetResult.capped_executions`).
+    capped_executions: int = 0
 
     @property
     def clients_per_sec(self) -> float:
@@ -829,6 +866,8 @@ class MobileFleetResult:
         row["backend"] = self.backend
         row["backend_reason"] = self.backend_reason or ""
         row["schedule_policy"] = self.schedule_policy
+        if self.capped_executions:
+            row["capped_executions"] = self.capped_executions
         return row
 
 
@@ -946,6 +985,8 @@ def run_mobile_fleet(
         lat_b, tun_b, correct_hops, backend = kernel_out
         uniq_lat = lat_b.astype(np.float64)
         uniq_tun = tun_b.astype(np.float64)
+        # Kernels decline cap-bound searches, so no kernel journey truncates.
+        capped_hops = np.zeros(len(keys), dtype=np.int64)
     else:
         tasks: List[Tuple[int, List[int]]] = []
         n_workers = processes if processes is not None else default_processes()
@@ -984,6 +1025,7 @@ def run_mobile_fleet(
         uniq_lat = np.array([s[0] for s in sims], dtype=np.float64)
         uniq_tun = np.array([s[1] for s in sims], dtype=np.float64)
         correct_hops = np.array([s[2] for s in sims], dtype=np.int64)
+        capped_hops = np.array([s[3] for s in sims], dtype=np.int64)
 
     # -- stream the population through the summaries (draw order, as above) ----
     lat_by_key = np.zeros(n_j * n_phases, dtype=np.float64)
@@ -1022,6 +1064,7 @@ def run_mobile_fleet(
         backend=backend,
         schedule_policy=getattr(schedule, "policy", "flat"),
         backend_reason=backend_reason,
+        capped_executions=int(np.count_nonzero(capped_hops)),
     )
 
 

@@ -126,14 +126,23 @@ sets).  The entry-landmark collapse keys on the first root-copy arrival --
 exactly :meth:`TreeOnAir.entry_landmark` -- so lossless lanes dedup just
 like DSI ones.
 
-**kNN fleets** over DSI run as *lanes* rather than lockstep arrays: the
-radius-driven planner's control flow is deeply value-dependent, so each
-deduplicated ``(query, entry landmark)`` lane replays the real
-:func:`repro.core.knn.knn_query` planner once (bit-exact by construction)
-and phases sharing a landmark share the trace, shifted by their tune-in
-offset -- the very collapse the reference applies per query batch, hoisted
-above the batch machinery and sharing one distance-estimate memo per query
-across lanes.  The fleet result reports this path as backend ``"lanes"``.
+**kNN fleets** over DSI run the same lockstep discipline with compiled
+per-query search plans.  All static geometry is decoded once per query --
+every table value and directory record collapses to a distance against a
+flat rank-indexed object array (:meth:`DsiIndex.rank_object_arrays`), so
+the planner's HC-keyed estimate/exact dictionaries become boolean bitmask
+rows over object ids with a shared value row.  Circle covers are memoized
+per ``(query, prune radius)`` and compiled to global rank bounds; lanes
+reduce them to candidate intervals with two known-rank sweeps, the
+rank-space image of ``candidate_rank_array``.  The k-th-candidate radius
+is a row-wise ``np.partition`` over radius-dirty lanes, frame selection a
+batched ``argmin`` reproducing the scalar planner's tie-breaks bit-exactly
+(including the ``aggressive`` distance-then-arrival lexsort), and finished
+lanes compact out of the working set.  Comparison distances stay scalar
+``math.hypot`` -- the vectorised counterpart is not bit-equal -- so only
+the representative-point decode batches.  Warm (journey) kNN hops seed the
+candidate set from the carried knowledge exactly like the planner's warm
+start, so kNN journeys no longer decline to the reference path.
 
 Everything matches the reference walk integer for integer;
 ``tests/test_fleet_kernel.py`` pins both against a brute-force per-phase
@@ -211,14 +220,14 @@ class _Static:
             count=n_frames,
         )
         # What each table teaches, as a (reader-rank, taught-rank) matrix.
-        # _table_pairs is the very unpacking ClientKnowledge.learn_table
+        # table_pairs is the very unpacking ClientKnowledge.learn_table
         # performs, so the row-OR below absorbs a table exactly like the
         # reference session does.
         knowledge = ClientKnowledge(n_frames, index.params.n_segments, hc_space)
         learn = np.zeros((n_frames, n_frames), dtype=bool)
         for rank in range(n_frames):
             table = index.tables[int(pos_of_rank[rank])]
-            for taught, value in knowledge._table_pairs(table):
+            for taught, value in knowledge.table_pairs(table):
                 if value != mins[taught]:
                     raise KernelUnsupported(
                         "table teaches a value that is not the frame minimum"
@@ -1588,6 +1597,736 @@ def _simulate_tree_journeys(
 # --- kNN lanes (DSI) --------------------------------------------------------
 
 
+_KNN_STATIC_ATTR = "_soa_knn_static"
+
+KNN_SAFETY_MARGIN = 256  # mirrors the planner's ``4 * n_frames + 256`` cap
+
+
+class _KnnStatic:
+    """Per-index kNN constants: flat object geometry plus table estimate rows.
+
+    The scalar planner keeps two candidate sets with different keys:
+    exact distances per *object* and estimates per *HC value* (objects
+    sharing a cell share one estimate, and a retrieved HC blocks its
+    re-estimation).  Both compile to flat integer spaces here: object ids
+    (``obj_start[rank] + slot``, global HC order) and unique-HC *group*
+    ids (``hc_group`` maps objects to groups; duplicates are consecutive
+    in the flat order).  Every table's ``learn_table`` estimate set -- its
+    own minimum plus its entry landmarks, all frame minima -- becomes a
+    padded row of group ids (``est_grps``/``est_len``).
+    """
+
+    __slots__ = (
+        "n_objects", "n_groups", "flen", "obj_start", "obj_bucket", "oids",
+        "hcs", "hc_group", "grp_hcs", "grp_of_rank", "dir_bucket",
+        "est_grps", "est_len", "objects",
+    )
+
+    def __init__(self, static: _Static, index: Any) -> None:
+        ro = index.rank_object_arrays()
+        hcs = ro.hcs
+        n_frames = static.n_frames
+        if np.any(ro.flen < 1):
+            raise KernelUnsupported("empty frames take the reference path")
+        if len(hcs) > 1 and np.any(hcs[1:] < hcs[:-1]):
+            raise KernelUnsupported(
+                "unsorted broadcast objects take the reference path"
+            )
+        if not np.array_equal(static.mins, hcs[ro.obj_start]):
+            raise KernelUnsupported(
+                "frame minima do not map to slot-0 objects"
+            )
+        if np.any((ro.dir_bucket < 0) & (ro.flen > 1)):
+            # The reference would scan such a frame unconditionally; the
+            # built structure never produces it under use_directory.
+            raise KernelUnsupported(
+                "multi-object frame without directory takes the reference path"
+            )
+        grp_hcs, hc_group = np.unique(hcs, return_inverse=True)
+        rank_of_pos = np.empty(n_frames, dtype=np.int64)
+        rank_of_pos[static.pos_of_rank] = np.arange(n_frames)
+        width = 1 + max(len(t.entries) for t in index.tables)
+        est_grps = np.zeros((n_frames, width), dtype=np.int64)
+        est_len = np.zeros(n_frames, dtype=np.int64)
+        grp_of_rank = hc_group[ro.obj_start]
+        for rank in range(n_frames):
+            table = index.tables[int(static.pos_of_rank[rank])]
+            targets = [rank] + [int(rank_of_pos[e.frame_pos]) for e in table.entries]
+            grps = grp_of_rank[targets]
+            est_len[rank] = len(grps)
+            est_grps[rank, : len(grps)] = grps
+        self.n_objects = len(hcs)
+        self.n_groups = len(grp_hcs)
+        self.flen = ro.flen
+        self.obj_start = ro.obj_start
+        self.obj_bucket = ro.buckets
+        self.oids = ro.oids
+        self.hcs = hcs
+        self.hc_group = hc_group
+        self.grp_hcs = grp_hcs
+        self.grp_of_rank = grp_of_rank
+        self.dir_bucket = ro.dir_bucket
+        self.est_grps = est_grps
+        self.est_len = est_len
+        self.objects = ro.objects
+
+
+def _knn_static_of(index: Any, static: _Static) -> _KnnStatic:
+    kst = getattr(index, _KNN_STATIC_ATTR, None)
+    if kst is None:
+        kst = _KnnStatic(static, index)
+        setattr(index, _KNN_STATIC_ATTR, kst)
+    return kst
+
+
+class _KnnCovers:
+    """Shared circle covers compiled to rank bounds, memoized on cell keys.
+
+    ``resolve`` maps every lane's prune radius to the exact cover
+    ``_needed_ranks`` would build (same ``ranges_for_circle`` call, same
+    ``max_ranges``, same infinite-radius full range).  The cover sweep in
+    ``ranges_for_rect`` is a pure function of the clipped bounding rect's
+    ceil/floor cell quantisation -- the invariant its own cover cache
+    memoizes on -- so the quantised key is computed here vectorised for
+    all lanes at once, deduplicated, and only genuinely new covers reach
+    python.  Each new cover's piece endpoints are pre-resolved against the
+    frame minima; lanes later reduce those bounds to candidate rank
+    intervals under their own knowledge -- the rank-space image of
+    ``ClientKnowledge.candidate_rank_array`` -- so one compiled cover is
+    shared by every lane, phase and *query* that reaches the same cells.
+    """
+
+    __slots__ = ("curve", "mins", "max_ranges", "side", "memo", "_a0", "_b0", "_plen", "_n")
+
+    def __init__(self, curve: Any, mins: np.ndarray, max_ranges: int = 64) -> None:
+        self.curve = curve
+        self.mins = mins
+        self.max_ranges = max_ranges
+        self.side = float(curve.side)
+        self.memo: Dict[int, int] = {}
+        self._a0 = np.zeros((16, 4), dtype=np.int64)
+        self._b0 = np.zeros((16, 4), dtype=np.int64)
+        self._plen = np.zeros(16, dtype=np.int64)
+        self._n = 0
+
+    def _append(self, ranges: List[Tuple[int, int]]) -> int:
+        bounds = np.asarray(ranges, dtype=np.int64).reshape(-1, 2)
+        # Global (knowledge-free) rank positions of the piece endpoints:
+        # the largest rank whose minimum is <= lo and the first rank
+        # whose minimum is > hi.  A lane's knowledge sweep turns these
+        # into the scalar walk's [a, b] candidate intervals.
+        a = np.searchsorted(self.mins, bounds[:, 0], side="right") - 1
+        b = np.searchsorted(self.mins, bounds[:, 1], side="right")
+        n, w = self._n, len(a)
+        rows, width = self._a0.shape
+        if n >= rows or w > width:
+            rows2, width2 = max(2 * rows, n + 1), max(width, w)
+            for f in ("_a0", "_b0"):
+                grown = np.zeros((rows2, width2), dtype=np.int64)
+                grown[:n, :width] = getattr(self, f)[:n]
+                setattr(self, f, grown)
+            plen2 = np.zeros(rows2, dtype=np.int64)
+            plen2[:n] = self._plen[:n]
+            self._plen = plen2
+        self._a0[n, :w] = a
+        self._b0[n, :w] = b
+        self._plen[n] = w
+        self._n = n + 1
+        return n
+
+    def _append_many(
+        self, counts: np.ndarray, los: np.ndarray, his: np.ndarray
+    ) -> int:
+        """Append a flat batch of covers; returns the first new cover id."""
+        a = np.searchsorted(self.mins, los, side="right") - 1
+        b = np.searchsorted(self.mins, his, side="right")
+        n, k = self._n, len(counts)
+        w = int(counts.max(initial=1))
+        rows, width = self._a0.shape
+        if n + k > rows or w > width:
+            rows2 = max(2 * rows, n + k)
+            width2 = max(width, w)
+            for f in ("_a0", "_b0"):
+                grown = np.zeros((rows2, width2), dtype=np.int64)
+                grown[:n, :width] = getattr(self, f)[:n]
+                setattr(self, f, grown)
+            plen2 = np.zeros(rows2, dtype=np.int64)
+            plen2[:n] = self._plen[:n]
+            self._plen = plen2
+        rows_ix = np.repeat(np.arange(n, n + k, dtype=np.int64), counts)
+        cuts = np.zeros(k, dtype=np.int64)
+        np.cumsum(counts[:-1], out=cuts[1:])
+        cols_ix = np.arange(len(los), dtype=np.int64) - np.repeat(cuts, counts)
+        self._a0[rows_ix, cols_ix] = a
+        self._b0[rows_ix, cols_ix] = b
+        self._plen[n: n + k] = counts
+        self._n = n + k
+        return n
+
+    def resolve(
+        self,
+        qids: np.ndarray,
+        qx: np.ndarray,
+        qy: np.ndarray,
+        prune: np.ndarray,
+    ) -> np.ndarray:
+        """Cover ids for each row of ``(qids, prune)``.
+
+        Replays ``circle_bounding_rect(...).clipped_to_unit()`` and the
+        scaled-bound quantisation of ``ranges_for_rect`` elementwise (the
+        same IEEE operations, so the same integers); an infinite radius
+        keys the full-range cover.  Keys the memo has not seen sweep in
+        one ``covers_for_rects`` batch.
+        """
+        side = self.side
+        key = np.full(len(prune), -1, dtype=np.int64)
+        finite = np.isfinite(prune)
+        if finite.any():
+            cx = qx[qids[finite]]
+            cy = qy[qids[finite]]
+            r = prune[finite]
+            xlo = np.maximum(0.0, cx - r) * side
+            ylo = np.maximum(0.0, cy - r) * side
+            xhi = np.minimum(1.0, cx + r) * side
+            yhi = np.minimum(1.0, cy + r) * side
+            base = np.int64(side) + 1
+            k = np.ceil(xlo).astype(np.int64)
+            k = k * base + np.floor(xhi).astype(np.int64)
+            k = k * base + np.ceil(ylo).astype(np.int64)
+            k = k * base + np.floor(yhi).astype(np.int64)
+            key[finite] = k
+        uniq, first, inv = np.unique(key, return_index=True, return_inverse=True)
+        cids = np.empty(len(uniq), dtype=np.int64)
+        miss: List[int] = []
+        for u, uk in enumerate(uniq.tolist()):
+            cid = self.memo.get(uk)
+            if cid is None:
+                if uk < 0:
+                    cid = self._append([(0, int(self.curve.max_value) - 1)])
+                    self.memo[uk] = cid
+                else:
+                    miss.append(u)
+                    cid = -1
+            cids[u] = cid
+        if miss:
+            # All genuinely new covers sweep in one batched pass (the
+            # clipped circle bounding rects, elementwise as the scalar
+            # path computes them), then append as one block.
+            fi = first[miss]
+            cm = qx[qids[fi]]
+            dm = qy[qids[fi]]
+            rm = prune[fi]
+            counts, los, his = self.curve.covers_for_rects_flat(
+                np.maximum(0.0, cm - rm),
+                np.maximum(0.0, dm - rm),
+                np.minimum(1.0, cm + rm),
+                np.minimum(1.0, dm + rm),
+                max_ranges=self.max_ranges,
+            )
+            cid0 = self._append_many(counts, los, his)
+            uk_miss = uniq[miss].tolist()
+            for j, uk in enumerate(uk_miss):
+                self.memo[uk] = cid0 + j
+                cids[miss[j]] = cid0 + j
+        return cids[inv]
+
+    def matrices(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Padded ``(A0, B0, piece_count)`` matrices over all covers so far."""
+        n = self._n
+        return self._a0[:n], self._b0[:n], self._plen[:n]
+
+
+def _knn_query_tables(
+    kst: _KnnStatic, curve: Any, queries: Sequence[KnnQuery]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Compile the per-query static geometry: every distance, decoded once.
+
+    Returns flat query-major ``(est_g, ex_d)`` distance tables (estimate =
+    query to each unique HC cell's representative point, exact = query to
+    each object), the per-rank minima estimates ``min_est`` and the ``k``
+    array.  Comparison distances stay scalar ``math.hypot``
+    (``Point.distance_to``) -- its vectorised counterpart is not bit-equal
+    -- so only the representative-point decode batches.
+    """
+    hc_list = kst.grp_hcs.tolist()
+    curve.warm_representative_points(hc_list)
+    reps = [curve.representative_point(hc) for hc in hc_list]
+    n_q = len(queries)
+    est_g = np.empty((n_q, kst.n_groups), dtype=np.float64)
+    ex_d = np.empty((n_q, kst.n_objects), dtype=np.float64)
+    for qi, query in enumerate(queries):
+        q = query.point
+        est_g[qi] = [q.distance_to(p) for p in reps]
+        ex_d[qi] = [o.distance_to(q) for o in kst.objects]
+    min_est = est_g[:, kst.grp_of_rank].copy()
+    k_arr = np.fromiter((int(q.k) for q in queries), dtype=np.int64, count=n_q)
+    return est_g.reshape(-1), ex_d.reshape(-1), min_est, k_arr
+
+
+class _KnnLanes:
+    """One struct-of-arrays block of per-lane kNN search state.
+
+    Session position (``cl``/``ch``/``tn``), knowledge (``kn`` known
+    ranks, ``ex`` examined ranks) and the planner's candidate space in
+    its two key spaces: ``rt`` retrieved bitmasks over flat object ids,
+    ``es``/``rh`` estimate/retrieved-HC bitmasks over unique-HC group ids
+    (``es`` and ``rh`` are always disjoint, matching the estimate pop on
+    retrieval), ``vl`` the candidate value pool (an append-only row of
+    the ``nc`` live values per lane, inf beyond; a retrieval overwrites
+    its group's estimate slot -- ``sl`` -- in place, so the pool is the
+    candidate multiset verbatim and never exceeds ``n_objects`` wide),
+    ``nc``/``nr`` candidate and retrieved counts, and ``rad`` the
+    k-th-candidate radius with its ``dirty`` flag.
+    """
+
+    __slots__ = (
+        "idx", "cl", "ch", "tn", "kn", "ex", "es", "rh", "rt", "vl", "sl",
+        "nc", "nr", "rad", "dirty", "qid", "qo", "qg", "kk", "me",
+    )
+
+    def copy(self) -> "_KnnLanes":
+        out = _KnnLanes()
+        for f in self.__slots__:
+            setattr(out, f, getattr(self, f).copy())
+        return out
+
+    def compact(self, keep: np.ndarray) -> None:
+        for f in self.__slots__:
+            setattr(self, f, getattr(self, f)[keep])
+
+
+class _KnnWalker:
+    """Lockstep kNN lanes over one DSI broadcast.
+
+    Every lane of every query advances through the planner loop together:
+    cover-driven candidacy, frame choice, table read, frame visit.  Lanes
+    whose candidate set empties leave the working block (compaction); the
+    walk ends when none remain.  All value comparisons reuse the compiled
+    distance tables, so each step is pure array arithmetic plus the
+    occasional new circle cover.
+    """
+
+    def __init__(
+        self,
+        geo: _Geometry,
+        static: _Static,
+        kst: _KnnStatic,
+        covers: _KnnCovers,
+        qpoints: Sequence[Any],
+        est_g: np.ndarray,
+        ex_d: np.ndarray,
+        min_est: np.ndarray,
+        k_arr: np.ndarray,
+        qid: np.ndarray,
+        strategy: str,
+        slack: float,
+    ) -> None:
+        self.geo = geo
+        self.static = static
+        self.kst = kst
+        self.covers = covers
+        self.qpoints = qpoints
+        self.est_g = est_g
+        self.ex_d = ex_d
+        self.min_est = min_est
+        self.k_arr = k_arr
+        self.strategy = strategy
+        self.slack = slack
+        n = len(qid)
+        n_frames = static.n_frames
+        n_obj = kst.n_objects
+        n_grp = kst.n_groups
+        lanes = _KnnLanes()
+        lanes.idx = np.arange(n)
+        lanes.cl = np.zeros(n, dtype=np.int64)
+        lanes.ch = np.full(n, geo.ctrl, dtype=np.int64)
+        lanes.tn = np.zeros(n, dtype=np.int64)
+        lanes.kn = np.zeros((n, n_frames), dtype=bool)
+        lanes.ex = np.zeros((n, n_frames), dtype=bool)
+        lanes.es = np.zeros((n, n_grp), dtype=bool)
+        lanes.rh = np.zeros((n, n_grp), dtype=bool)
+        lanes.rt = np.zeros((n, n_obj), dtype=bool)
+        lanes.vl = np.full((n, n_obj), np.inf)
+        lanes.sl = np.zeros((n, n_grp), dtype=np.int32)
+        lanes.nc = np.zeros(n, dtype=np.int64)
+        lanes.nr = np.zeros(n, dtype=np.int64)
+        lanes.rad = np.full(n, np.inf)
+        lanes.dirty = np.zeros(n, dtype=bool)
+        self.S = lanes
+        self.qx = np.fromiter(
+            (p.x for p in qpoints), dtype=np.float64, count=len(qpoints)
+        )
+        self.qy = np.fromiter(
+            (p.y for p in qpoints), dtype=np.float64, count=len(qpoints)
+        )
+        self.set_queries(np.asarray(qid, dtype=np.int64))
+
+    # -- per-hop plumbing ---------------------------------------------------
+
+    def set_queries(self, qid: np.ndarray) -> None:
+        lanes = self.S
+        lanes.qid = np.asarray(qid, dtype=np.int64)
+        lanes.qo = lanes.qid * self.kst.n_objects
+        lanes.qg = lanes.qid * self.kst.n_groups
+        lanes.kk = self.k_arr[lanes.qid]
+        lanes.me = self.min_est[lanes.qid]
+
+    def begin_hop(self) -> None:
+        """Reset the per-query search state (``begin_query`` + fresh space);
+        session position and known ranks carry over."""
+        lanes = self.S
+        lanes.ex[:] = False
+        lanes.es[:] = False
+        lanes.rh[:] = False
+        lanes.rt[:] = False
+        lanes.vl[:] = np.inf
+        lanes.nc[:] = 0
+        lanes.nr[:] = 0
+        lanes.rad[:] = np.inf
+        lanes.dirty[:] = False
+
+    def seed_warm(self) -> None:
+        """The planner's warm start: estimate every known frame minimum at
+        once (each is a real object's HC value, so its unique-HC group;
+        frame minima are strictly increasing, so the groups are distinct
+        and pool slots just count known ranks along the row)."""
+        lanes = self.S
+        grps = self.kst.grp_of_rank
+        lanes.es[:, grps] = lanes.kn
+        rrow, rrk = np.nonzero(lanes.kn)
+        slots = (np.cumsum(lanes.kn, axis=1) - 1)[rrow, rrk]
+        g = grps[rrk]
+        lanes.vl[rrow, slots] = self.est_g[lanes.qg[rrow] + g]
+        lanes.sl[rrow, g] = slots
+        lanes.nc[:] = lanes.kn.sum(axis=1)
+        lanes.dirty[:] = True
+
+    def cold_entry(self, start_clock: np.ndarray, conservative: bool) -> None:
+        """The probe plus ``read_first_table`` (kind-seek) and its
+        ``learn_table`` estimates; the conservative strategy additionally
+        visits the entry frame (aggressive leaves it unexamined)."""
+        geo, st, kst = self.geo, self.static, self.kst
+        lanes = self.S
+        lanes.cl[:] = np.asarray(start_clock, dtype=np.int64) + 1  # the probe
+        lanes.tn[:] = 1
+        start, rank0 = geo.entry_seek(lanes.cl)
+        pk = geo.pk_of_rank[rank0]
+        lanes.cl[:] = start + pk
+        lanes.tn += pk
+        lanes.kn |= st.learn[rank0]
+        rows = np.arange(len(lanes.idx))
+        egrps = kst.est_grps[rank0]
+        elen = kst.est_len[rank0]
+        for e in range(int(elen.max(initial=0))):
+            on = elen > e
+            self._add_est(lanes, rows[on], egrps[on, e])
+        if conservative:
+            self._visit(lanes, rows, rank0)
+
+    # -- candidate-space maintenance ----------------------------------------
+
+    def _add_est(self, lanes: _KnnLanes, rows: np.ndarray, grp: np.ndarray) -> None:
+        """``add_estimates`` for one HC group per row: idempotent, skipping
+        retrieved HC values, flagging the radius dirty."""
+        if not len(rows):
+            return
+        new = ~(lanes.es[rows, grp] | lanes.rh[rows, grp])
+        r_new = rows[new]
+        if not len(r_new):
+            return
+        g_new = grp[new]
+        slots = lanes.nc[r_new]
+        lanes.es[r_new, g_new] = True
+        lanes.sl[r_new, g_new] = slots
+        lanes.vl[r_new, slots] = self.est_g[lanes.qg[r_new] + g_new]
+        lanes.nc[r_new] = slots + 1
+        lanes.dirty[r_new] = True
+
+    def _add_est_many(
+        self, lanes: _KnnLanes, rows: np.ndarray, grp: np.ndarray
+    ) -> None:
+        """``_add_est`` for several groups per row at once.
+
+        ``rows`` must be sorted and each row's groups distinct (a frame's
+        estimate groups are); new values take consecutive pool slots in
+        input order, the same multiset the per-group calls build.
+        """
+        if not len(rows):
+            return
+        new = ~(lanes.es[rows, grp] | lanes.rh[rows, grp])
+        r_new = rows[new]
+        if not len(r_new):
+            return
+        g_new = grp[new]
+        # Within-row rank (r_new stays sorted): offset from the row's
+        # first entry, so simultaneous additions stack like serial ones.
+        first = np.searchsorted(r_new, r_new)
+        slots = lanes.nc[r_new] + (np.arange(len(r_new), dtype=np.int64) - first)
+        lanes.es[r_new, g_new] = True
+        lanes.sl[r_new, g_new] = slots
+        lanes.vl[r_new, slots] = self.est_g[lanes.qg[r_new] + g_new]
+        urows = r_new[first == np.arange(len(r_new))]
+        lanes.nc[urows] += np.bincount(r_new, minlength=0)[urows]
+        lanes.dirty[r_new] = True
+
+    def _sync_radius(self, lanes: _KnnLanes) -> None:
+        """Recompute radius-dirty rows: the k-th smallest candidate value,
+        the same order statistic the scalar partition/heap hybrid takes.
+        Only the pool prefix up to the widest dirty row's value count is
+        partitioned -- every column beyond a row's ``nc`` is inf, and
+        extra inf values never change the k-th smallest."""
+        d = np.flatnonzero(lanes.dirty)
+        if not len(d):
+            return
+        new = np.full(len(d), np.inf)
+        kd = lanes.kk[d]
+        full = lanes.nc[d] >= kd
+        if full.any():
+            for kv in np.unique(kd[full]):
+                m = full & (kd == kv)
+                kth = int(kv) - 1
+                rows_m = d[m]
+                sub = lanes.vl[rows_m, : int(lanes.nc[rows_m].max())]
+                sub.partition(kth, axis=1)
+                new[m] = sub[:, kth]
+        lanes.rad[d] = new
+        lanes.dirty[d] = False
+
+    # -- the frame visit ----------------------------------------------------
+
+    def _visit(self, lanes: _KnnLanes, rows: np.ndarray, fr: np.ndarray) -> None:
+        """Replay ``_visit_frame`` for ``rows`` (frame ``fr[i]`` each):
+        directory read, record estimates, conditional object fetches under
+        the live prune radius, and the examined mark."""
+        geo, kst = self.geo, self.kst
+        timeline = geo.timeline
+        dirb = kst.dir_bucket[fr]
+        hasdir = dirb >= 0
+        r_dir = rows[hasdir]
+        g0 = kst.obj_start[fr]
+        flen = kst.flen[fr]
+        if len(r_dir):
+            b = dirb[hasdir]
+            bch = geo.bchan[b]
+            nb = lanes.cl[r_dir]
+            if geo.switch:
+                nb = nb + geo.switch * (bch != lanes.ch[r_dir])
+            lanes.cl[r_dir] = timeline.next_occurrences(b, nb) + geo.bpk[b]
+            lanes.tn[r_dir] += geo.bpk[b]
+            lanes.ch[r_dir] = bch
+            # learn_directory re-teaches the frame's own minimum, which the
+            # table read already taught -- no knowledge change.  Estimate
+            # every record (slot order; the set result is order-free).
+            gd = g0[hasdir]
+            fld = flen[hasdir]
+            for j in range(int(fld.max(initial=0))):
+                on = fld > j
+                self._add_est(lanes, r_dir[on], kst.hc_group[gd[on] + j])
+        slack = self.slack
+        for j in range(int(flen.max(initial=0))):
+            on = flen > j
+            r_on = rows[on]
+            g = g0[on] + j
+            # Directory visits skip already-retrieved records; the
+            # single-object scan compares unconditionally.
+            keep = ~(lanes.rt[r_on, g] & hasdir[on])
+            r_c = r_on[keep]
+            if not len(r_c):
+                continue
+            g_c = g[keep]
+            grp_c = kst.hc_group[g_c]
+            self._sync_radius(lanes)
+            prune = lanes.rad[r_c] + slack
+            fetch = self.est_g[lanes.qg[r_c] + grp_c] <= prune
+            r_f = r_c[fetch]
+            if not len(r_f):
+                continue
+            g_f = g_c[fetch]
+            grp_f = grp_c[fetch]
+            b = kst.obj_bucket[g_f]
+            bch = geo.bchan[b]
+            nb = lanes.cl[r_f]
+            if geo.switch:
+                nb = nb + geo.switch * (bch != lanes.ch[r_f])
+            lanes.cl[r_f] = timeline.next_occurrences(b, nb) + geo.bpk[b]
+            lanes.tn[r_f] += geo.bpk[b]
+            lanes.ch[r_f] = bch
+            # add_object: the exact distance joins, the HC's estimate pops
+            # -- in pool terms the estimate's slot is overwritten in place
+            # (same multiset delta), a group already retrieved appends.
+            was_est = lanes.es[r_f, grp_f]
+            lanes.es[r_f, grp_f] = False
+            lanes.rh[r_f, grp_f] = True
+            slots = np.where(
+                was_est, lanes.sl[r_f, grp_f].astype(np.int64), lanes.nc[r_f]
+            )
+            lanes.vl[r_f, slots] = self.ex_d[lanes.qo[r_f] + g_f]
+            lanes.rt[r_f, g_f] = True
+            lanes.nc[r_f] += ~was_est
+            lanes.nr[r_f] += 1
+            lanes.dirty[r_f] = True
+        lanes.ex[rows, fr] = True
+
+    # -- the planner loop ---------------------------------------------------
+
+    def _scatter(self, work: _KnnLanes, done: np.ndarray) -> None:
+        """Write finished lanes' session/result state back to the block."""
+        lanes = self.S
+        ids = work.idx[done]
+        lanes.cl[ids] = work.cl[done]
+        lanes.ch[ids] = work.ch[done]
+        lanes.tn[ids] = work.tn[done]
+        lanes.kn[ids] = work.kn[done]
+        lanes.rt[ids] = work.rt[done]
+
+    def walk(self) -> None:
+        """Run the planner loop until every lane's candidate set empties."""
+        geo, st, kst, covers = self.geo, self.static, self.kst, self.covers
+        n_frames = st.n_frames
+        aggressive = self.strategy == "aggressive"
+        ranks_row = np.arange(n_frames, dtype=np.int32)
+        big = geo.wdtype(geo.cc)
+        slack = self.slack
+        work = self.S.copy()
+        safety = 4 * n_frames + KNN_SAFETY_MARGIN
+        for it in range(safety + 1):
+            if not len(work.idx):
+                return
+            # Candidacy: resolve every lane's cover (vectorised cell-key
+            # dedup; only new covers reach python), then sweep each lane's
+            # known ranks over its global bounds (candidate_rank_array).
+            self._sync_radius(work)
+            cids = covers.resolve(work.qid, self.qx, self.qy, work.rad + slack)
+            a0m, b0m, plen = covers.matrices()
+            n_live = len(work.idx)
+            rows = np.arange(n_live)
+            pl = plen[cids]
+            width = int(pl.max(initial=0))
+            kn_prev = np.maximum.accumulate(
+                np.where(work.kn, ranks_row, -1), axis=1
+            )
+            kn_next = np.minimum.accumulate(
+                np.where(work.kn, ranks_row, n_frames)[:, ::-1], axis=1
+            )[:, ::-1]
+            kn_next_pad = np.concatenate(
+                [kn_next, np.full((n_live, 1), n_frames, dtype=np.int32)], axis=1
+            )
+            cand = np.zeros((n_live, n_frames), dtype=bool)
+            if width:
+                a0 = a0m[cids, :width]
+                b0 = b0m[cids, :width]
+                # a: first known rank covering the piece's low end (the
+                # kn_prev of the global position, floored at rank 0 -- a
+                # piece starting below every minimum still begins at 0).
+                a = np.maximum(kn_prev[rows[:, None], np.maximum(a0, 0)], 0)
+                b = kn_next_pad[rows[:, None], b0] - 1
+                valid = (np.arange(width)[None, :] < pl[:, None]) & (a <= b)
+                vr, vp = np.nonzero(valid)
+                stride = n_frames + 1
+                diff = np.bincount(
+                    vr * stride + a[vr, vp], minlength=n_live * stride
+                )
+                diff -= np.bincount(
+                    vr * stride + b[vr, vp] + 1, minlength=n_live * stride
+                )
+                cand = (
+                    np.cumsum(diff.reshape(n_live, stride)[:, :n_frames], axis=1)
+                    > 0
+                )
+            cand &= ~work.ex
+            live = cand.any(axis=1)
+            if not live.all():
+                self._scatter(work, ~live)
+                work.compact(live)
+                if not len(work.idx):
+                    return
+                cand = cand[live]
+                n_live = len(work.idx)
+                rows = np.arange(n_live)
+            if it == safety:
+                # The planner's safety cap: structurally unreachable here
+                # (each iteration examines a new rank, so the loop runs at
+                # most n_frames times), kept as an honest decline.
+                raise KernelUnsupported(
+                    "kNN planner iteration cap takes the reference path"
+                )  # pragma: no cover
+            # Frame choice (_choose_rank): nearest arrival among candidates;
+            # the aggressive strategy jumps to the estimate-nearest known
+            # candidate (arrival breaks ties) while short of k retrievals.
+            nb = work.cl
+            if geo.switch:
+                nb = work.cl + geo.switch * (work.ch != geo.ctrl)
+            off = nb - (nb // geo.cc) * geo.cc
+            wait = geo.wait_matrix(off)
+            chosen = np.argmin(np.where(cand, wait, big), axis=1)
+            if aggressive:
+                open_rows = work.nr < work.kk
+                if open_rows.any():
+                    ckn = cand & work.kn
+                    dmat = np.where(ckn, work.me, np.inf)
+                    dmin = dmat.min(axis=1)
+                    use = open_rows & np.isfinite(dmin)
+                    if use.any():
+                        tie = dmat == dmin[:, None]
+                        agg = np.argmin(np.where(tie, wait, big), axis=1)
+                        chosen = np.where(use, agg, chosen)
+            # read_table of the chosen rank, then learn_table + the visit.
+            w = wait[rows, chosen].astype(np.int64)
+            pk = geo.pk_of_rank[chosen]
+            work.cl = nb + w + pk
+            work.ch = np.full(n_live, geo.ctrl, dtype=np.int64)
+            work.tn = work.tn + pk
+            work.kn |= st.learn[chosen]
+            egrps = kst.est_grps[chosen]
+            elen = kst.est_len[chosen]
+            er, ee = np.nonzero(np.arange(egrps.shape[1])[None, :] < elen[:, None])
+            self._add_est_many(work, er, egrps[er, ee])
+            self._visit(work, rows, chosen)
+
+    # -- results ------------------------------------------------------------
+
+    def verify(
+        self,
+        queries: Sequence[KnnQuery],
+        dataset: Any,
+        truths: Optional[Dict[int, Any]] = None,
+    ) -> np.ndarray:
+        """Per-lane correctness of ``best_objects`` against ground truth."""
+        from ..queries.ground_truth import answer, matches_truth
+
+        lanes = self.S
+        kst = self.kst
+        if truths is None:
+            truths = {}
+        cor = np.empty(len(lanes.idx), dtype=np.int64)
+        for row in range(len(lanes.idx)):
+            qid = int(lanes.qid[row])
+            query = queries[qid]
+            truth = truths.get(qid)
+            if truth is None:
+                truth = answer(dataset, query)
+                truths[qid] = truth
+            gids = np.flatnonzero(lanes.rt[row])
+            dists = self.ex_d[lanes.qo[row] + gids]
+            order = np.lexsort((kst.oids[gids], dists))[: int(query.k)]
+            objs = [kst.objects[int(g)] for g in gids[order]]
+            cor[row] = int(matches_truth(query, truth, objs))
+        return cor
+
+
+def _knn_gates(
+    index: Any, error_theta: Optional[float], error_scope: str, knn_strategy: str
+) -> None:
+    if not isinstance(index, DsiIndex):
+        raise KernelUnsupported("kNN trials on tree indexes take the reference path")
+    if error_theta is not None and float(error_theta) != 0.0 and error_scope != "none":
+        raise KernelUnsupported("kNN fleets with link errors take the reference path")
+    if knn_strategy not in ("conservative", "aggressive"):
+        raise KernelUnsupported(
+            f"kNN strategy {knn_strategy!r} takes the reference path"
+        )
+
+
 def _simulate_knn_fleet(
     index: Any,
     view: Any,
@@ -1605,78 +2344,120 @@ def _simulate_knn_fleet(
     error_seed: int,
     knn_strategy: str,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Deduplicated per-lane replays of the real DSI kNN planner.
+    """Batched lockstep kNN lanes over DSI with compiled search plans.
 
-    The radius-driven planner's control flow is value-dependent, so no
-    lockstep form is attempted: instead the entry-landmark collapse is
-    hoisted above the batch machinery -- one real
-    :meth:`DsiIndex.knn_query` session per distinct ``(query, entry
-    landmark)`` lane, other phases shifted by their tune-in offset -- with
-    one shared distance-estimate memo per query across lanes.
+    Phases collapse onto ``(query, entry occurrence)`` lanes exactly like
+    the window kernels, every lane advances through the planner loop in
+    lockstep, and all per-query geometry (distances, covers, arrivals) is
+    compiled or memoized once -- see the module docstring.  Bit-equal to
+    the reference planner wherever it does not decline.
     """
-    if not isinstance(index, DsiIndex):
-        raise KernelUnsupported("kNN trials on tree indexes take the reference path")
-    if error_theta is not None and float(error_theta) != 0.0 and error_scope != "none":
-        raise KernelUnsupported("kNN fleets with link errors take the reference path")
-
+    _knn_gates(index, error_theta, error_scope, knn_strategy)
+    static = _static_of(index)
+    kst = _knn_static_of(index, static)
     timeline = timeline_of(view)
-    home = getattr(view, "home_channel", None)
-    switch = (
-        int(getattr(config, "channel_switch_packets", 0)) if home is not None else 0
-    )
-    capacity = int(config.packet_capacity)
+    geo = _Geometry(static, index, config, timeline)
     key_qids = np.asarray(key_qids, dtype=np.int64)
     key_phases = np.asarray(key_phases, dtype=np.int64)
     start_p = (key_phases * cycle) // n_phases
-    try:
-        # The exact mark DsiIndex.entry_landmark computes, batched.
-        lm_bucket, lm_start = timeline.next_kind_occurrence_pairs(
-            BucketKind.DSI_TABLE,
-            start_p + 1,
-            from_channel=home,
-            switch_packets=switch,
-        )
-    except KeyError:
-        raise KernelUnsupported("no index tables on air")
-    trip = np.stack([key_qids, lm_bucket, lm_start], axis=1)
-    _, first_idx, lane_of = np.unique(
-        trip, axis=0, return_index=True, return_inverse=True
+    first_idx, lane_of = _entry_lanes(geo, key_qids, start_p, cycle)
+    qrow = key_qids[first_idx]
+    lane_start = start_p[first_idx]
+    curve = index.curve
+    qpoints = [q.point for q in queries]
+    est_g, ex_d, min_est, k_arr = _knn_query_tables(kst, curve, queries)
+    covers = _KnnCovers(curve, static.mins)
+    walker = _KnnWalker(
+        geo, static, kst, covers, qpoints, est_g, ex_d, min_est, k_arr,
+        qid=qrow, strategy=knn_strategy, slack=curve.cell_diagonal(),
     )
-    lane_of = lane_of.reshape(-1)
-
+    walker.cold_entry(lane_start, conservative=knn_strategy == "conservative")
+    walker.walk()
+    lanes = walker.S
+    lat_b = (lanes.cl[lane_of] - start_p) * geo.capacity
+    tun_b = lanes.tn[lane_of] * geo.capacity
     if verify:
-        from ..queries.ground_truth import answer, matches_truth
+        cor = walker.verify(queries, dataset)[lane_of]
+    else:
+        cor = np.full(len(key_qids), -1, dtype=np.int64)
+    return lat_b, tun_b, cor
 
-    n_lanes = len(first_idx)
-    lat_l = np.empty(n_lanes, dtype=np.int64)
-    tun_l = np.empty(n_lanes, dtype=np.int64)
-    cor_l = np.full(n_lanes, -1, dtype=np.int64)
+
+def _simulate_knn_journeys(
+    index: Any,
+    view: Any,
+    config: Any,
+    queries: Sequence[KnnQuery],
+    dwell_arr: np.ndarray,
+    n_steps: int,
+    key_jids: np.ndarray,
+    key_phases: np.ndarray,
+    *,
+    n_phases: int,
+    cycle: int,
+    verify: bool,
+    dataset: Any,
+    error_theta: Optional[float],
+    error_scope: str,
+    error_seed: int,
+    knn_strategy: str,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Warm multi-hop kNN journeys: the fleet lanes plus carried knowledge.
+
+    Hop 1 runs the cold entry; every later hop re-arms with the probe and
+    seeds the search space from the knowledge the lane accumulated, which
+    is the planner's warm start verbatim (hop 1 always teaches at least
+    the entry table, so the warm branch always applies).
+    """
+    _knn_gates(index, error_theta, error_scope, knn_strategy)
+    static = _static_of(index)
+    kst = _knn_static_of(index, static)
+    timeline = timeline_of(view)
+    geo = _Geometry(static, index, config, timeline)
+    key_jids = np.asarray(key_jids, dtype=np.int64)
+    key_phases = np.asarray(key_phases, dtype=np.int64)
+    start_p = (key_phases * cycle) // n_phases
+    first_idx, lane_of = _entry_lanes(geo, key_jids, start_p, cycle)
+    jid_c = key_jids[first_idx]
+    lane_start = start_p[first_idx]
+    curve = index.curve
+    qpoints = [q.point for q in queries]
+    est_g, ex_d, min_est, k_arr = _knn_query_tables(kst, curve, queries)
+    covers = _KnnCovers(curve, static.mins)
+    walker = _KnnWalker(
+        geo, static, kst, covers, qpoints, est_g, ex_d, min_est, k_arr,
+        qid=jid_c * n_steps, strategy=knn_strategy,
+        slack=curve.cell_diagonal(),
+    )
+    n_lanes = len(jid_c)
+    total_lat = np.zeros(n_lanes, dtype=np.int64)
+    cor_hops = np.zeros(n_lanes, dtype=np.int64)
     truths: Dict[int, Any] = {}
-    memos: Dict[int, Dict[int, float]] = {}
-    for lane, at in enumerate(first_idx):
-        qid = int(key_qids[at])
-        query = queries[qid]
-        session = ClientSession(view, config, start_packet=int(start_p[at]))
-        outcome = index.knn_query(
-            query.point,
-            query.k,
-            session,
-            strategy=knn_strategy,
-            est_cache=memos.setdefault(qid, {}),
-        )
-        lat_l[lane] = outcome.metrics.latency_packets
-        tun_l[lane] = outcome.metrics.tuning_bytes
+    walker.cold_entry(lane_start, conservative=knn_strategy == "conservative")
+    walker.walk()
+    lanes = walker.S
+    total_lat += lanes.cl - lane_start
+    if verify:
+        cor_hops += walker.verify(queries, dataset, truths)
+    for h in range(1, n_steps):
+        lanes.cl += dwell_arr[jid_c, h]
+        hop_start = lanes.cl.copy()
+        lanes.cl += 1  # the re-armed probe
+        lanes.tn += 1
+        walker.set_queries(jid_c * n_steps + h)
+        walker.begin_hop()
+        walker.seed_warm()
+        walker.walk()
+        total_lat += lanes.cl - hop_start
         if verify:
-            truth = truths.get(qid)
-            if truth is None:
-                truth = answer(dataset, queries[qid])
-                truths[qid] = truth
-            cor_l[lane] = int(matches_truth(queries[qid], truth, outcome.objects))
-
-    rep_start = start_p[first_idx]
-    lat_b = (lat_l[lane_of] - (start_p - rep_start[lane_of])) * capacity
-    tun_b = tun_l[lane_of]
-    return lat_b, tun_b, cor_l[lane_of]
+            cor_hops += walker.verify(queries, dataset, truths)
+    lat_b = (total_lat[lane_of] + (lane_start[lane_of] - start_p)) * geo.capacity
+    tun_b = lanes.tn[lane_of] * geo.capacity
+    if verify:
+        cor = cor_hops[lane_of]
+    else:
+        cor = np.full(len(key_jids), -1, dtype=np.int64)
+    return lat_b, tun_b, cor
 
 
 # --- dispatch ---------------------------------------------------------------
@@ -1701,9 +2482,9 @@ def simulate_window_fleet(
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, str]:
     """Simulate every ``(query, phase)`` execution off the reference path.
 
-    Dispatches on the index and workload shape: DSI window fleets and tree
-    (R-tree / HCI) window fleets run the lockstep numpy kernels, DSI kNN
-    fleets run deduplicated planner lanes.  Returns ``(latency_bytes,
+    Dispatches on the index and workload shape: DSI window fleets, tree
+    (R-tree / HCI) window fleets and DSI kNN fleets all run the lockstep
+    numpy kernels.  Returns ``(latency_bytes,
     tuning_bytes, correct, backend)`` aligned with the ``key_qids`` /
     ``key_phases`` order -- the exact triple the reference per-phase path
     emits (``correct`` is -1 when not verifying) plus the backend tag the
@@ -1736,7 +2517,7 @@ def simulate_window_fleet(
             error_theta=error_theta, error_scope=error_scope,
             error_seed=error_seed, knn_strategy=knn_strategy,
         )
-        return out + ("lanes",)
+        return out + ("numpy",)
     raise KernelUnsupported("mixed window/kNN workloads take the reference path")
 
 
@@ -1759,13 +2540,14 @@ def simulate_window_journeys(
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, str]:
     """Simulate every warm ``(journey, phase)`` execution off the reference.
 
-    Equal-step window journeys run the lockstep kernels (DSI or tree);
-    anything else declines with the reason the fleet result surfaces.
-    Returns ``(journey_latency_bytes, journey_tuning_bytes, correct_hops,
+    Equal-step window journeys run the lockstep kernels (DSI or tree) and
+    equal-step kNN journeys over DSI run the batched kNN lanes; anything
+    else declines with the reason the fleet result surfaces.  Returns
+    ``(journey_latency_bytes, journey_tuning_bytes, correct_hops,
     backend)`` aligned with the key order.
     """
     n_steps = 0
-    queries: List[WindowQuery] = []
+    queries: List[Any] = []
     dwell: List[List[int]] = []
     for journey in journeys:
         steps = journey.steps
@@ -1773,10 +2555,7 @@ def simulate_window_journeys(
             n_steps = len(steps)
         elif len(steps) != n_steps:
             raise KernelUnsupported("journeys have unequal step counts")
-        for step in steps:
-            if not isinstance(step.query, WindowQuery):
-                raise KernelUnsupported("kNN journeys take the reference path")
-            queries.append(step.query)
+        queries.extend(step.query for step in steps)
         dwell.append([int(step.dwell_packets) for step in steps])
     if not n_steps:
         raise KernelUnsupported("empty journeys take the reference path")
@@ -1786,17 +2565,25 @@ def simulate_window_journeys(
         n_phases=n_phases, cycle=cycle, verify=verify, dataset=dataset,
         error_theta=error_theta, error_scope=error_scope, error_seed=error_seed,
     )
-    if isinstance(index, DsiIndex):
-        out = _simulate_dsi_journeys(
+    if all(isinstance(q, WindowQuery) for q in queries):
+        if isinstance(index, DsiIndex):
+            out = _simulate_dsi_journeys(
+                index, view, config, queries, dwell_arr, n_steps,
+                key_jids, key_phases, **common
+            )
+            return out + ("numpy",)
+        air = getattr(index, "air", None)
+        if isinstance(air, TreeOnAir):
+            out = _simulate_tree_journeys(
+                index, air, view, config, queries, dwell_arr, n_steps,
+                key_jids, key_phases, **common
+            )
+            return out + ("numpy",)
+        raise KernelUnsupported("no lockstep kernel for this index type")
+    if all(isinstance(q, KnnQuery) for q in queries):
+        out = _simulate_knn_journeys(
             index, view, config, queries, dwell_arr, n_steps,
-            key_jids, key_phases, **common
+            key_jids, key_phases, knn_strategy=knn_strategy, **common
         )
         return out + ("numpy",)
-    air = getattr(index, "air", None)
-    if isinstance(air, TreeOnAir):
-        out = _simulate_tree_journeys(
-            index, air, view, config, queries, dwell_arr, n_steps,
-            key_jids, key_phases, **common
-        )
-        return out + ("numpy",)
-    raise KernelUnsupported("no lockstep kernel for this index type")
+    raise KernelUnsupported("mixed window/kNN journeys take the reference path")

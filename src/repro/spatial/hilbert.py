@@ -37,7 +37,7 @@ import bisect
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -199,6 +199,61 @@ def _compose_step_tables():
 
 _STEP_A, _STEP_B, _STEP_T = _compose_step_tables()
 _STEP_DIGITS = {k: np.arange(4 ** k, dtype=np.int64) for k in range(1, _MAX_STEP + 1)}
+
+#: Lazily built digit-run tables for the batched sweep's leaf stage.
+_LEAF_RUNS = {}
+
+
+def _leaf_run_tables(nlev):
+    """Digit runs of rectangular cell masks over a ``2**nlev``-side block.
+
+    For every curve state ``t`` and every quantised overlap pattern
+    ``(ax0, ax1, ay0, ay1)`` -- the block-local interval of cell columns
+    and rows a rect intersects -- the table lists the maximal runs of
+    intersecting Hilbert digits.  The batched sweep emits these runs
+    directly instead of expanding the last ``nlev`` levels to individual
+    cells: the covered cell set is identical, so the adjacency merge
+    produces the identical cover, at a fraction of the frontier traffic.
+
+    Returns ``(counts, run_lo, run_hi)`` indexed by
+    ``(((t * w + ax0) * w + ax1) * w + ay0) * w + ay1`` with
+    ``w = 2**nlev``; runs of row ``i`` are ``run_lo[i, :counts[i]]`` ..
+    ``run_hi[i, :counts[i]]`` in ascending digit order.
+    """
+    tables = _LEAF_RUNS.get(nlev)
+    if tables is None:
+        A, B = _STEP_A[nlev], _STEP_B[nlev]  # (4, 4**nlev) cell offsets
+        w = 1 << nlev
+        p = np.arange(w ** 4, dtype=np.int64)
+        ax0 = p // w ** 3
+        ax1 = (p // w ** 2) % w
+        ay0 = (p // w) % w
+        ay1 = p % w
+        pa = (A[:, None, :] >= ax0[None, :, None]) & (
+            A[:, None, :] <= ax1[None, :, None]
+        )
+        pb = (B[:, None, :] >= ay0[None, :, None]) & (
+            B[:, None, :] <= ay1[None, :, None]
+        )
+        passes = (pa & pb).reshape(4 * w ** 4, 4 ** nlev)
+        starts = passes.copy()
+        starts[:, 1:] &= ~passes[:, :-1]
+        ends = passes.copy()
+        ends[:, :-1] &= ~passes[:, 1:]
+        counts = starts.sum(axis=1).astype(np.int64)
+        offs = np.zeros(len(counts), dtype=np.int64)
+        np.cumsum(counts[:-1], out=offs[1:])
+        row_s, dig_s = np.nonzero(starts)
+        row_e, dig_e = np.nonzero(ends)
+        max_runs = int(counts.max())
+        run_lo = np.zeros((len(counts), max_runs), dtype=np.int64)
+        run_hi = np.zeros((len(counts), max_runs), dtype=np.int64)
+        cols = np.arange(len(row_s), dtype=np.int64) - offs[row_s]
+        run_lo[row_s, cols] = dig_s
+        run_hi[row_e, cols] = dig_e
+        tables = (counts, run_lo, run_hi)
+        _LEAF_RUNS[nlev] = tables
+    return tables
 
 
 class HilbertCurve:
@@ -656,6 +711,277 @@ class HilbertCurve:
         from .geometry import circle_bounding_rect
 
         return self.ranges_for_rect(circle_bounding_rect(center, radius), max_ranges)
+
+    def covers_for_rects_flat(
+        self,
+        min_x: np.ndarray,
+        min_y: np.ndarray,
+        max_x: np.ndarray,
+        max_y: np.ndarray,
+        max_ranges: int = 64,
+        max_depth: int = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`ranges_for_rect` core over clipped rect arrays.
+
+        One frontier sweep carries a rect-id lane, so ``M`` covers cost a
+        handful of numpy passes instead of ``M`` python calls -- the kNN
+        fleet kernel resolves thousands of distinct prune-radius circles
+        this way.  Every rect starts at the root (the scalar method's
+        common-ancestor shortcut only skips levels that provably cannot
+        emit, so the emitted quadrant set is identical); the geometry
+        tests, the adjacency merge and the gap coalescing are the scalar
+        path's verbatim, applied rect-segmented, so per rect the ranges
+        are bit-identical to :meth:`ranges_for_rect`.
+
+        Returns ``(counts, los, his)``: flat sorted inclusive ranges,
+        ``counts[i]`` of them per rect.  The cover cache is not consulted
+        or written -- callers that want list results and cache exchange
+        use :meth:`covers_for_rects`.
+        """
+        min_x = np.asarray(min_x, dtype=np.float64)
+        min_y = np.asarray(min_y, dtype=np.float64)
+        max_x = np.asarray(max_x, dtype=np.float64)
+        max_y = np.asarray(max_y, dtype=np.float64)
+        if max_depth is None:
+            max_depth = min(self.order, 8)
+        max_depth = max(1, min(max_depth, self.order))
+        order = self.order
+        side = self.side
+        m = len(min_x)
+        xlo = min_x * side
+        xhi = max_x * side
+        ylo = min_y * side
+        yhi = max_y * side
+        # Degenerate (negative-extent) rects never enter the sweep; their
+        # counts stay 0, matching the scalar method's early [].
+        alive = (max_x >= min_x) & (max_y >= min_y)
+        rid = np.flatnonzero(alive)
+        cx = np.zeros(len(rid), dtype=np.int64)
+        cy = np.zeros(len(rid), dtype=np.int64)
+        t = np.zeros(len(rid), dtype=np.int64)
+        pf = np.zeros(len(rid), dtype=np.int64)
+        # Per-rect cell-column/row intervals at ``max_depth`` resolution
+        # (cell unit ``u = 2**u_shift`` sides): cell index ``a`` intersects
+        # iff ``a*u <= xhi`` and ``(a+1)*u >= xlo``, i.e. ``a`` in
+        # ``[ceil(xlo/u) - 1, floor(xhi/u)]`` -- exact in float64 because
+        # dividing by a power of two is.  The leaf run tables consume these
+        # clipped block-locally.
+        u_shift = order - max_depth
+        inv_u = 1.0 / (1 << u_shift)
+        exlo = np.ceil(xlo * inv_u).astype(np.int64)
+        fxhi = np.floor(xhi * inv_u).astype(np.int64)
+        eylo = np.ceil(ylo * inv_u).astype(np.int64)
+        fyhi = np.floor(yhi * inv_u).astype(np.int64)
+        emit_rid: List[np.ndarray] = []
+        emit_lo: List[np.ndarray] = []
+        emit_hi: List[np.ndarray] = []
+        level = 0
+        while len(rid):
+            size = 1 << (order - level)
+            cxe, cye = cx + size, cy + size
+            keep = (
+                (cx <= xhi[rid]) & (cxe >= xlo[rid])
+                & (cy <= yhi[rid]) & (cye >= ylo[rid])
+            )
+            shift = 2 * (order - level)
+            if level >= max_depth or size == 1:
+                starts = pf[keep] << shift
+                if starts.size:
+                    emit_rid.append(rid[keep])
+                    emit_lo.append(starts)
+                    emit_hi.append(starts + ((1 << shift) - 1))
+                break
+            remaining = max_depth - level
+            at_leaf = remaining <= _MAX_STEP
+            if not at_leaf:
+                # A fully-inside quadrant emits here and stops descending.
+                # The leaf stage skips this test: a fully-inside block's
+                # overlap pattern is the full mask, whose single table run
+                # is the same emission.
+                inside = (
+                    keep & (xlo[rid] <= cx) & (ylo[rid] <= cy)
+                    & (cxe <= xhi[rid]) & (cye <= yhi[rid])
+                )
+                if inside.any():
+                    starts = pf[inside] << shift
+                    emit_rid.append(rid[inside])
+                    emit_lo.append(starts)
+                    emit_hi.append(starts + ((1 << shift) - 1))
+                    keep &= ~inside
+            rid, cx, cy, t, pf = (
+                rid[keep], cx[keep], cy[keep], t[keep], pf[keep]
+            )
+            if not len(rid):
+                break
+            if at_leaf:
+                # Leaf stage: every survivor intersects its rect, so its
+                # block-local overlap is a non-empty rectangular cell
+                # mask; emit that mask's digit runs from the tables
+                # instead of expanding ``4**remaining`` children.
+                counts_t, run_lo_t, run_hi_t = _leaf_run_tables(remaining)
+                w = 1 << remaining
+                cxu = cx >> u_shift
+                cyu = cy >> u_shift
+                ax0 = np.maximum(exlo[rid] - cxu - 1, 0)
+                ax1 = np.minimum(fxhi[rid] - cxu, w - 1)
+                ay0 = np.maximum(eylo[rid] - cyu - 1, 0)
+                ay1 = np.minimum(fyhi[rid] - cyu, w - 1)
+                idx = (((t * w + ax0) * w + ax1) * w + ay0) * w + ay1
+                nr = counts_t[idx]
+                offs = np.zeros(len(idx), dtype=np.int64)
+                np.cumsum(nr[:-1], out=offs[1:])
+                rows = np.repeat(np.arange(len(idx), dtype=np.int64), nr)
+                cols = np.arange(len(rows), dtype=np.int64) - offs[rows]
+                sel = idx[rows]
+                base = pf[rows] << (2 * remaining)
+                sl = 2 * u_shift
+                emit_rid.append(rid[rows])
+                emit_lo.append((base + run_lo_t[sel, cols]) << sl)
+                emit_hi.append(
+                    ((base + run_hi_t[sel, cols]) << sl) + ((1 << sl) - 1)
+                )
+                break
+            # Land exactly on ``remaining == _MAX_STEP`` so the leaf stage
+            # always replaces the widest expansions.
+            step = (
+                _MAX_STEP if remaining >= 2 * _MAX_STEP
+                else remaining - _MAX_STEP
+            )
+            sub = size >> step
+            nch = 4 ** step
+            ncx = (cx[:, None] + _STEP_A[step][t] * sub).reshape(-1)
+            ncy = (cy[:, None] + _STEP_B[step][t] * sub).reshape(-1)
+            nt = _STEP_T[step][t].reshape(-1)
+            npf = ((pf << (2 * step))[:, None] | _STEP_DIGITS[step]).reshape(-1)
+            rid = np.repeat(rid, nch)
+            cx, cy, t, pf = ncx, ncy, nt, npf
+            level += step
+        if not emit_rid:
+            return (
+                np.zeros(m, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        # Rect-segmented sort-and-merge: quadrant ranges are disjoint
+        # within a rect, so ordering by (rect, start) then collapsing
+        # adjacency reproduces the scalar merge rect by rect.
+        rids = np.concatenate(emit_rid)
+        los = np.concatenate(emit_lo)
+        his = np.concatenate(emit_hi)
+        # (rid, lo) pairs are unique (ranges are disjoint within a rect),
+        # so one composite-key argsort replaces a two-pass lexsort when
+        # the packed key fits 63 bits.
+        if m <= 1 << (62 - 2 * order):
+            order_ix = np.argsort((rids << (2 * order)) | los)
+        else:
+            order_ix = np.lexsort((los, rids))
+        rids, los, his = rids[order_ix], los[order_ix], his[order_ix]
+        starts_group = np.empty(los.size, dtype=bool)
+        starts_group[0] = True
+        np.not_equal(los[1:], his[:-1] + 1, out=starts_group[1:])
+        starts_group[1:] |= rids[1:] != rids[:-1]
+        g_lo = los[starts_group]
+        ends_ix = np.flatnonzero(starts_group)
+        g_hi = his[np.append(ends_ix[1:] - 1, los.size - 1)]
+        g_rid = rids[starts_group]
+        counts = np.bincount(g_rid, minlength=m)
+        quota = counts - max_ranges
+        if quota.max(initial=0) <= 0:
+            return counts, g_lo, g_hi
+        # Batched ``coalesce_to_limit``: each rect absorbs its smallest
+        # gaps first (leftmost among equals -- the lexsort is stable, like
+        # the scalar's stable argsort), until ``max_ranges`` remain.
+        n = len(g_lo)
+        same = g_rid[1:] == g_rid[:-1]
+        gap_pos = np.flatnonzero(same)
+        gap_rid = g_rid[:-1][gap_pos]
+        gap_val = g_lo[1:][gap_pos] - g_hi[:-1][gap_pos]
+        order_g = np.lexsort((gap_val, gap_rid))
+        sorted_rid = gap_rid[order_g]
+        seg_start = np.searchsorted(sorted_rid, np.arange(m, dtype=np.int64))
+        rank = np.arange(len(order_g)) - seg_start[sorted_rid]
+        absorb = rank < quota[sorted_rid]
+        sep = np.ones(n - 1, dtype=bool)
+        sep[gap_pos[order_g[absorb]]] = False
+        start_mask = np.empty(n, dtype=bool)
+        start_mask[0] = True
+        start_mask[1:] = sep
+        out_lo = g_lo[start_mask]
+        out_ix = np.flatnonzero(start_mask)
+        out_hi = g_hi[np.append(out_ix[1:] - 1, n - 1)]
+        out_counts = np.bincount(g_rid[start_mask], minlength=m)
+        return out_counts, out_lo, out_hi
+
+    def covers_for_rects(
+        self,
+        min_x: np.ndarray,
+        min_y: np.ndarray,
+        max_x: np.ndarray,
+        max_y: np.ndarray,
+        max_ranges: int = 64,
+        max_depth: int = None,
+    ) -> List[List[HCRange]]:
+        """Batched :meth:`ranges_for_rect` with list results and caching.
+
+        The quantised-key cover cache is consulted per rect and new
+        covers (computed by :meth:`covers_for_rects_flat`, deduplicated
+        by key) are written back, so scalar and batched callers exchange
+        covers; per rect the output is bit-identical to
+        :meth:`ranges_for_rect`.
+        """
+        min_x = np.asarray(min_x, dtype=np.float64)
+        min_y = np.asarray(min_y, dtype=np.float64)
+        max_x = np.asarray(max_x, dtype=np.float64)
+        max_y = np.asarray(max_y, dtype=np.float64)
+        if max_depth is None:
+            max_depth = min(self.order, 8)
+        max_depth = max(1, min(max_depth, self.order))
+        side = self.side
+        valid = (max_x >= min_x) & (max_y >= min_y)
+        k0 = np.ceil(min_x * side).astype(np.int64)
+        k1 = np.floor(max_x * side).astype(np.int64)
+        k2 = np.ceil(min_y * side).astype(np.int64)
+        k3 = np.floor(max_y * side).astype(np.int64)
+        keys: List[Optional[tuple]] = [None] * len(min_x)
+        results: Dict[tuple, Optional[List[HCRange]]] = {}
+        sweep_idx: List[int] = []
+        for i in range(len(min_x)):
+            if not valid[i]:
+                continue
+            key = (
+                int(k0[i]), int(k1[i]), int(k2[i]), int(k3[i]),
+                max_ranges, max_depth,
+            )
+            keys[i] = key
+            if key in results:
+                continue
+            cached = self._cover_cache.get(key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                results[key] = None  # claimed; the sweep below fills it
+                sweep_idx.append(i)
+        if sweep_idx:
+            reps = np.asarray(sweep_idx, dtype=np.int64)
+            counts, los, his = self.covers_for_rects_flat(
+                min_x[reps], min_y[reps], max_x[reps], max_y[reps],
+                max_ranges=max_ranges, max_depth=max_depth,
+            )
+            cuts = np.zeros(len(reps) + 1, dtype=np.int64)
+            np.cumsum(counts, out=cuts[1:])
+            lo_list = los.tolist()
+            hi_list = his.tolist()
+            for r, i in enumerate(sweep_idx):
+                result = list(zip(lo_list[cuts[r]: cuts[r + 1]],
+                                  hi_list[cuts[r]: cuts[r + 1]]))
+                if len(self._cover_cache) >= _COVER_CACHE_MAX:
+                    self._cover_cache.clear()
+                self._cover_cache[keys[i]] = result
+                results[keys[i]] = result
+        return [
+            list(results[keys[i]]) if keys[i] is not None else []
+            for i in range(len(min_x))
+        ]
 
 
 def merge_ranges(ranges: Sequence[HCRange]) -> List[HCRange]:

@@ -261,7 +261,7 @@ class TestKernelCoverage:
         assert count == 2
         assert "reference path" in reason
 
-    def test_knn_fleet_rows_count_as_lanes(self, dataset):
+    def test_knn_fleet_rows_run_on_the_kernel(self, dataset):
         run = (
             Experiment(dataset)
             .indexes("dsi")
@@ -270,7 +270,7 @@ class TestKernelCoverage:
             .run(parallel=False)
         )
         stat = run.kernel_coverage
-        assert stat["backends"] == {"lanes": 1}
+        assert stat["backends"] == {"numpy": 1}
         assert stat["kernel_fraction"] == 1.0
 
     def test_figure_rows_are_skipped(self, dataset):

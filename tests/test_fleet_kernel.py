@@ -47,7 +47,8 @@ _SETTINGS = dict(
 
 
 def _brute_force_uniques(index, config, trials, *, n_clients, seed, max_phases,
-                         theta, error_seed, schedule=None):
+                         theta, error_seed, schedule=None,
+                         knn_strategy="conservative"):
     """Per-execution (latency_bytes, tuning_bytes, counts) with no batching.
 
     Replays :func:`repro.sim.fleet._draw_batches`'s seeded generator (one
@@ -84,7 +85,8 @@ def _brute_force_uniques(index, config, trials, *, n_clients, seed, max_phases,
             )
         session = ClientSession(view, config, start_packet=start_packet,
                                 error_model=model)
-        outcome = execute_query(index, trials[qid].query, session)
+        outcome = execute_query(index, trials[qid].query, session,
+                                knn_strategy=knn_strategy)
         lat.append(outcome.metrics.latency_packets * capacity)
         tun.append(outcome.metrics.tuning_bytes)
     return (np.array(lat, dtype=np.float64), np.array(tun, dtype=np.float64),
@@ -92,7 +94,8 @@ def _brute_force_uniques(index, config, trials, *, n_clients, seed, max_phases,
 
 
 def _brute_force_journeys(index, config, journeys, *, n_clients, seed,
-                          max_phases, theta, error_seed, schedule=None):
+                          max_phases, theta, error_seed, schedule=None,
+                          knn_strategy="conservative"):
     """Per-(journey, phase) totals with no batching: one fresh warm
     :class:`ContinuousClient` per distinct execution, scalar walks only."""
     if schedule is None:
@@ -120,7 +123,8 @@ def _brute_force_journeys(index, config, journeys, *, n_clients, seed,
                 seed=(error_seed * 1_000_003 + key) & 0x7FFFFFFF,
             )
         out = run_journey(index, view, config, journeys[jid],
-                          start_packet=start_packet, error_model=model)
+                          start_packet=start_packet, error_model=model,
+                          knn_strategy=knn_strategy)
         lat.append(out.total_latency_bytes)
         tun.append(out.total_tuning_bytes)
     return (np.array(lat, dtype=np.float64), np.array(tun, dtype=np.float64),
@@ -253,16 +257,19 @@ def test_mobile_fleet_matches_brute_force(kind, channels, theta, data):
     assert result.backend == "numpy"
 
 
+@pytest.mark.parametrize("strategy", ["conservative", "aggressive"])
 @pytest.mark.parametrize("channels", [1, 4])
 @given(data=st.data())
 @settings(**_SETTINGS)
-def test_knn_fleet_matches_brute_force(channels, data):
-    """DSI kNN fleets on the planner-lane backend equal brute force exactly.
+def test_knn_fleet_matches_brute_force(channels, strategy, data):
+    """Cold DSI kNN fleets on the batched kernel equal brute force exactly.
 
-    The lanes replay the real radius-driven planner once per distinct
-    ``(query, entry landmark)`` and shift the other phases by their tune-in
-    offset -- the very collapse the reference applies -- so every unique
-    execution must match a fresh scalar session bit for bit.
+    The kernel compiles every per-query distance once and advances all
+    ``(query, entry occurrence)`` lanes through the radius-driven planner
+    loop in lockstep -- candidate covers, k-th-candidate radii, frame
+    choices (conservative arrival order and the aggressive distance-first
+    jump) all batched -- so every unique execution must match a fresh
+    scalar planner session bit for bit.
     """
     n_objects = data.draw(st.integers(min_value=40, max_value=90))
     dataset_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
@@ -278,14 +285,15 @@ def test_knn_fleet_matches_brute_force(channels, data):
 
     result = run_fleet(
         index, dataset, config, workload, N_CLIENTS, seed=fleet_seed,
-        max_phases=MAX_PHASES, verify=True,
+        max_phases=MAX_PHASES, verify=True, knn_strategy=strategy,
     )
     lat, tun, counts = _brute_force_uniques(
         index, config, trials, n_clients=N_CLIENTS, seed=fleet_seed,
         max_phases=MAX_PHASES, theta=None, error_seed=0,
+        knn_strategy=strategy,
     )
 
-    assert result.backend == "lanes"
+    assert result.backend == "numpy"
     assert result.backend_reason is None
     assert result.n_executions == len(lat)
     np.testing.assert_array_equal(result.unique_counts, counts)
@@ -293,14 +301,58 @@ def test_knn_fleet_matches_brute_force(channels, data):
     np.testing.assert_array_equal(result.unique_tuning, tun)
     total = result.result.correct_trials + result.result.incorrect_trials
     assert total == N_CLIENTS
+    assert result.capped_executions == 0
+
+
+@pytest.mark.parametrize("strategy", ["conservative", "aggressive"])
+@pytest.mark.parametrize("channels", [1, 4])
+@given(data=st.data())
+@settings(**_SETTINGS)
+def test_knn_mobile_fleet_matches_brute_force(channels, strategy, data):
+    """Warm 3-hop kNN journey fleets equal per-journey scalar clients.
+
+    Exercises the batched kernel's warm path: after the cold first hop,
+    every later hop re-arms with a probe and seeds its candidate space
+    from the knowledge the lane carried over -- the planner's warm start
+    -- so kNN journeys no longer decline to the reference path.
+    """
+    n_objects = data.draw(st.integers(min_value=40, max_value=90))
+    dataset_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
+    traj_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
+    fleet_seed = data.draw(st.integers(min_value=0, max_value=1 << 16))
+    k = data.draw(st.integers(min_value=1, max_value=6))
+
+    dataset = uniform_dataset(n_objects, seed=dataset_seed)
+    trajectories = trajectory_workload(
+        n_journeys=4, n_steps=3, seed=traj_seed, query="knn", k=k
+    )
+    config = SystemConfig(packet_capacity=64, n_channels=channels)
+    index = build_index("dsi", dataset, config, use_cache=False)
+
+    result = run_mobile_fleet(
+        index, dataset, config, trajectories, N_CLIENTS, seed=fleet_seed,
+        max_phases=MAX_PHASES, knn_strategy=strategy,
+    )
+    lat, tun, counts = _brute_force_journeys(
+        index, config, list(trajectories), n_clients=N_CLIENTS,
+        seed=fleet_seed, max_phases=MAX_PHASES, theta=None, error_seed=0,
+        knn_strategy=strategy,
+    )
+
+    assert result.backend == "numpy"
+    assert result.backend_reason is None
+    assert result.n_executions == len(lat)
+    np.testing.assert_array_equal(result.unique_counts, counts)
+    np.testing.assert_array_equal(result.unique_latency, lat)
+    np.testing.assert_array_equal(result.unique_tuning, tun)
 
 
 def test_repro_pure_stands_down(monkeypatch):
     """REPRO_PURE=1 forces the reference path -- and its numbers agree.
 
-    Every kernel family (DSI windows, tree windows, kNN lanes) must stand
-    down cleanly: backend "reference", the REPRO_PURE note as the reason,
-    and identical population statistics.
+    Every kernel family (DSI windows, tree windows, batched kNN lanes)
+    must stand down cleanly: backend "reference", the REPRO_PURE note as
+    the reason, and identical population statistics.
     """
     dataset = uniform_dataset(80, seed=11)
     config = SystemConfig(packet_capacity=64, n_channels=4)
@@ -314,7 +366,7 @@ def test_repro_pure_stands_down(monkeypatch):
         index = build_index(kind, dataset, config, use_cache=False)
         fast = run_fleet(index, dataset, config, workload, 500, seed=9,
                          max_phases=8)
-        assert fast.backend in ("numpy", "lanes")
+        assert fast.backend == "numpy"
         monkeypatch.setenv("REPRO_PURE", "1")
         try:
             pure = run_fleet(index, dataset, config, workload, 500, seed=9,
@@ -357,9 +409,10 @@ def test_kernel_backend_selection():
     """The numpy kernel takes exactly the envelope it proves exact.
 
     Window fleets -- DSI, R-tree and HCI, lossless or index-scope lossy --
-    run on the lockstep kernels (both channel layouts); DSI kNN fleets run
-    planner lanes; non-index error scopes fall back to the per-execution
-    reference simulator, and the decline reason is recorded on the result.
+    and lossless DSI kNN fleets (both strategies) run on the lockstep
+    kernels (both channel layouts); non-index error scopes and kNN-on-tree
+    or lossy-kNN runs fall back to the per-execution reference simulator,
+    and the decline reason is recorded on the result.
     """
     dataset = uniform_dataset(200, seed=7)
     workload = window_workload(6, 0.1, seed=3)
@@ -384,9 +437,11 @@ def test_kernel_backend_selection():
     assert all_scope.as_row()["backend_reason"] == all_scope.backend_reason
 
     knn = knn_workload(4, k=5, seed=3)
-    out = run_fleet(index, dataset, config, knn, 2_000, seed=9, max_phases=32)
-    assert out.backend == "lanes"
-    assert out.backend_reason is None
+    for strategy in ("conservative", "aggressive"):
+        out = run_fleet(index, dataset, config, knn, 2_000, seed=9,
+                        max_phases=32, knn_strategy=strategy)
+        assert out.backend == "numpy"
+        assert out.backend_reason is None
     err = run_fleet(index, dataset, config, knn, 2_000, seed=9, max_phases=32,
                     error_theta=0.05)
     assert err.backend == "reference"

@@ -195,3 +195,83 @@ class TestRangeHelpers:
         # Merged ranges are sorted and disjoint.
         for (l1, h1), (l2, h2) in zip(merged, merged[1:]):
             assert h1 + 1 < l2
+
+
+class TestBatchedCovers:
+    """The batched cover sweep is bit-identical to the scalar one."""
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 5, 8, 10])
+    def test_flat_matches_scalar_per_rect(self, order):
+        import numpy as np
+
+        rng = np.random.default_rng(order)
+        n = 60
+        x0 = rng.uniform(0.0, 1.0, n)
+        y0 = rng.uniform(0.0, 1.0, n)
+        # Widths may push past the unit square; clipping keeps the border
+        # paths hot.
+        w = rng.uniform(0.0, 0.4, n)
+        h = rng.uniform(0.0, 0.4, n)
+        rects = [
+            Rect(x0[i], y0[i], x0[i] + w[i], y0[i] + h[i]).clipped_to_unit()
+            for i in range(n)
+        ]
+        for max_ranges, max_depth in ((64, None), (6, None), (64, 2)):
+            # Fresh curves per direction so neither path serves the other
+            # from the shared cover cache.
+            scalar = [
+                HilbertCurve(order).ranges_for_rect(
+                    r, max_ranges=max_ranges, max_depth=max_depth
+                )
+                for r in rects
+            ]
+            counts, los, his = HilbertCurve(order).covers_for_rects_flat(
+                np.array([r.min_x for r in rects]),
+                np.array([r.min_y for r in rects]),
+                np.array([r.max_x for r in rects]),
+                np.array([r.max_y for r in rects]),
+                max_ranges=max_ranges, max_depth=max_depth,
+            )
+            cuts = np.concatenate(([0], np.cumsum(counts)))
+            flat = [
+                list(zip(los[cuts[i]: cuts[i + 1]].tolist(),
+                         his[cuts[i]: cuts[i + 1]].tolist()))
+                for i in range(n)
+            ]
+            assert flat == scalar
+            listed = HilbertCurve(order).covers_for_rects(
+                np.array([r.min_x for r in rects]),
+                np.array([r.min_y for r in rects]),
+                np.array([r.max_x for r in rects]),
+                np.array([r.max_y for r in rects]),
+                max_ranges=max_ranges, max_depth=max_depth,
+            )
+            assert listed == scalar
+
+    def test_cache_exchange_with_scalar(self):
+        import numpy as np
+
+        curve = HilbertCurve(6)
+        rect = Rect(0.21, 0.33, 0.58, 0.71)
+        expected = curve.ranges_for_rect(rect)
+        got = curve.covers_for_rects(
+            np.array([rect.min_x]), np.array([rect.min_y]),
+            np.array([rect.max_x]), np.array([rect.max_y]),
+        )
+        assert got == [expected]
+
+    def test_degenerate_rows_stay_empty(self):
+        import numpy as np
+
+        curve = HilbertCurve(5)
+        # Negative-extent rows (a rect clipped away entirely) emit nothing
+        # and do not disturb their neighbours.
+        counts, los, his = curve.covers_for_rects_flat(
+            np.array([0.2, 0.9, 0.4]), np.array([0.2, 0.9, 0.4]),
+            np.array([0.3, 0.1, 0.5]), np.array([0.3, 0.1, 0.5]),
+        )
+        assert counts[1] == 0
+        assert counts[0] > 0 and counts[2] > 0
+        assert curve.covers_for_rects(
+            np.array([0.9]), np.array([0.9]), np.array([0.1]), np.array([0.1])
+        ) == [[]]
